@@ -1,0 +1,138 @@
+package watchdog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWorkloadsList(t *testing.T) {
+	names := Workloads()
+	if len(names) != 20 {
+		t.Fatalf("workload count = %d, want 20", len(names))
+	}
+	if names[0] != "lbm" || names[len(names)-1] != "perl" {
+		t.Fatalf("figure order wrong: %v", names)
+	}
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	// The quickstart scenario through the public facade: UAF after
+	// reallocation must be detected.
+	rt := NewRuntime(RuntimeOptions{Policy: PolicyWatchdog})
+	b := rt.B
+	b.Label("main")
+	b.Movi(R1, 64)
+	b.Call("malloc")
+	b.Mov(R4, R1)
+	b.Call("free")
+	b.Movi(R1, 64)
+	b.Call("malloc")
+	b.Ld(R3, Mem(R4, 0, 8))
+	b.Ret()
+	prog, err := rt.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSimConfig()
+	cfg.RuntimeEnd = rt.RuntimeEnd()
+	res, err := Run(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemErr == nil || res.MemErr.Kind != ErrUseAfterFree {
+		t.Fatalf("want UAF detection, got %v", res.MemErr)
+	}
+	if res.Timing.Cycles == 0 {
+		t.Fatal("timing missing")
+	}
+}
+
+func TestProcessorConfigRendered(t *testing.T) {
+	s := ProcessorConfig()
+	for _, want := range []string{"3.2 GHz", "168-entry ROB", "Lock location"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Table 2 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSecuritySuiteViaFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in -short mode")
+	}
+	s := RunSecuritySuite()
+	if s.BadDetected != s.BadTotal || s.BadTotal != 291 {
+		t.Fatalf("suite: %s", s.String())
+	}
+	if s.GoodClean != s.GoodTotal {
+		t.Fatalf("false positives: %s", s.String())
+	}
+}
+
+func TestBenchRunnerViaFacade(t *testing.T) {
+	r, err := NewBenchRunner(1, "mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := r.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.String(), "mcf") {
+		t.Fatal("Fig7 output missing workload row")
+	}
+}
+
+func TestProfileProgramViaFacade(t *testing.T) {
+	rt := NewRuntime(RuntimeOptions{Policy: PolicyWatchdog})
+	b := rt.B
+	b.Label("main")
+	b.Movi(R1, 32)
+	b.Call("malloc")
+	b.Mov(R4, R1)
+	b.StP(Mem(R4, 0, 8), R4) // self-referencing pointer store
+	b.LdP(R5, Mem(R4, 0, 8))
+	b.Mov(R1, R4)
+	b.Call("free")
+	b.Ret()
+	prog, err := rt.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := ProfileProgram(prog, DefaultCoreConfig(), rt.RuntimeEnd())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Len() == 0 {
+		t.Fatal("empty profile")
+	}
+}
+
+func TestMTMachineViaFacade(t *testing.T) {
+	rt := NewRuntime(RuntimeOptions{Policy: PolicyWatchdog, MT: true})
+	rt.EmitMTStart(2)
+	b := rt.B
+	for tid := 0; tid < 2; tid++ {
+		b.Label("thread" + string(rune('0'+tid)))
+		b.Movi(R1, 32)
+		b.Call("malloc")
+		b.Mov(R4, R1)
+		b.Call("free")
+		b.Ret()
+	}
+	prog, err := rt.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := NewMTMachine(prog, DefaultCoreConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := mt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tid, v := FirstViolation(results); v != nil {
+		t.Fatalf("thread %d faulted: %v", tid, v)
+	}
+}

@@ -1,0 +1,109 @@
+// watchdog-bench regenerates the paper's tables and figures
+// (Section 9) on the simulated processor.
+//
+// Usage:
+//
+//	watchdog-bench                     # everything
+//	watchdog-bench -exp fig7           # one experiment
+//	watchdog-bench -exp fig9 -scale 2
+//	watchdog-bench -workloads mcf,perl -exp fig5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"watchdog/internal/experiments"
+	"watchdog/internal/stats"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: all|table1|table2|fig5|fig7|fig8|fig9|fig10|fig11|ideal|ablations|locksweep|juliet")
+		scale = flag.Int("scale", 1, "problem-size multiplier")
+		wls   = flag.String("workloads", "", "comma-separated workload subset (default: all twenty)")
+		bars  = flag.Bool("bars", false, "render overhead figures as bar charts too")
+		csv   = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	)
+	flag.Parse()
+
+	var names []string
+	if *wls != "" {
+		names = strings.Split(*wls, ",")
+	}
+	r, err := experiments.NewRunner(*scale, names...)
+	if err != nil {
+		fatal(err)
+	}
+
+	type tableFn struct {
+		name string
+		fn   func() (*stats.Table, error)
+	}
+	figures := []tableFn{
+		{"table1", r.Table1},
+		{"fig5", r.Fig5},
+		{"fig7", r.Fig7},
+		{"fig8", r.Fig8},
+		{"fig9", r.Fig9},
+		{"fig10", r.Fig10},
+		{"fig11", r.Fig11},
+		{"ideal", r.Ideal},
+		{"ablations", r.Ablations},
+		{"locksweep", func() (*stats.Table, error) { return r.LockSweep(nil) }},
+	}
+
+	ran := false
+	if *exp == "all" || *exp == "table2" {
+		fmt.Println(experiments.Table2())
+		ran = true
+	}
+	for _, f := range figures {
+		if *exp != "all" && *exp != f.name {
+			continue
+		}
+		t, err := f.fn()
+		if err != nil {
+			fatal(err)
+		}
+		if *csv {
+			fmt.Printf("# %s\n%s\n", f.name, t.CSV())
+		} else {
+			fmt.Println(t)
+		}
+		ran = true
+	}
+	if *bars {
+		for _, bc := range []struct {
+			name string
+			cfgs []experiments.ConfigName
+		}{
+			{"Figure 7 (bars): % slowdown", []experiments.ConfigName{experiments.CfgConservative, experiments.CfgISA}},
+			{"Figure 9 (bars): % slowdown", []experiments.ConfigName{experiments.CfgISA, experiments.CfgISANoLock}},
+			{"Figure 11 (bars): % slowdown", []experiments.ConfigName{experiments.CfgISA, experiments.CfgBounds1, experiments.CfgBounds2}},
+		} {
+			out, err := r.Bars(bc.name, bc.cfgs...)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(out)
+		}
+		ran = true
+	}
+	if *exp == "all" || *exp == "juliet" {
+		fmt.Println("Section 9.2: security evaluation")
+		fmt.Println(" ", experiments.Juliet())
+		fmt.Println()
+		ran = true
+	}
+	if !ran {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "watchdog-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// watchdog-juliet runs the Juliet-style CWE-416/CWE-562 security suite
+// (Section 9.2 of the paper: 291 bad cases, all detected, no false
+// positives) and prints the detection matrix.
+//
+// Usage:
+//
+//	watchdog-juliet                 # Watchdog (the paper's result)
+//	watchdog-juliet -policy location  # the comparator that misses reallocated UAF
+//	watchdog-juliet -v                # list every case outcome
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"watchdog/internal/core"
+	"watchdog/internal/rt"
+	"watchdog/internal/security"
+)
+
+func main() {
+	var (
+		policy  = flag.String("policy", "watchdog", "checking policy: watchdog|location|software|conservative")
+		verbose = flag.Bool("v", false, "print each case outcome")
+	)
+	flag.Parse()
+
+	var cfg core.Config
+	var opts rt.Options
+	switch *policy {
+	case "watchdog":
+		cfg = core.DefaultConfig()
+		opts = rt.Options{Policy: core.PolicyWatchdog}
+	case "conservative":
+		cfg = core.DefaultConfig()
+		cfg.PtrPolicy = core.PtrConservative
+		opts = rt.Options{Policy: core.PolicyWatchdog}
+	case "location":
+		cfg = core.Config{Policy: core.PolicyLocation}
+		opts = rt.Options{Policy: core.PolicyLocation}
+	case "software":
+		cfg = core.Config{Policy: core.PolicySoftware, PtrPolicy: core.PtrConservative}
+		opts = rt.Options{Policy: core.PolicySoftware}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
+		os.Exit(1)
+	}
+
+	cases := security.Suite()
+	if *verbose {
+		for _, c := range cases {
+			o := security.RunCase(c, cfg, opts)
+			status := "PASS"
+			if !o.Pass() {
+				status = "FAIL"
+			}
+			fmt.Printf("%-4s CWE-%d %-60s bad=%-5v detected=%-5v\n",
+				status, c.CWE, c.Variant, c.Bad, o.Detected)
+		}
+	}
+	s := security.RunSuite(cases, cfg, opts)
+	fmt.Println(s)
+	if len(s.Failures) > 0 && *policy == "watchdog" {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,187 @@
+// watchdog-sim runs a single workload on the simulated processor under
+// a chosen checking configuration and reports timing and engine
+// statistics.
+//
+// Usage:
+//
+//	watchdog-sim -list
+//	watchdog-sim -workload mcf -config isa -scale 2
+//	watchdog-sim -workload perl -config conservative -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"watchdog/internal/asm"
+	"watchdog/internal/core"
+	"watchdog/internal/experiments"
+	"watchdog/internal/isa"
+	"watchdog/internal/rt"
+	"watchdog/internal/sim"
+	"watchdog/internal/workload"
+)
+
+func main() {
+	var (
+		name    = flag.String("workload", "mcf", "workload name (see -list)")
+		cfg     = flag.String("config", "isa", "configuration: baseline|conservative|isa|isa-nolock|isa-ideal|bounds-1uop|bounds-2uop|location|software|no-copy-elim|monolithic")
+		scale   = flag.Int("scale", 1, "problem-size multiplier")
+		list    = flag.Bool("list", false, "list workloads and exit")
+		verbose = flag.Bool("v", false, "print per-class µop counts and program output")
+		disasm  = flag.Bool("disasm", false, "print the assembled program listing and exit")
+		trace   = flag.Int("trace", 0, "trace the first N executed instructions to stderr")
+		asmFile = flag.String("asm", "", "run a WD64 assembly file (expects a \"main\" function) instead of a workload")
+	)
+	flag.Parse()
+
+	if *asmFile != "" {
+		if err := runAsmFile(*asmFile, *cfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *list {
+		for _, w := range workload.All() {
+			fmt.Printf("%-9s %s\n", w.Name, w.Kernel)
+		}
+		return
+	}
+	if *disasm || *trace > 0 {
+		if err := inspect(*name, *scale, *disasm, *trace); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *disasm {
+			return
+		}
+	}
+
+	w, ok := workload.ByName(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q (try -list)\n", *name)
+		os.Exit(1)
+	}
+	r, err := experiments.NewRunner(*scale, w.Name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res, err := r.Run(w, experiments.ConfigName(*cfg))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload   %s (%s)\n", w.Name, w.Kernel)
+	fmt.Printf("config     %s, scale %d\n", *cfg, *scale)
+	fmt.Printf("insts      %d macro, %d µops\n", res.Insts, res.Timing.Uops)
+	fmt.Printf("cycles     %d (IPC %.2f)\n", res.Timing.Cycles, res.Timing.IPC())
+	if base, err := r.Run(w, experiments.CfgBaseline); err == nil && *cfg != "baseline" {
+		ratio := float64(res.Timing.Cycles) / float64(base.Timing.Cycles)
+		fmt.Printf("overhead   %.1f%% over baseline (%d cycles)\n", (ratio-1)*100, base.Timing.Cycles)
+	}
+	fmt.Printf("mem ops    %d checked, %d classified as pointer ops (%.1f%%)\n",
+		res.Engine.MemAccesses, res.Engine.PtrOps,
+		100*float64(res.Engine.PtrOps)/float64(max(res.Engine.MemAccesses, 1)))
+	fmt.Printf("checks     %d injected\n", res.Engine.Checks)
+	if *verbose {
+		fmt.Printf("µop classes:\n")
+		for m := isa.MetaClass(0); m < isa.NumMetaClasses; m++ {
+			fmt.Printf("  %-9s %d\n", m, res.Timing.UopsByMeta[m])
+		}
+		fmt.Printf("mispredicts %d\n", res.Timing.Mispredicts)
+		fmt.Printf("output      %v\n", res.Output)
+	}
+}
+
+// runAsmFile assembles and runs a WD64 text program on top of the
+// simulated runtime.
+func runAsmFile(path, cfgName string) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	opts := rt.Options{Policy: core.PolicyWatchdog}
+	cc := core.DefaultConfig()
+	switch cfgName {
+	case "baseline":
+		opts.Policy = core.PolicyBaseline
+		cc = core.Config{Policy: core.PolicyBaseline}
+	case "conservative":
+		cc.PtrPolicy = core.PtrConservative
+	case "bounds-1uop":
+		opts.Bounds = true
+		cc.Bounds = core.BoundsFused
+	}
+	build := rt.NewBuild(opts)
+	if err := asm.Parse(build.B, string(src)); err != nil {
+		return err
+	}
+	prog, err := build.Finish()
+	if err != nil {
+		return err
+	}
+	simCfg := sim.Default()
+	simCfg.Core = cc
+	simCfg.RuntimeEnd = build.RuntimeEnd()
+	res, err := sim.Run(prog, simCfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("insts   %d macro, %d µops, %d cycles (IPC %.2f)\n",
+		res.Insts, res.Timing.Uops, res.Timing.Cycles, res.Timing.IPC())
+	fmt.Printf("output  %v %q\n", res.Output, res.Text)
+	switch {
+	case res.MemErr != nil:
+		fmt.Printf("caught  %v\n", res.MemErr)
+	case res.Aborted:
+		fmt.Printf("abort   runtime code %d\n", res.AbortCode)
+	}
+	return nil
+}
+
+// inspect prints a disassembly and/or traces execution of the
+// workload under the default Watchdog configuration (functional run).
+func inspect(name string, scale int, disasm bool, trace int) error {
+	w, ok := workload.ByName(name)
+	if !ok {
+		return fmt.Errorf("unknown workload %q", name)
+	}
+	prog, rtEnd, err := workload.BuildProgram(w, rt.Options{Policy: core.PolicyWatchdog}, scale)
+	if err != nil {
+		return err
+	}
+	if disasm {
+		fmt.Print(prog.Disasm(0, 0))
+		return nil
+	}
+	n := 0
+	cfg := sim.Config{Core: core.DefaultConfig(), RuntimeEnd: rtEnd}
+	cfg.Trace = func(pc int, in *isa.Inst) {
+		if n >= trace {
+			return
+		}
+		n++
+		for _, l := range prog.LabelsAt(pc) {
+			fmt.Fprintf(os.Stderr, "%s:\n", l)
+		}
+		fmt.Fprintf(os.Stderr, "%6d  %s\n", pc, in.String())
+	}
+	res, err := sim.Run(prog, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "-- traced %d of %d instructions --\n", n, res.Insts)
+	return nil
+}
+
+func max(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

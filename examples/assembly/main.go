@@ -1,0 +1,43 @@
+// assembly: write the program as WD64 assembly text (program.s,
+// embedded below) instead of builder calls. The program builds and
+// frees a linked stack on the heap, then frees the last box twice —
+// the runtime's identifier validation catches the double free.
+package main
+
+import (
+	_ "embed"
+	"fmt"
+	"log"
+
+	"watchdog"
+)
+
+//go:embed program.wdasm
+var source string
+
+func main() {
+	rt := watchdog.NewRuntime(watchdog.RuntimeOptions{Policy: watchdog.PolicyWatchdog})
+	if err := watchdog.ParseAsm(rt.B, source); err != nil {
+		log.Fatal(err)
+	}
+	prog, err := rt.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := watchdog.DefaultSimConfig()
+	cfg.RuntimeEnd = rt.RuntimeEnd()
+	res, err := watchdog.Run(prog, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stack sum = %v (want [21])\n", res.Output)
+	switch {
+	case res.Aborted:
+		fmt.Printf("runtime abort %d: the double free was caught by free()'s identifier check\n",
+			res.AbortCode)
+	case res.MemErr != nil:
+		fmt.Printf("violation: %v\n", res.MemErr)
+	default:
+		fmt.Println("program completed (unexpected: the double free went unnoticed!)")
+	}
+}

@@ -1,0 +1,96 @@
+// multithreaded: the Section 7 multithreading model — two hardware
+// contexts share the heap through a thread-safe runtime (xchg-spinlock
+// allocator, per-thread partitioned identifier keys). A producer
+// thread hands objects to a consumer through a shared mailbox and then
+// frees one too early; the consumer's dereference faults in the
+// consumer's context, even though the producer has already reallocated
+// the memory.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"watchdog"
+)
+
+func main() {
+	rt := watchdog.NewRuntime(watchdog.RuntimeOptions{
+		Policy: watchdog.PolicyWatchdog,
+		MT:     true,
+	})
+	rt.EmitMTStart(2)
+	b := rt.B
+
+	b.Global("mailbox", 8)              // producer -> consumer pointer
+	b.GlobalWords("stage", []uint64{0}) // handshake
+
+	setStage := func(v int64) {
+		b.MoviGlobal(watchdog.R8, "stage", 0)
+		b.Movi(watchdog.R9, v)
+		b.St(watchdog.Mem(watchdog.R8, 0, 8), watchdog.R9)
+	}
+	waitStage := func(uid string, v int64) {
+		b.Label("wait." + uid)
+		b.MoviGlobal(watchdog.R8, "stage", 0)
+		b.Ld(watchdog.R9, watchdog.Mem(watchdog.R8, 0, 8))
+		b.Movi(watchdog.R10, v)
+		b.Br(watchdog.CondNE, watchdog.R9, watchdog.R10, "wait."+uid)
+	}
+
+	// Producer (thread 0): allocate a message, publish it, wait for
+	// the consumer's ack... then free it while the consumer still
+	// holds the pointer, and reallocate.
+	b.Label("thread0")
+	b.Movi(watchdog.R1, 48)
+	b.Call("malloc")
+	b.Mov(watchdog.R4, watchdog.R1)
+	b.Movi(watchdog.R2, 12345)
+	b.St(watchdog.Mem(watchdog.R4, 0, 8), watchdog.R2)
+	b.MoviGlobal(watchdog.R3, "mailbox", 0)
+	b.StP(watchdog.Mem(watchdog.R3, 0, 8), watchdog.R4)
+	setStage(1)
+	waitStage("prod", 2)
+	b.Mov(watchdog.R1, watchdog.R4)
+	b.Call("free") // premature: the consumer still reads the mailbox
+	b.Movi(watchdog.R1, 48)
+	b.Call("malloc") // block recycled to a new message
+	b.Movi(watchdog.R2, 0xbad)
+	b.St(watchdog.Mem(watchdog.R1, 0, 8), watchdog.R2)
+	setStage(3)
+	b.Ret()
+
+	// Consumer (thread 1): read the message twice — once while live,
+	// once after the producer freed it.
+	b.Label("thread1")
+	waitStage("cons1", 1)
+	b.MoviGlobal(watchdog.R3, "mailbox", 0)
+	b.LdP(watchdog.R4, watchdog.Mem(watchdog.R3, 0, 8))
+	b.Ld(watchdog.R2, watchdog.Mem(watchdog.R4, 0, 8)) // fine: 12345
+	b.Sys(watchdog.SysPutInt, watchdog.R2)
+	setStage(2)
+	waitStage("cons2", 3)
+	b.Ld(watchdog.R2, watchdog.Mem(watchdog.R4, 0, 8)) // stale!
+	b.Sys(watchdog.SysPutInt, watchdog.R2)
+	b.Ret()
+
+	prog, err := rt.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+	mt, err := watchdog.NewMTMachine(prog, watchdog.DefaultCoreConfig(), 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := mt.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("consumer read %v while the message was live\n", results[1].Output)
+	if tid, v := watchdog.FirstViolation(results); v != nil {
+		fmt.Printf("caught in thread %d: %v\n", tid, v)
+		fmt.Println("the stale read would have returned the recycled block's 0xbad payload")
+	} else {
+		fmt.Println("no violation detected (unexpected!)")
+	}
+}

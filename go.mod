@@ -1,0 +1,3 @@
+module watchdog
+
+go 1.22

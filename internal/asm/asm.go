@@ -1,0 +1,223 @@
+// Package asm is the WD64 assembler: a builder API that the runtime
+// library, the workloads, and the security suite use to construct
+// programs, with symbolic labels for control flow and named globals in
+// the data segment.
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"watchdog/internal/isa"
+	"watchdog/internal/mem"
+)
+
+// DataInit is a loader directive: copy Bytes to Addr before execution.
+type DataInit struct {
+	Addr  uint64
+	Bytes []byte
+}
+
+// Program is an assembled WD64 program ready for loading.
+type Program struct {
+	labelsAt map[int][]string
+
+	Insts []isa.Inst
+	Entry int // instruction index of the entry label ("_start" if present, else 0)
+	Data  []DataInit
+	// GlobalEnd is the high-water mark of the data segment.
+	GlobalEnd uint64
+	// Symbols maps label names to instruction indexes.
+	Symbols map[string]int
+	// Globals maps global names to their data-segment addresses.
+	Globals map[string]uint64
+}
+
+// Builder incrementally assembles a program. Errors (duplicate or
+// undefined labels, data-segment overflow) are sticky and reported by
+// Build.
+type Builder struct {
+	insts   []isa.Inst
+	labels  map[string]int
+	fixups  []fixup
+	globals map[string]uint64
+	dataCur uint64
+	data    []DataInit
+	err     error
+}
+
+type fixup struct {
+	inst  int
+	label string
+	// code resolves the label to its code-segment address (for
+	// function pointers) instead of an instruction index.
+	code bool
+}
+
+// NewBuilder returns an empty program builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		labels:  make(map[string]int),
+		globals: make(map[string]uint64),
+		dataCur: mem.GlobalBase,
+	}
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("asm: "+format, args...)
+	}
+}
+
+// Label defines a label at the next instruction.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.fail("duplicate label %q", name)
+		return
+	}
+	b.labels[name] = len(b.insts)
+}
+
+// Len returns the number of instructions emitted so far.
+func (b *Builder) Len() int { return len(b.insts) }
+
+// emit appends an instruction and returns its index. All instructions
+// must be constructed with inst()/memInst() (or otherwise have every
+// unused register field set to NoReg) so that unset fields never alias
+// R0.
+func (b *Builder) emit(in isa.Inst) int {
+	b.insts = append(b.insts, in)
+	return len(b.insts) - 1
+}
+
+func (b *Builder) emitLabelRef(in isa.Inst, label string) {
+	in.Label = label
+	idx := b.emit(in)
+	b.fixups = append(b.fixups, fixup{inst: idx, label: label})
+}
+
+// MoviLabel emits dst <- the code-segment address of label (the
+// function-pointer idiom for indirect calls and jump tables). The
+// label may be defined later.
+func (b *Builder) MoviLabel(dst isa.Reg, label string) {
+	in := isa.Inst{Op: isa.OpMovi, Dst: dst,
+		Src1: isa.NoReg, Src2: isa.NoReg, Src3: isa.NoReg,
+		Mem: isa.MemRef{Base: isa.NoReg, Index: isa.NoReg}, Label: label}
+	idx := b.emit(in)
+	b.fixups = append(b.fixups, fixup{inst: idx, label: label, code: true})
+}
+
+// Global reserves size bytes (8-byte aligned) in the data segment and
+// returns the address. Redefining a name is an error.
+func (b *Builder) Global(name string, size uint64) uint64 {
+	if _, dup := b.globals[name]; dup {
+		b.fail("duplicate global %q", name)
+		return 0
+	}
+	addr := b.dataCur
+	b.globals[name] = addr
+	b.dataCur += (size + 7) &^ 7
+	if b.dataCur >= mem.GlobalBase+mem.GlobalMax {
+		b.fail("data segment overflow at global %q", name)
+	}
+	return addr
+}
+
+// GlobalWords reserves and initializes a global of 8-byte words.
+func (b *Builder) GlobalWords(name string, words []uint64) uint64 {
+	addr := b.Global(name, uint64(len(words))*8)
+	buf := make([]byte, len(words)*8)
+	for i, w := range words {
+		for j := 0; j < 8; j++ {
+			buf[i*8+j] = byte(w >> (8 * j))
+		}
+	}
+	b.data = append(b.data, DataInit{Addr: addr, Bytes: buf})
+	return addr
+}
+
+// GlobalBytes reserves and initializes a byte-granularity global.
+func (b *Builder) GlobalBytes(name string, bytes []byte) uint64 {
+	addr := b.Global(name, uint64(len(bytes)))
+	cp := make([]byte, len(bytes))
+	copy(cp, bytes)
+	b.data = append(b.data, DataInit{Addr: addr, Bytes: cp})
+	return addr
+}
+
+// GlobalAddrOf returns the address of a previously defined global.
+func (b *Builder) GlobalAddrOf(name string) uint64 {
+	addr, ok := b.globals[name]
+	if !ok {
+		b.fail("undefined global %q", name)
+	}
+	return addr
+}
+
+// Build resolves labels and returns the program.
+func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	for _, f := range b.fixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("asm: undefined label %q", f.label)
+		}
+		if f.code {
+			b.insts[f.inst].Imm = int64(mem.CodeAddr(target))
+		} else {
+			b.insts[f.inst].Imm = int64(target)
+		}
+	}
+	entry := 0
+	if e, ok := b.labels["_start"]; ok {
+		entry = e
+	}
+	syms := make(map[string]int, len(b.labels))
+	for k, v := range b.labels {
+		syms[k] = v
+	}
+	globals := make(map[string]uint64, len(b.globals))
+	for k, v := range b.globals {
+		globals[k] = v
+	}
+	labelsAt := make(map[int][]string)
+	for name, pc := range syms {
+		labelsAt[pc] = append(labelsAt[pc], name)
+	}
+	for _, names := range labelsAt {
+		sort.Strings(names)
+	}
+	return &Program{
+		labelsAt:  labelsAt,
+		Insts:     b.insts,
+		Entry:     entry,
+		Data:      b.data,
+		GlobalEnd: b.dataCur,
+		Symbols:   syms,
+		Globals:   globals,
+	}, nil
+}
+
+// LabelsAt returns the labels defined at instruction index pc.
+func (p *Program) LabelsAt(pc int) []string { return p.labelsAt[pc] }
+
+// Disasm renders a listing of the program with labels.
+func (p *Program) Disasm(from, to int) string {
+	if to <= 0 || to > len(p.Insts) {
+		to = len(p.Insts)
+	}
+	if from < 0 {
+		from = 0
+	}
+	var sb strings.Builder
+	for pc := from; pc < to; pc++ {
+		for _, l := range p.labelsAt[pc] {
+			fmt.Fprintf(&sb, "%s:\n", l)
+		}
+		fmt.Fprintf(&sb, "%6d  %s\n", pc, p.Insts[pc].String())
+	}
+	return sb.String()
+}

@@ -1,0 +1,384 @@
+package asm
+
+import (
+	"math"
+
+	"watchdog/internal/isa"
+)
+
+// inst returns an instruction template with every register field set
+// to NoReg, so that unused operand slots never alias R0.
+func inst(op isa.Opcode) isa.Inst {
+	return isa.Inst{
+		Op: op, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg, Src3: isa.NoReg,
+		Mem: isa.MemRef{Base: isa.NoReg, Index: isa.NoReg},
+	}
+}
+
+// Mem builds a base+disp memory operand of the given width.
+func Mem(base isa.Reg, disp int64, width uint8) isa.MemRef {
+	return isa.MemRef{Base: base, Index: isa.NoReg, Disp: disp, Width: width}
+}
+
+// MemIdx builds a base+index*scale+disp memory operand.
+func MemIdx(base, index isa.Reg, scale uint8, disp int64, width uint8) isa.MemRef {
+	return isa.MemRef{Base: base, Index: index, Scale: scale, Disp: disp, Width: width}
+}
+
+// --- moves and constants ---
+
+// Mov emits dst <- src.
+func (b *Builder) Mov(dst, src isa.Reg) {
+	in := inst(isa.OpMov)
+	in.Dst, in.Src1 = dst, src
+	b.emit(in)
+}
+
+// Movi emits dst <- imm.
+func (b *Builder) Movi(dst isa.Reg, imm int64) {
+	in := inst(isa.OpMovi)
+	in.Dst, in.Imm = dst, imm
+	b.emit(in)
+}
+
+// MoviGlobal emits dst <- address of global (a PC-relative-style
+// address materialization: the Watchdog hardware associates the
+// always-valid global identifier with the result).
+func (b *Builder) MoviGlobal(dst isa.Reg, global string, off int64) {
+	in := inst(isa.OpMovi)
+	in.Dst = dst
+	in.Imm = int64(b.GlobalAddrOf(global)) + off
+	in.GlobalAddr = true
+	b.emit(in)
+}
+
+// Lea emits dst <- effective address of m. If the base register holds
+// a pointer, the result inherits its identifier (pointer arithmetic).
+func (b *Builder) Lea(dst isa.Reg, m isa.MemRef) {
+	in := inst(isa.OpLea)
+	in.Dst, in.Mem = dst, m
+	b.emit(in)
+}
+
+// --- integer ALU ---
+
+func (b *Builder) alu3(op isa.Opcode, dst, s1, s2 isa.Reg) {
+	in := inst(op)
+	in.Dst, in.Src1, in.Src2 = dst, s1, s2
+	b.emit(in)
+}
+
+func (b *Builder) aluImm(op isa.Opcode, dst, s1 isa.Reg, imm int64) {
+	in := inst(op)
+	in.Dst, in.Src1, in.Imm = dst, s1, imm
+	b.emit(in)
+}
+
+// Add emits dst <- s1 + s2.
+func (b *Builder) Add(dst, s1, s2 isa.Reg) { b.alu3(isa.OpAdd, dst, s1, s2) }
+
+// Addi emits dst <- s1 + imm.
+func (b *Builder) Addi(dst, s1 isa.Reg, imm int64) { b.aluImm(isa.OpAddi, dst, s1, imm) }
+
+// Sub emits dst <- s1 - s2.
+func (b *Builder) Sub(dst, s1, s2 isa.Reg) { b.alu3(isa.OpSub, dst, s1, s2) }
+
+// Subi emits dst <- s1 - imm.
+func (b *Builder) Subi(dst, s1 isa.Reg, imm int64) { b.aluImm(isa.OpSubi, dst, s1, imm) }
+
+// And emits dst <- s1 & s2.
+func (b *Builder) And(dst, s1, s2 isa.Reg) { b.alu3(isa.OpAnd, dst, s1, s2) }
+
+// Andi emits dst <- s1 & imm.
+func (b *Builder) Andi(dst, s1 isa.Reg, imm int64) { b.aluImm(isa.OpAndi, dst, s1, imm) }
+
+// Or emits dst <- s1 | s2.
+func (b *Builder) Or(dst, s1, s2 isa.Reg) { b.alu3(isa.OpOr, dst, s1, s2) }
+
+// Ori emits dst <- s1 | imm.
+func (b *Builder) Ori(dst, s1 isa.Reg, imm int64) { b.aluImm(isa.OpOri, dst, s1, imm) }
+
+// Xor emits dst <- s1 ^ s2.
+func (b *Builder) Xor(dst, s1, s2 isa.Reg) { b.alu3(isa.OpXor, dst, s1, s2) }
+
+// Xori emits dst <- s1 ^ imm.
+func (b *Builder) Xori(dst, s1 isa.Reg, imm int64) { b.aluImm(isa.OpXori, dst, s1, imm) }
+
+// Shl emits dst <- s1 << s2.
+func (b *Builder) Shl(dst, s1, s2 isa.Reg) { b.alu3(isa.OpShl, dst, s1, s2) }
+
+// Shli emits dst <- s1 << imm.
+func (b *Builder) Shli(dst, s1 isa.Reg, imm int64) { b.aluImm(isa.OpShli, dst, s1, imm) }
+
+// Shri emits dst <- s1 >> imm (logical).
+func (b *Builder) Shri(dst, s1 isa.Reg, imm int64) { b.aluImm(isa.OpShri, dst, s1, imm) }
+
+// Sari emits dst <- s1 >> imm (arithmetic).
+func (b *Builder) Sari(dst, s1 isa.Reg, imm int64) { b.aluImm(isa.OpSari, dst, s1, imm) }
+
+// Mul emits dst <- s1 * s2.
+func (b *Builder) Mul(dst, s1, s2 isa.Reg) { b.alu3(isa.OpMul, dst, s1, s2) }
+
+// Muli emits dst <- s1 * imm.
+func (b *Builder) Muli(dst, s1 isa.Reg, imm int64) { b.aluImm(isa.OpMuli, dst, s1, imm) }
+
+// Div emits dst <- s1 / s2 (signed).
+func (b *Builder) Div(dst, s1, s2 isa.Reg) { b.alu3(isa.OpDiv, dst, s1, s2) }
+
+// Rem emits dst <- s1 % s2 (signed).
+func (b *Builder) Rem(dst, s1, s2 isa.Reg) { b.alu3(isa.OpRem, dst, s1, s2) }
+
+// Setcc emits dst <- cond(s1, s2) ? 1 : 0.
+func (b *Builder) Setcc(cond isa.Cond, dst, s1, s2 isa.Reg) {
+	in := inst(isa.OpSetcc)
+	in.Cond, in.Dst, in.Src1, in.Src2 = cond, dst, s1, s2
+	b.emit(in)
+}
+
+// AddMem emits dst <- s1 + [m] (x86-style ALU with memory operand).
+func (b *Builder) AddMem(dst, s1 isa.Reg, m isa.MemRef) {
+	in := inst(isa.OpAdd)
+	in.Dst, in.Src1, in.Mem, in.HasMem = dst, s1, m, true
+	in.Ptr = isa.PtrNo
+	b.emit(in)
+}
+
+// --- memory ---
+
+func (b *Builder) memOp(op isa.Opcode, dst, src isa.Reg, m isa.MemRef, hint isa.PtrHint) {
+	in := inst(op)
+	in.Dst, in.Src1, in.Mem, in.Ptr = dst, src, m, hint
+	b.emit(in)
+}
+
+// Ld emits a zero-extending load (non-pointer annotated).
+func (b *Builder) Ld(dst isa.Reg, m isa.MemRef) {
+	b.memOp(isa.OpLd, dst, isa.NoReg, m, isa.PtrNo)
+}
+
+// LdP emits an 8-byte load annotated as loading a pointer (the
+// ISA-assisted load variant of Section 5.2).
+func (b *Builder) LdP(dst isa.Reg, m isa.MemRef) {
+	m.Width = 8
+	b.memOp(isa.OpLd, dst, isa.NoReg, m, isa.PtrYes)
+}
+
+// Lds emits a sign-extending load.
+func (b *Builder) Lds(dst isa.Reg, m isa.MemRef) {
+	b.memOp(isa.OpLds, dst, isa.NoReg, m, isa.PtrNo)
+}
+
+// St emits a store of src (non-pointer annotated).
+func (b *Builder) St(m isa.MemRef, src isa.Reg) {
+	b.memOp(isa.OpSt, isa.NoReg, src, m, isa.PtrNo)
+}
+
+// StP emits an 8-byte store annotated as storing a pointer.
+func (b *Builder) StP(m isa.MemRef, src isa.Reg) {
+	m.Width = 8
+	b.memOp(isa.OpSt, isa.NoReg, src, m, isa.PtrYes)
+}
+
+// LdU emits a load with no annotation (conservative classification
+// applies even in ISA-assisted mode; used to model unannotated code).
+func (b *Builder) LdU(dst isa.Reg, m isa.MemRef) {
+	b.memOp(isa.OpLd, dst, isa.NoReg, m, isa.PtrUnknown)
+}
+
+// StU emits a store with no annotation.
+func (b *Builder) StU(m isa.MemRef, src isa.Reg) {
+	b.memOp(isa.OpSt, isa.NoReg, src, m, isa.PtrUnknown)
+}
+
+// --- floating point ---
+
+// Fmov emits dst <- src (FP file).
+func (b *Builder) Fmov(dst, src isa.Reg) {
+	in := inst(isa.OpFmov)
+	in.Dst, in.Src1 = dst, src
+	b.emit(in)
+}
+
+// Fmovi emits dst <- the float64 constant v.
+func (b *Builder) Fmovi(dst isa.Reg, v float64) {
+	in := inst(isa.OpFmovi)
+	in.Dst = dst
+	in.Imm = int64(float64bits(v))
+	b.emit(in)
+}
+
+// Fadd emits dst <- s1 + s2.
+func (b *Builder) Fadd(dst, s1, s2 isa.Reg) { b.alu3(isa.OpFadd, dst, s1, s2) }
+
+// Fsub emits dst <- s1 - s2.
+func (b *Builder) Fsub(dst, s1, s2 isa.Reg) { b.alu3(isa.OpFsub, dst, s1, s2) }
+
+// Fmul emits dst <- s1 * s2.
+func (b *Builder) Fmul(dst, s1, s2 isa.Reg) { b.alu3(isa.OpFmul, dst, s1, s2) }
+
+// Fdiv emits dst <- s1 / s2.
+func (b *Builder) Fdiv(dst, s1, s2 isa.Reg) { b.alu3(isa.OpFdiv, dst, s1, s2) }
+
+// Fld emits an 8-byte FP load (never a pointer operation).
+func (b *Builder) Fld(dst isa.Reg, m isa.MemRef) {
+	m.Width = 8
+	b.memOp(isa.OpFld, dst, isa.NoReg, m, isa.PtrNo)
+}
+
+// Fst emits an 8-byte FP store.
+func (b *Builder) Fst(m isa.MemRef, src isa.Reg) {
+	m.Width = 8
+	b.memOp(isa.OpFst, isa.NoReg, src, m, isa.PtrNo)
+}
+
+// I2f emits FP dst <- float64(int64 src).
+func (b *Builder) I2f(dst, src isa.Reg) {
+	in := inst(isa.OpI2f)
+	in.Dst, in.Src1 = dst, src
+	b.emit(in)
+}
+
+// F2i emits int dst <- int64(FP src) (truncating).
+func (b *Builder) F2i(dst, src isa.Reg) {
+	in := inst(isa.OpF2i)
+	in.Dst, in.Src1 = dst, src
+	b.emit(in)
+}
+
+// Fcmp emits int dst <- sign(s1 - s2) over FP sources.
+func (b *Builder) Fcmp(dst, s1, s2 isa.Reg) { b.alu3(isa.OpFcmp, dst, s1, s2) }
+
+// --- control flow ---
+
+// Br emits a conditional branch to label.
+func (b *Builder) Br(cond isa.Cond, s1, s2 isa.Reg, label string) {
+	in := inst(isa.OpBr)
+	in.Cond, in.Src1, in.Src2 = cond, s1, s2
+	b.emitLabelRef(in, label)
+}
+
+// Brz emits a branch to label if s1 == 0. The zero comparand is
+// register-encoded as NoReg in Src2 and evaluated as zero.
+func (b *Builder) Brz(s1 isa.Reg, label string) {
+	in := inst(isa.OpBr)
+	in.Cond, in.Src1 = isa.CondEQ, s1
+	b.emitLabelRef(in, label)
+}
+
+// Brnz emits a branch to label if s1 != 0.
+func (b *Builder) Brnz(s1 isa.Reg, label string) {
+	in := inst(isa.OpBr)
+	in.Cond, in.Src1 = isa.CondNE, s1
+	b.emitLabelRef(in, label)
+}
+
+// Jmp emits an unconditional jump to label.
+func (b *Builder) Jmp(label string) {
+	b.emitLabelRef(inst(isa.OpJmp), label)
+}
+
+// Jmpr emits an indirect jump through src.
+func (b *Builder) Jmpr(src isa.Reg) {
+	in := inst(isa.OpJmpr)
+	in.Src1 = src
+	b.emit(in)
+}
+
+// Call emits a direct call to label.
+func (b *Builder) Call(label string) {
+	b.emitLabelRef(inst(isa.OpCall), label)
+}
+
+// Callr emits an indirect call through src.
+func (b *Builder) Callr(src isa.Reg) {
+	in := inst(isa.OpCallr)
+	in.Src1 = src
+	b.emit(in)
+}
+
+// Ret emits a return.
+func (b *Builder) Ret() { b.emit(inst(isa.OpRet)) }
+
+// Push emits a stack push of src.
+func (b *Builder) Push(src isa.Reg) {
+	in := inst(isa.OpPush)
+	in.Src1 = src
+	b.emit(in)
+}
+
+// Pop emits a stack pop into dst.
+func (b *Builder) Pop(dst isa.Reg) {
+	in := inst(isa.OpPop)
+	in.Dst = dst
+	b.emit(in)
+}
+
+// PushP emits a stack push annotated as spilling a pointer (the
+// ISA-assisted store-pointer variant), so the spilled register's
+// metadata round-trips through the shadow space.
+func (b *Builder) PushP(src isa.Reg) {
+	in := inst(isa.OpPush)
+	in.Src1 = src
+	in.Ptr = isa.PtrYes
+	b.emit(in)
+}
+
+// PopP emits the matching pointer-annotated reload.
+func (b *Builder) PopP(dst isa.Reg) {
+	in := inst(isa.OpPop)
+	in.Dst = dst
+	in.Ptr = isa.PtrYes
+	b.emit(in)
+}
+
+// Xchg emits an atomic exchange: dst <-> [m] (8 bytes). Macro
+// instructions execute atomically on the multi-context machine, so
+// this is the spinlock primitive.
+func (b *Builder) Xchg(dst isa.Reg, m isa.MemRef) {
+	in := inst(isa.OpXchg)
+	m.Width = 8
+	in.Dst, in.Src1, in.Mem, in.Ptr = dst, dst, m, isa.PtrNo
+	b.emit(in)
+}
+
+// --- Watchdog runtime interface ---
+
+// Setident emits dst <- setident(ptr, key, lock): associates the
+// identifier with the pointer (Figure 3a).
+func (b *Builder) Setident(dst, ptr, key, lock isa.Reg) {
+	in := inst(isa.OpSetident)
+	in.Dst, in.Src1, in.Src2, in.Src3 = dst, ptr, key, lock
+	b.emit(in)
+}
+
+// Getident emits (key, lock) <- getident(ptr) (Figure 3b).
+func (b *Builder) Getident(keyDst, lockDst, ptr isa.Reg) {
+	in := inst(isa.OpGetident)
+	in.Dst, in.Src1, in.Src3 = keyDst, ptr, lockDst
+	b.emit(in)
+}
+
+// Setbound emits dst <- setbound(ptr, base, bound): associates bounds
+// with the pointer (Section 8).
+func (b *Builder) Setbound(dst, ptr, base, bound isa.Reg) {
+	in := inst(isa.OpSetbound)
+	in.Dst, in.Src1, in.Src2, in.Src3 = dst, ptr, base, bound
+	b.emit(in)
+}
+
+// --- system ---
+
+// Sys emits a system call; the argument rides in src.
+func (b *Builder) Sys(num int64, src isa.Reg) {
+	in := inst(isa.OpSys)
+	in.Imm, in.Src1 = num, src
+	b.emit(in)
+}
+
+// Halt emits a machine halt.
+func (b *Builder) Halt() { b.emit(inst(isa.OpHalt)) }
+
+// Nop emits a no-op.
+func (b *Builder) Nop() { b.emit(inst(isa.OpNop)) }
+
+func float64bits(f float64) uint64 { return math.Float64bits(f) }

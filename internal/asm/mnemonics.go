@@ -1,0 +1,367 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"watchdog/internal/isa"
+)
+
+// mnemonics maps each text-assembler mnemonic to its emitter.
+var mnemonics map[string]func(*instParser) error
+
+func init() {
+	rrr := func(emit func(b *Builder, d, s1, s2 isa.Reg)) func(*instParser) error {
+		return func(p *instParser) error {
+			if err := p.nOps(3); err != nil {
+				return err
+			}
+			d, err := p.reg(0)
+			if err != nil {
+				return err
+			}
+			s1, err := p.reg(1)
+			if err != nil {
+				return err
+			}
+			s2, err := p.reg(2)
+			if err != nil {
+				return err
+			}
+			emit(p.b, d, s1, s2)
+			return nil
+		}
+	}
+	rri := func(emit func(b *Builder, d, s1 isa.Reg, imm int64)) func(*instParser) error {
+		return func(p *instParser) error {
+			if err := p.nOps(3); err != nil {
+				return err
+			}
+			d, err := p.reg(0)
+			if err != nil {
+				return err
+			}
+			s1, err := p.reg(1)
+			if err != nil {
+				return err
+			}
+			imm, err := p.imm(2)
+			if err != nil {
+				return err
+			}
+			emit(p.b, d, s1, imm)
+			return nil
+		}
+	}
+	load := func(emit func(b *Builder, d isa.Reg, m isa.MemRef)) func(*instParser) error {
+		return func(p *instParser) error {
+			if err := p.nOps(2); err != nil {
+				return err
+			}
+			d, err := p.reg(0)
+			if err != nil {
+				return err
+			}
+			m, err := p.mem(1)
+			if err != nil {
+				return err
+			}
+			emit(p.b, d, m)
+			return nil
+		}
+	}
+	store := func(emit func(b *Builder, m isa.MemRef, s isa.Reg)) func(*instParser) error {
+		return func(p *instParser) error {
+			if err := p.nOps(2); err != nil {
+				return err
+			}
+			m, err := p.mem(0)
+			if err != nil {
+				return err
+			}
+			s, err := p.reg(1)
+			if err != nil {
+				return err
+			}
+			emit(p.b, m, s)
+			return nil
+		}
+	}
+	oneReg := func(emit func(b *Builder, r isa.Reg)) func(*instParser) error {
+		return func(p *instParser) error {
+			if err := p.nOps(1); err != nil {
+				return err
+			}
+			r, err := p.reg(0)
+			if err != nil {
+				return err
+			}
+			emit(p.b, r)
+			return nil
+		}
+	}
+
+	mnemonics = map[string]func(*instParser) error{
+		"mov":  func(p *instParser) error { return twoReg(p, (*Builder).Mov) },
+		"fmov": func(p *instParser) error { return twoReg(p, (*Builder).Fmov) },
+		"i2f":  func(p *instParser) error { return twoReg(p, (*Builder).I2f) },
+		"f2i":  func(p *instParser) error { return twoReg(p, (*Builder).F2i) },
+
+		"movi": parseMovi,
+
+		"add": rrr((*Builder).Add), "sub": rrr((*Builder).Sub),
+		"and": rrr((*Builder).And), "or": rrr((*Builder).Or),
+		"xor": rrr((*Builder).Xor), "shl": rrr((*Builder).Shl),
+		"mul": rrr((*Builder).Mul), "div": rrr((*Builder).Div),
+		"rem":  rrr((*Builder).Rem),
+		"fadd": rrr((*Builder).Fadd), "fsub": rrr((*Builder).Fsub),
+		"fmul": rrr((*Builder).Fmul), "fdiv": rrr((*Builder).Fdiv),
+		"fcmp": rrr((*Builder).Fcmp),
+
+		"addi": rri((*Builder).Addi), "subi": rri((*Builder).Subi),
+		"andi": rri((*Builder).Andi), "ori": rri((*Builder).Ori),
+		"xori": rri((*Builder).Xori), "shli": rri((*Builder).Shli),
+		"shri": rri((*Builder).Shri), "sari": rri((*Builder).Sari),
+		"muli": rri((*Builder).Muli),
+
+		"ld":  load((*Builder).Ld),
+		"lds": load((*Builder).Lds),
+		"ldp": load((*Builder).LdP),
+		"ldu": load((*Builder).LdU),
+		"fld": load((*Builder).Fld),
+		"lea": load((*Builder).Lea),
+
+		"st":  store((*Builder).St),
+		"stp": store((*Builder).StP),
+		"stu": store((*Builder).StU),
+		"fst": store((*Builder).Fst),
+
+		"xchg": func(p *instParser) error {
+			if err := p.nOps(2); err != nil {
+				return err
+			}
+			d, err := p.reg(0)
+			if err != nil {
+				return err
+			}
+			m, err := p.mem(1)
+			if err != nil {
+				return err
+			}
+			p.b.Xchg(d, m)
+			return nil
+		},
+
+		"push":  oneReg((*Builder).Push),
+		"pop":   oneReg((*Builder).Pop),
+		"pushp": oneReg((*Builder).PushP),
+		"popp":  oneReg((*Builder).PopP),
+		"jmpr":  oneReg((*Builder).Jmpr),
+		"callr": oneReg((*Builder).Callr),
+
+		"setcc": parseSetcc,
+		"br":    parseBr,
+		"jmp":   parseJmp,
+		"call":  parseCall,
+		"ret":   func(p *instParser) error { p.b.Ret(); return nil },
+		"halt":  func(p *instParser) error { p.b.Halt(); return nil },
+		"nop":   func(p *instParser) error { p.b.Nop(); return nil },
+
+		"setident": parseThreeSrc((*Builder).Setident),
+		"setbound": parseThreeSrc((*Builder).Setbound),
+		"getident": func(p *instParser) error {
+			if err := p.nOps(3); err != nil {
+				return err
+			}
+			k, err := p.reg(0)
+			if err != nil {
+				return err
+			}
+			l, err := p.reg(1)
+			if err != nil {
+				return err
+			}
+			ptr, err := p.reg(2)
+			if err != nil {
+				return err
+			}
+			p.b.Getident(k, l, ptr)
+			return nil
+		},
+
+		"sys": parseSys,
+	}
+}
+
+func twoReg(p *instParser, emit func(b *Builder, d, s isa.Reg)) error {
+	if err := p.nOps(2); err != nil {
+		return err
+	}
+	d, err := p.reg(0)
+	if err != nil {
+		return err
+	}
+	s, err := p.reg(1)
+	if err != nil {
+		return err
+	}
+	emit(p.b, d, s)
+	return nil
+}
+
+func parseThreeSrc(emit func(b *Builder, d, s1, s2, s3 isa.Reg)) func(*instParser) error {
+	return func(p *instParser) error {
+		if err := p.nOps(4); err != nil {
+			return err
+		}
+		regs := make([]isa.Reg, 4)
+		for i := range regs {
+			r, err := p.reg(i)
+			if err != nil {
+				return err
+			}
+			regs[i] = r
+		}
+		emit(p.b, regs[0], regs[1], regs[2], regs[3])
+		return nil
+	}
+}
+
+// parseMovi handles movi r, imm | movi r, &global | movi r, @label |
+// fmovi via the fmovi mnemonic is unsupported in text form (use
+// .words data instead).
+func parseMovi(p *instParser) error {
+	if err := p.nOps(2); err != nil {
+		return err
+	}
+	d, err := p.reg(0)
+	if err != nil {
+		return err
+	}
+	arg := p.ops[1]
+	switch {
+	case strings.HasPrefix(arg, "&"):
+		name, off := arg[1:], int64(0)
+		if i := strings.IndexAny(name, "+"); i >= 0 {
+			off, err = parseInt(name[i+1:])
+			if err != nil {
+				return fmt.Errorf("bad global offset %q", arg)
+			}
+			name = name[:i]
+		}
+		p.b.MoviGlobal(d, name, off)
+	case strings.HasPrefix(arg, "@"):
+		p.b.MoviLabel(d, arg[1:])
+	default:
+		imm, err := parseInt(arg)
+		if err != nil {
+			return fmt.Errorf("bad immediate %q", arg)
+		}
+		p.b.Movi(d, imm)
+	}
+	return nil
+}
+
+func parseSetcc(p *instParser) error {
+	c, err := p.cond()
+	if err != nil {
+		return err
+	}
+	if err := p.nOps(3); err != nil {
+		return err
+	}
+	d, err := p.reg(0)
+	if err != nil {
+		return err
+	}
+	s1, err := p.reg(1)
+	if err != nil {
+		return err
+	}
+	s2, err := p.reg(2)
+	if err != nil {
+		return err
+	}
+	p.b.Setcc(c, d, s1, s2)
+	return nil
+}
+
+// parseBr handles br.cc s1, s2, label and the brz/brnz shorthands
+// br.z / br.nz s1, label.
+func parseBr(p *instParser) error {
+	switch p.suffix {
+	case "z":
+		if err := p.nOps(2); err != nil {
+			return err
+		}
+		r, err := p.reg(0)
+		if err != nil {
+			return err
+		}
+		p.b.Brz(r, p.ops[1])
+		return nil
+	case "nz":
+		if err := p.nOps(2); err != nil {
+			return err
+		}
+		r, err := p.reg(0)
+		if err != nil {
+			return err
+		}
+		p.b.Brnz(r, p.ops[1])
+		return nil
+	}
+	c, err := p.cond()
+	if err != nil {
+		return err
+	}
+	if err := p.nOps(3); err != nil {
+		return err
+	}
+	s1, err := p.reg(0)
+	if err != nil {
+		return err
+	}
+	s2, err := p.reg(1)
+	if err != nil {
+		return err
+	}
+	p.b.Br(c, s1, s2, p.ops[2])
+	return nil
+}
+
+func parseJmp(p *instParser) error {
+	if err := p.nOps(1); err != nil {
+		return err
+	}
+	p.b.Jmp(p.ops[0])
+	return nil
+}
+
+func parseCall(p *instParser) error {
+	if err := p.nOps(1); err != nil {
+		return err
+	}
+	p.b.Call(p.ops[0])
+	return nil
+}
+
+func parseSys(p *instParser) error {
+	if err := p.nOps(2); err != nil {
+		return err
+	}
+	num, ok := sysNames[strings.ToLower(p.ops[0])]
+	if !ok {
+		n, err := parseInt(p.ops[0])
+		if err != nil {
+			return fmt.Errorf("unknown syscall %q", p.ops[0])
+		}
+		num = n
+	}
+	r, err := p.reg(1)
+	if err != nil {
+		return err
+	}
+	p.b.Sys(num, r)
+	return nil
+}

@@ -1,0 +1,261 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"watchdog/internal/isa"
+)
+
+// Parse assembles WD64 text into the builder. The syntax mirrors the
+// builder API one instruction per line:
+//
+//	; line comment (also #)
+//	.global buf 256          ; reserve 256 zeroed bytes
+//	.words  tbl 1 2 0xff     ; initialized 8-byte words
+//
+//	main:
+//	    movi  r1, 64
+//	    movi  r2, &buf        ; address of a global (global identifier)
+//	    movi  r3, @main       ; code address of a label
+//	    call  malloc
+//	    mov   r4, r1
+//	    st    [r4+8], r2      ; 8-byte store (default width)
+//	    ld.4  r3, [r4+r5*8+16]; 4-byte load (width suffix .1/.2/.4/.8)
+//	    ldp   r5, [r4]        ; pointer-annotated load (stp/pushp/popp too)
+//	    br.lt r3, r2, main    ; conditional branch
+//	    sys   putint, r3      ; exit|putint|putchr|abort|tid
+//	    ret
+//
+// Registers are r0-r15 (sp = r15, fp = r14) and f0-f15. Instructions
+// and register names are case-insensitive; labels and globals are
+// case-sensitive.
+func Parse(b *Builder, src string) error {
+	for ln, raw := range strings.Split(src, "\n") {
+		if err := parseLine(b, raw); err != nil {
+			return fmt.Errorf("asm: line %d: %w", ln+1, err)
+		}
+	}
+	return nil
+}
+
+func parseLine(b *Builder, raw string) error {
+	line := raw
+	if i := strings.IndexAny(line, ";#"); i >= 0 {
+		line = line[:i]
+	}
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return nil
+	}
+	// Labels (possibly followed by an instruction on the same line).
+	for {
+		i := strings.Index(line, ":")
+		if i < 0 || strings.ContainsAny(line[:i], " \t[,") {
+			break
+		}
+		b.Label(line[:i])
+		line = strings.TrimSpace(line[i+1:])
+		if line == "" {
+			return nil
+		}
+	}
+	if strings.HasPrefix(line, ".") {
+		return parseDirective(b, line)
+	}
+	return parseInst(b, line)
+}
+
+func parseDirective(b *Builder, line string) error {
+	f := strings.Fields(line)
+	switch f[0] {
+	case ".global":
+		if len(f) != 3 {
+			return fmt.Errorf("usage: .global name size")
+		}
+		size, err := parseInt(f[2])
+		if err != nil || size < 0 {
+			return fmt.Errorf("bad size %q", f[2])
+		}
+		b.Global(f[1], uint64(size))
+		return nil
+	case ".words":
+		if len(f) < 3 {
+			return fmt.Errorf("usage: .words name v...")
+		}
+		var words []uint64
+		for _, w := range f[2:] {
+			v, err := parseInt(w)
+			if err != nil {
+				return fmt.Errorf("bad word %q", w)
+			}
+			words = append(words, uint64(v))
+		}
+		b.GlobalWords(f[1], words)
+		return nil
+	}
+	return fmt.Errorf("unknown directive %q", f[0])
+}
+
+// parseInst dispatches on the mnemonic (with optional .cond or .width
+// suffix) and its comma-separated operands.
+func parseInst(b *Builder, line string) error {
+	sp := strings.IndexAny(line, " \t")
+	mnemonic, rest := line, ""
+	if sp >= 0 {
+		mnemonic, rest = line[:sp], strings.TrimSpace(line[sp+1:])
+	}
+	mnemonic = strings.ToLower(mnemonic)
+	var ops []string
+	if rest != "" {
+		for _, o := range strings.Split(rest, ",") {
+			ops = append(ops, strings.TrimSpace(o))
+		}
+	}
+	base, suffix, _ := strings.Cut(mnemonic, ".")
+	p := &instParser{b: b, ops: ops, suffix: suffix}
+	emit, ok := mnemonics[base]
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", base)
+	}
+	if err := emit(p); err != nil {
+		return fmt.Errorf("%s: %w", mnemonic, err)
+	}
+	return nil
+}
+
+type instParser struct {
+	b      *Builder
+	ops    []string
+	suffix string
+}
+
+func (p *instParser) nOps(n int) error {
+	if len(p.ops) != n {
+		return fmt.Errorf("want %d operands, have %d", n, len(p.ops))
+	}
+	return nil
+}
+
+func (p *instParser) reg(i int) (isa.Reg, error) { return parseReg(p.ops[i]) }
+
+func (p *instParser) imm(i int) (int64, error) { return parseInt(p.ops[i]) }
+
+func (p *instParser) width() (uint8, error) {
+	switch p.suffix {
+	case "", "8":
+		return 8, nil
+	case "1":
+		return 1, nil
+	case "2":
+		return 2, nil
+	case "4":
+		return 4, nil
+	}
+	return 0, fmt.Errorf("bad width suffix %q", p.suffix)
+}
+
+func (p *instParser) mem(i int) (isa.MemRef, error) {
+	w, err := p.width()
+	if err != nil {
+		return isa.MemRef{}, err
+	}
+	return parseMem(p.ops[i], w)
+}
+
+func (p *instParser) cond() (isa.Cond, error) {
+	for c := isa.CondEQ; c <= isa.CondAE; c++ {
+		if c.String() == p.suffix {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("bad condition %q", p.suffix)
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	switch t := strings.ToLower(s); t {
+	case "sp":
+		return isa.SP, nil
+	case "fp":
+		return isa.FP, nil
+	default:
+		if len(t) >= 2 && (t[0] == 'r' || t[0] == 'f') {
+			n, err := strconv.Atoi(t[1:])
+			if err == nil && n >= 0 && n < 16 {
+				if t[0] == 'r' {
+					return isa.Reg(n), nil
+				}
+				return isa.F0 + isa.Reg(n), nil
+			}
+		}
+	}
+	return isa.NoReg, fmt.Errorf("bad register %q", s)
+}
+
+func parseInt(s string) (int64, error) {
+	return strconv.ParseInt(strings.ReplaceAll(s, "_", ""), 0, 64)
+}
+
+// parseMem parses [base], [base+disp], [base+index*scale],
+// [base+index*scale+disp] (disp may be negative: [base-8]).
+func parseMem(s string, width uint8) (isa.MemRef, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return isa.MemRef{}, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	m := isa.MemRef{Base: isa.NoReg, Index: isa.NoReg, Width: width}
+	// Normalize minus into plus-negative.
+	inner = strings.ReplaceAll(inner, "-", "+-")
+	for ti, term := range strings.Split(inner, "+") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		switch {
+		case strings.Contains(term, "*"):
+			idx, scale, _ := strings.Cut(term, "*")
+			r, err := parseReg(strings.TrimSpace(idx))
+			if err != nil {
+				return m, err
+			}
+			sc, err := parseInt(strings.TrimSpace(scale))
+			if err != nil || (sc != 1 && sc != 2 && sc != 4 && sc != 8) {
+				return m, fmt.Errorf("bad scale in %q", term)
+			}
+			m.Index, m.Scale = r, uint8(sc)
+		case ti == 0 || isRegToken(term):
+			r, err := parseReg(term)
+			if err != nil {
+				return m, err
+			}
+			if ti == 0 {
+				m.Base = r
+			} else if m.Index == isa.NoReg {
+				m.Index, m.Scale = r, 1
+			} else {
+				return m, fmt.Errorf("too many registers in %q", s)
+			}
+		default:
+			d, err := parseInt(term)
+			if err != nil {
+				return m, fmt.Errorf("bad displacement %q", term)
+			}
+			m.Disp += d
+		}
+	}
+	if m.Base == isa.NoReg {
+		return m, fmt.Errorf("memory operand %q has no base register", s)
+	}
+	return m, nil
+}
+
+func isRegToken(s string) bool {
+	_, err := parseReg(s)
+	return err == nil
+}
+
+var sysNames = map[string]int64{
+	"exit": isa.SysExit, "putint": isa.SysPutInt, "putchr": isa.SysPutChr,
+	"abort": isa.SysAbort, "tid": isa.SysTid,
+}

@@ -1,0 +1,190 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"watchdog/internal/isa"
+)
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	b := NewBuilder()
+	if err := Parse(b, src); err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseBasicProgram(t *testing.T) {
+	p := mustParse(t, `
+		; a tiny counting loop
+		.words total 0
+
+		_start:
+		    movi r1, 0
+		    movi r2, 10
+		loop:
+		    add  r1, r1, r2
+		    subi r2, r2, 1
+		    br.nz r2, loop
+		    movi r3, &total
+		    st   [r3], r1
+		    sys  putint, r1
+		    halt
+	`)
+	if len(p.Insts) != 9 {
+		t.Fatalf("parsed %d instructions, want 9", len(p.Insts))
+	}
+	if p.Insts[0].Op != isa.OpMovi || p.Insts[2].Op != isa.OpAdd {
+		t.Fatalf("wrong opcodes: %v %v", p.Insts[0].Op, p.Insts[2].Op)
+	}
+	br := p.Insts[4]
+	if br.Op != isa.OpBr || int(br.Imm) != p.Symbols["loop"] {
+		t.Fatalf("branch not resolved: %+v", br)
+	}
+	if !p.Insts[5].GlobalAddr {
+		t.Fatal("&total must set GlobalAddr")
+	}
+}
+
+func TestParseMemOperands(t *testing.T) {
+	p := mustParse(t, `
+		main:
+		    ld    r1, [r2]
+		    ld.4  r1, [r2+8]
+		    lds.1 r1, [r2-4]
+		    ld    r1, [r2+r3*8]
+		    st    [r2+r3*8+16], r1
+		    ldp   r4, [r2]
+		    stp   [r2], r4
+		    halt
+	`)
+	ins := p.Insts
+	if ins[0].Mem.Width != 8 || ins[1].Mem.Width != 4 || ins[2].Mem.Width != 1 {
+		t.Fatalf("widths wrong: %v %v %v", ins[0].Mem, ins[1].Mem, ins[2].Mem)
+	}
+	if ins[1].Mem.Disp != 8 || ins[2].Mem.Disp != -4 {
+		t.Fatalf("displacements wrong: %v %v", ins[1].Mem, ins[2].Mem)
+	}
+	if ins[3].Mem.Index != isa.R3 || ins[3].Mem.Scale != 8 {
+		t.Fatalf("index wrong: %v", ins[3].Mem)
+	}
+	if ins[4].Mem.Disp != 16 || !ins[4].Op.IsStore() {
+		t.Fatalf("store operand wrong: %v", ins[4].Mem)
+	}
+	if ins[5].Ptr != isa.PtrYes || ins[6].Ptr != isa.PtrYes {
+		t.Fatal("ldp/stp must be pointer annotated")
+	}
+	if ins[0].Ptr != isa.PtrNo {
+		t.Fatal("ld must be non-pointer annotated")
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	p := mustParse(t, `
+		_start:
+		    call fn
+		    movi r1, @fn
+		    callr r1
+		    jmp done
+		fn:
+		    ret
+		done:
+		    halt
+	`)
+	if p.Insts[0].Op != isa.OpCall || int(p.Insts[0].Imm) != p.Symbols["fn"] {
+		t.Fatalf("call wrong: %+v", p.Insts[0])
+	}
+	wantAddr := int64(0x1000_0000 + 8*uint64(p.Symbols["fn"]))
+	if p.Insts[1].Imm != wantAddr {
+		t.Fatalf("@fn = %#x, want %#x", p.Insts[1].Imm, wantAddr)
+	}
+}
+
+func TestParseBranchConditions(t *testing.T) {
+	p := mustParse(t, `
+		top:
+		    br.eq r1, r2, top
+		    br.ae r1, r2, top
+		    br.z  r1, top
+		    setcc.lt r3, r1, r2
+		    halt
+	`)
+	if p.Insts[0].Cond != isa.CondEQ || p.Insts[1].Cond != isa.CondAE {
+		t.Fatal("branch conditions wrong")
+	}
+	if p.Insts[3].Op != isa.OpSetcc || p.Insts[3].Cond != isa.CondLT {
+		t.Fatal("setcc wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"bogus r1, r2",
+		"add r1, r2",        // arity
+		"ld r1, r2",         // not a memory operand
+		"ld r1, [noreg]",    // bad register
+		"movi r99, 1",       // bad register number
+		"br.xx r1, r2, l",   // bad condition
+		"ld.3 r1, [r2]",     // bad width
+		".global x",         // directive arity
+		"sys nope, r1",      // unknown syscall
+		"ld r1, [r2+r3+r4]", // too many registers
+		"ld r1, [r2+r3*3]",  // bad scale
+		"st [8], r1",        // no base register
+	}
+	for _, src := range cases {
+		b := NewBuilder()
+		if err := Parse(b, "x:\n"+src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestParseRoundTripAgainstBuilder(t *testing.T) {
+	// The same program written both ways must assemble identically.
+	text := mustParse(t, `
+		.words g 7
+		_start:
+		    movi r1, &g
+		    ld   r2, [r1]
+		    addi r2, r2, 35
+		    sys  putint, r2
+		    halt
+	`)
+	b := NewBuilder()
+	b.GlobalWords("g", []uint64{7})
+	b.Label("_start")
+	b.MoviGlobal(isa.R1, "g", 0)
+	b.Ld(isa.R2, Mem(isa.R1, 0, 8))
+	b.Addi(isa.R2, isa.R2, 35)
+	b.Sys(isa.SysPutInt, isa.R2)
+	b.Halt()
+	api, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(text.Insts) != len(api.Insts) {
+		t.Fatalf("lengths differ: %d vs %d", len(text.Insts), len(api.Insts))
+	}
+	for i := range text.Insts {
+		ti, ai := text.Insts[i], api.Insts[i]
+		ti.Label, ai.Label = "", ""
+		if ti != ai {
+			t.Fatalf("inst %d differs:\n text: %+v\n  api: %+v", i, ti, ai)
+		}
+	}
+}
+
+func TestParseLineErrorsCarryLineNumbers(t *testing.T) {
+	b := NewBuilder()
+	err := Parse(b, "nop\nnop\nbogus\n")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error missing line number: %v", err)
+	}
+}

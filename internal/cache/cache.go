@@ -1,0 +1,235 @@
+// Package cache implements the simulated memory hierarchy of Table 2:
+// set-associative caches with LRU replacement and stream prefetchers,
+// TLBs, a DRAM model, and the hierarchy wiring including Watchdog's
+// dedicated lock location cache (a peer of the L1 instruction and data
+// caches, Section 4.2 and Figure 4c).
+package cache
+
+// Port is anything a cache can miss to. Access returns the total
+// latency in cycles to satisfy the access at this level and below.
+type Port interface {
+	Access(addr uint64, write bool) int
+}
+
+// DRAM terminates the hierarchy with a fixed access latency
+// (Table 2: dual-channel DDR, 16 ns ≈ 51 cycles at 3.2 GHz, plus the
+// ring hop cost folded in).
+type DRAM struct {
+	Latency  int
+	Accesses uint64
+}
+
+// Access counts and charges the DRAM latency.
+func (d *DRAM) Access(addr uint64, write bool) int {
+	d.Accesses++
+	return d.Latency
+}
+
+// Config sizes one cache level.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	Ways       int
+	BlockBytes int
+	Latency    int // hit latency in cycles
+	// Prefetcher configuration; Streams == 0 disables it.
+	Streams       int
+	PrefetchDepth int
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	stamp uint64 // LRU timestamp
+}
+
+type stream struct {
+	next  uint64 // next expected block number
+	valid bool
+	stamp uint64
+}
+
+// Cache is one set-associative level with optional stream prefetcher.
+type Cache struct {
+	cfg      Config
+	sets     int
+	blockLg  uint
+	lines    [][]line
+	streams  []stream
+	stampCtr uint64
+
+	next Port
+
+	// Stats.
+	Accesses      uint64
+	Misses        uint64
+	PrefetchFills uint64
+}
+
+// New builds a cache over the given next level.
+func New(cfg Config, next Port) *Cache {
+	blockLg := uint(0)
+	for 1<<blockLg < cfg.BlockBytes {
+		blockLg++
+	}
+	sets := cfg.SizeBytes / cfg.BlockBytes / cfg.Ways
+	if sets < 1 {
+		sets = 1
+	}
+	c := &Cache{
+		cfg:     cfg,
+		sets:    sets,
+		blockLg: blockLg,
+		lines:   make([][]line, sets),
+		next:    next,
+	}
+	for i := range c.lines {
+		c.lines[i] = make([]line, cfg.Ways)
+	}
+	if cfg.Streams > 0 {
+		c.streams = make([]stream, cfg.Streams)
+	}
+	return c
+}
+
+// Access looks up addr, filling on miss from the next level, and
+// returns the total latency. Writes are modeled write-allocate with
+// write-back (write-back traffic is not separately charged).
+func (c *Cache) Access(addr uint64, write bool) int {
+	c.Accesses++
+	c.stampCtr++
+	block := addr >> c.blockLg
+	set := int(block % uint64(c.sets))
+	for i := range c.lines[set] {
+		l := &c.lines[set][i]
+		if l.valid && l.tag == block {
+			l.stamp = c.stampCtr
+			// A hit on a tracked stream keeps the prefetcher running
+			// ahead of the access stream.
+			c.advanceStream(block)
+			return c.cfg.Latency
+		}
+	}
+	// Miss: charge this level plus the levels below, install, prefetch.
+	c.Misses++
+	lat := c.cfg.Latency
+	if c.next != nil {
+		lat += c.next.Access(addr, write)
+	}
+	c.install(block)
+	if !c.advanceStream(block) {
+		c.allocStream(block)
+	}
+	return lat
+}
+
+// Contains reports whether the block holding addr is resident
+// (test/debug aid; does not update LRU or stats).
+func (c *Cache) Contains(addr uint64) bool {
+	block := addr >> c.blockLg
+	set := int(block % uint64(c.sets))
+	for i := range c.lines[set] {
+		l := &c.lines[set][i]
+		if l.valid && l.tag == block {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops the block holding addr if resident (used to keep
+// the lock location cache coherent with the data cache path when a
+// lock location is written through the other path).
+func (c *Cache) Invalidate(addr uint64) {
+	block := addr >> c.blockLg
+	set := int(block % uint64(c.sets))
+	for i := range c.lines[set] {
+		l := &c.lines[set][i]
+		if l.valid && l.tag == block {
+			l.valid = false
+		}
+	}
+}
+
+func (c *Cache) install(block uint64) {
+	set := int(block % uint64(c.sets))
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for i := range c.lines[set] {
+		l := &c.lines[set][i]
+		if !l.valid {
+			victim = i
+			break
+		}
+		if l.stamp < oldest {
+			oldest = l.stamp
+			victim = i
+		}
+	}
+	c.lines[set][victim] = line{tag: block, valid: true, stamp: c.stampCtr}
+}
+
+// advanceStream checks whether block continues a tracked stream; if
+// so it installs the blocks ahead (without charging latency — they
+// arrive off the critical path) and returns true.
+func (c *Cache) advanceStream(block uint64) bool {
+	for i := range c.streams {
+		s := &c.streams[i]
+		if s.valid && block == s.next {
+			for d := 1; d <= c.cfg.PrefetchDepth; d++ {
+				pb := block + uint64(d)
+				if !c.blockResident(pb) {
+					c.install(pb)
+					c.PrefetchFills++
+				}
+			}
+			s.next = block + 1
+			s.stamp = c.stampCtr
+			return true
+		}
+	}
+	return false
+}
+
+// allocStream allocates a stream tracker over the LRU slot on a miss
+// that did not continue an existing stream.
+func (c *Cache) allocStream(block uint64) {
+	if len(c.streams) == 0 {
+		return
+	}
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for i := range c.streams {
+		if !c.streams[i].valid {
+			victim = i
+			break
+		}
+		if c.streams[i].stamp < oldest {
+			oldest = c.streams[i].stamp
+			victim = i
+		}
+	}
+	c.streams[victim] = stream{next: block + 1, valid: true, stamp: c.stampCtr}
+}
+
+func (c *Cache) blockResident(block uint64) bool {
+	set := int(block % uint64(c.sets))
+	for i := range c.lines[set] {
+		l := &c.lines[set][i]
+		if l.valid && l.tag == block {
+			return true
+		}
+	}
+	return false
+}
+
+// MissRate returns misses/accesses.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// Name returns the configured level name.
+func (c *Cache) Name() string { return c.cfg.Name }

@@ -1,0 +1,220 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"watchdog/internal/mem"
+)
+
+func l1(next Port) *Cache {
+	return New(Config{Name: "t", SizeBytes: 1 << 10, Ways: 2, BlockBytes: 64, Latency: 3}, next)
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	d := &DRAM{Latency: 50}
+	c := l1(d)
+	if lat := c.Access(0x1000, false); lat != 53 {
+		t.Fatalf("cold miss latency = %d, want 53", lat)
+	}
+	if lat := c.Access(0x1000, false); lat != 3 {
+		t.Fatalf("hit latency = %d, want 3", lat)
+	}
+	if lat := c.Access(0x1030, false); lat != 3 {
+		t.Fatalf("same-block hit latency = %d, want 3", lat)
+	}
+	if c.Misses != 1 || c.Accesses != 3 {
+		t.Fatalf("stats wrong: %d/%d", c.Misses, c.Accesses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	d := &DRAM{Latency: 50}
+	c := l1(d) // 1 KiB, 2-way, 64B blocks -> 8 sets
+	// Three blocks mapping to set 0: block numbers 0, 8, 16.
+	a0, a1, a2 := uint64(0), uint64(8*64), uint64(16*64)
+	c.Access(a0, false)
+	c.Access(a1, false)
+	c.Access(a0, false) // a0 now MRU
+	c.Access(a2, false) // evicts a1
+	if !c.Contains(a0) || !c.Contains(a2) {
+		t.Fatal("a0/a2 must be resident")
+	}
+	if c.Contains(a1) {
+		t.Fatal("a1 must have been evicted (LRU)")
+	}
+}
+
+// Property: a cache never holds more blocks per set than its ways.
+func TestSetOccupancyInvariant(t *testing.T) {
+	d := &DRAM{Latency: 1}
+	c := l1(d)
+	f := func(addrs []uint32) bool {
+		for _, a := range addrs {
+			c.Access(uint64(a), a%2 == 0)
+		}
+		for _, set := range c.lines {
+			n := 0
+			seen := map[uint64]bool{}
+			for _, l := range set {
+				if l.valid {
+					n++
+					if seen[l.tag] {
+						return false // duplicate tag in set
+					}
+					seen[l.tag] = true
+				}
+			}
+			if n > c.cfg.Ways {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	d := &DRAM{Latency: 50}
+	c := l1(d)
+	c.Access(0x2000, false)
+	if !c.Contains(0x2000) {
+		t.Fatal("block must be resident")
+	}
+	c.Invalidate(0x2000)
+	if c.Contains(0x2000) {
+		t.Fatal("block must be gone after invalidate")
+	}
+}
+
+func TestStreamPrefetcher(t *testing.T) {
+	d := &DRAM{Latency: 50}
+	cfg := Config{Name: "p", SizeBytes: 8 << 10, Ways: 4, BlockBytes: 64, Latency: 3,
+		Streams: 2, PrefetchDepth: 4}
+	c := New(cfg, d)
+	// Sequential misses: after the second miss in a stream, blocks
+	// ahead must be resident.
+	c.Access(0, false)
+	c.Access(64, false) // confirms stream, prefetches ahead
+	if !c.Contains(128) || !c.Contains(192) {
+		t.Fatal("prefetcher must have installed ahead blocks")
+	}
+	if c.PrefetchFills == 0 {
+		t.Fatal("prefetch fills not counted")
+	}
+	// The prefetched block hits without a DRAM access.
+	before := d.Accesses
+	if lat := c.Access(128, false); lat != 3 {
+		t.Fatalf("prefetched block latency = %d", lat)
+	}
+	if d.Accesses != before {
+		t.Fatal("prefetched block must not re-access DRAM")
+	}
+}
+
+func TestSequentialMissRateLowWithPrefetch(t *testing.T) {
+	d := &DRAM{Latency: 50}
+	cfg := Config{Name: "p", SizeBytes: 8 << 10, Ways: 4, BlockBytes: 64, Latency: 3,
+		Streams: 4, PrefetchDepth: 4}
+	c := New(cfg, d)
+	for i := 0; i < 4096; i++ {
+		c.Access(uint64(i)*8, false)
+	}
+	if r := c.MissRate(); r > 0.05 {
+		t.Fatalf("sequential miss rate %.3f too high with prefetcher", r)
+	}
+}
+
+func TestTLB(t *testing.T) {
+	tlb := NewTLB(16, 4, 30)
+	if lat := tlb.Lookup(0x5000); lat != 30 {
+		t.Fatalf("cold TLB lookup = %d", lat)
+	}
+	if lat := tlb.Lookup(0x5fff); lat != 0 {
+		t.Fatalf("same-page lookup = %d", lat)
+	}
+	if lat := tlb.Lookup(0x6000); lat != 30 {
+		t.Fatalf("next-page lookup = %d", lat)
+	}
+	if tlb.Misses != 2 || tlb.Accesses != 3 {
+		t.Fatalf("TLB stats wrong: %d/%d", tlb.Misses, tlb.Accesses)
+	}
+}
+
+func TestHierarchyChain(t *testing.T) {
+	h := NewHierarchy(DefaultHierConfig())
+	// Cold data access: TLB walk + L1D + L2 + L3 + DRAM.
+	lat := h.Data(mem.HeapBase, false)
+	want := 30 + 3 + 10 + 25 + 60
+	if lat != want {
+		t.Fatalf("cold access latency = %d, want %d", lat, want)
+	}
+	// Now hot.
+	if lat := h.Data(mem.HeapBase, false); lat != 3 {
+		t.Fatalf("hot access latency = %d", lat)
+	}
+}
+
+func TestLockCacheRouting(t *testing.T) {
+	h := NewHierarchy(DefaultHierConfig())
+	la := mem.LockBase + 128
+	h.LockRead(la)
+	if h.Lock.Accesses != 1 {
+		t.Fatal("lock read must use the lock location cache")
+	}
+	if h.L1D.Accesses != 0 {
+		t.Fatal("lock read must not touch L1D")
+	}
+	// Without the lock cache, lock reads use the data path.
+	cfg := DefaultHierConfig()
+	cfg.LockCacheEnabled = false
+	h2 := NewHierarchy(cfg)
+	h2.LockRead(la)
+	if h2.L1D.Accesses != 1 {
+		t.Fatal("without lock cache, lock reads must use L1D")
+	}
+}
+
+func TestLockCoherenceOnDataWrite(t *testing.T) {
+	h := NewHierarchy(DefaultHierConfig())
+	la := mem.LockBase + 256
+	h.LockRead(la) // warm the lock cache
+	if !h.Lock.Contains(la) {
+		t.Fatal("lock cache must hold the block")
+	}
+	h.Data(la, true) // runtime writes the lock location via data path
+	if h.Lock.Contains(la) {
+		t.Fatal("data-path write must invalidate the lock cache copy")
+	}
+	// And symmetric: lock write invalidates L1D copy.
+	h.Data(la, false)
+	if !h.L1D.Contains(la) {
+		t.Fatal("L1D must hold the block after data read")
+	}
+	h.LockWrite(la)
+	if h.L1D.Contains(la) {
+		t.Fatal("lock-path write must invalidate the L1D copy")
+	}
+}
+
+func TestDeterministicLatencies(t *testing.T) {
+	run := func() []int {
+		h := NewHierarchy(DefaultHierConfig())
+		r := rand.New(rand.NewSource(3))
+		out := make([]int, 2000)
+		for i := range out {
+			a := mem.HeapBase + uint64(r.Intn(1<<16))*8
+			out[i] = h.Data(a, r.Intn(2) == 0)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic latency at access %d", i)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package cache
+
+// TLB is a set-associative translation lookaside buffer over 4 KiB
+// pages. A miss charges a fixed page-walk penalty.
+type TLB struct {
+	sets        int
+	ways        int
+	lines       [][]line
+	stampCtr    uint64
+	WalkPenalty int
+
+	Accesses uint64
+	Misses   uint64
+}
+
+// NewTLB builds a TLB with entries total entries.
+func NewTLB(entries, ways, walkPenalty int) *TLB {
+	sets := entries / ways
+	if sets < 1 {
+		sets = 1
+	}
+	t := &TLB{sets: sets, ways: ways, lines: make([][]line, sets), WalkPenalty: walkPenalty}
+	for i := range t.lines {
+		t.lines[i] = make([]line, ways)
+	}
+	return t
+}
+
+// Lookup translates the page holding addr, returning the added
+// latency (0 on hit, the walk penalty on miss).
+func (t *TLB) Lookup(addr uint64) int {
+	t.Accesses++
+	t.stampCtr++
+	page := addr >> 12
+	set := int(page % uint64(t.sets))
+	for i := range t.lines[set] {
+		l := &t.lines[set][i]
+		if l.valid && l.tag == page {
+			l.stamp = t.stampCtr
+			return 0
+		}
+	}
+	t.Misses++
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for i := range t.lines[set] {
+		l := &t.lines[set][i]
+		if !l.valid {
+			victim = i
+			break
+		}
+		if l.stamp < oldest {
+			oldest = l.stamp
+			victim = i
+		}
+	}
+	t.lines[set][victim] = line{tag: page, valid: true, stamp: t.stampCtr}
+	return t.WalkPenalty
+}

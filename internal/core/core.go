@@ -1,0 +1,238 @@
+// Package core implements Watchdog itself — the paper's contribution:
+// lock-and-key allocation identifiers, disjoint shadow-space pointer
+// metadata, µop injection for checking and metadata propagation,
+// conservative and ISA-assisted pointer identification, decoupled
+// register metadata with rename-stage copy elimination, and the
+// pointer-based bounds-checking extension for full memory safety.
+//
+// The package also implements the comparison policies of Table 1: a
+// location-based checker (allocation-status shadow state, which cannot
+// detect use-after-free once memory is reallocated) and a software-only
+// identifier-based checker in the style of CETS (checks expanded to
+// real instruction sequences instead of injected µops).
+package core
+
+import (
+	"fmt"
+
+	"watchdog/internal/mem"
+)
+
+// Policy selects the checking scheme.
+type Policy uint8
+
+const (
+	// PolicyBaseline runs with no instrumentation at all.
+	PolicyBaseline Policy = iota
+	// PolicyWatchdog is the paper's hardware identifier-based checker.
+	PolicyWatchdog
+	// PolicyLocation is the location-based comparator: an
+	// allocation-status lookup on every access (Table 1, top half).
+	PolicyLocation
+	// PolicySoftware is the software-only identifier-based comparator:
+	// the same lock-and-key checks, but expanded into real instruction
+	// sequences (loads, compares, branches) on the regular pipeline
+	// resources, as a compiler-instrumentation scheme would emit.
+	PolicySoftware
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyBaseline:
+		return "baseline"
+	case PolicyWatchdog:
+		return "watchdog"
+	case PolicyLocation:
+		return "location"
+	case PolicySoftware:
+		return "software"
+	}
+	return fmt.Sprintf("policy?%d", uint8(p))
+}
+
+// PtrPolicy selects how pointer loads/stores are identified
+// (Section 5).
+type PtrPolicy uint8
+
+const (
+	// PtrConservative treats every 8-byte integer load/store as a
+	// potential pointer operation (Section 5.1).
+	PtrConservative PtrPolicy = iota
+	// PtrISAAssisted uses load/store pointer annotations where present
+	// and a profile of static instructions that ever touched valid
+	// metadata otherwise (Section 5.2).
+	PtrISAAssisted
+)
+
+// String names the pointer-identification policy.
+func (p PtrPolicy) String() string {
+	if p == PtrConservative {
+		return "conservative"
+	}
+	return "isa-assisted"
+}
+
+// BoundsMode selects the bounds-checking extension (Section 8).
+type BoundsMode uint8
+
+const (
+	// BoundsOff checks use-after-free only.
+	BoundsOff BoundsMode = iota
+	// BoundsFused performs the identifier and bounds checks in a
+	// single widened check µop.
+	BoundsFused
+	// BoundsSeparate injects an additional bounds-check µop per
+	// memory operation.
+	BoundsSeparate
+)
+
+// String names the bounds mode.
+func (b BoundsMode) String() string {
+	switch b {
+	case BoundsOff:
+		return "off"
+	case BoundsFused:
+		return "fused-1uop"
+	case BoundsSeparate:
+		return "separate-2uop"
+	}
+	return fmt.Sprintf("bounds?%d", uint8(b))
+}
+
+// Config selects the engine behaviour.
+type Config struct {
+	Policy    Policy
+	PtrPolicy PtrPolicy
+	Bounds    BoundsMode
+	// LockCache routes check µops to the dedicated lock location
+	// cache port; must match the hierarchy configuration.
+	LockCache bool
+	// CopyElim enables rename-stage metadata copy elimination
+	// (Section 6.2); when false every metadata propagation costs a
+	// select µop.
+	CopyElim bool
+	// Profiling records which static instructions touch valid
+	// metadata into Profile (run with conservative identification).
+	Profiling bool
+	// Profile provides the static pointer-op set for ISA-assisted
+	// identification of unannotated instructions.
+	Profile *Profile
+}
+
+// DefaultConfig returns the paper's primary configuration: Watchdog
+// with ISA-assisted identification, lock location cache, copy
+// elimination, and UAF checking only.
+func DefaultConfig() Config {
+	return Config{
+		Policy:    PolicyWatchdog,
+		PtrPolicy: PtrISAAssisted,
+		Bounds:    BoundsOff,
+		LockCache: true,
+		CopyElim:  true,
+	}
+}
+
+// Identifier keys. Key 0 is INVALID; key 1 is the global identifier;
+// stack keys count up from StackKeyBase; the runtime allocates heap
+// keys from HeapKeyBase so key spaces never collide (identifiers are
+// never reused, Section 2.2).
+const (
+	InvalidKey    uint64 = 0
+	GlobalKey     uint64 = 1
+	StackKeyBase  uint64 = 2
+	HeapKeyBase   uint64 = 1 << 32
+	GlobalLockLoc        = mem.LockBase // reserved lock location for the global identifier
+	// HeapLockBase is where the runtime's lock-location arena starts
+	// (the word at mem.LockBase itself is the global lock location).
+	HeapLockBase = mem.LockBase + 64
+)
+
+// Ident is a lock-and-key identifier (Section 4.1).
+type Ident struct {
+	Key  uint64
+	Lock uint64 // address of the lock location
+}
+
+// Valid reports whether the identifier is structurally valid (a real
+// key and a lock location). Whether it is *live* additionally requires
+// mem[Lock] == Key.
+func (id Ident) Valid() bool { return id.Key != InvalidKey && id.Lock != 0 }
+
+// Meta is the full per-pointer metadata: identifier plus the bounds
+// extension's base and bound (Section 8; 256 bits per pointer).
+type Meta struct {
+	Ident
+	Base  uint64
+	Bound uint64 // one past the last addressable byte
+}
+
+// ErrorKind classifies detected violations.
+type ErrorKind uint8
+
+const (
+	// ErrUseAfterFree is a dereference through an identifier whose
+	// lock location no longer holds its key.
+	ErrUseAfterFree ErrorKind = iota
+	// ErrOutOfBounds is a dereference outside [Base, Bound).
+	ErrOutOfBounds
+	// ErrNoMetadata is a dereference through a register with no valid
+	// pointer metadata (e.g. a fabricated address).
+	ErrNoMetadata
+	// ErrUnallocated is the location-based checker's violation: the
+	// target address is not currently allocated.
+	ErrUnallocated
+)
+
+// String names the error kind.
+func (k ErrorKind) String() string {
+	switch k {
+	case ErrUseAfterFree:
+		return "use-after-free"
+	case ErrOutOfBounds:
+		return "out-of-bounds"
+	case ErrNoMetadata:
+		return "no-metadata"
+	case ErrUnallocated:
+		return "unallocated-access"
+	}
+	return fmt.Sprintf("err?%d", uint8(k))
+}
+
+// MemoryError is the exception a failed check raises.
+type MemoryError struct {
+	Kind  ErrorKind
+	PC    int    // macro-instruction index
+	Addr  uint64 // the faulting effective address
+	Write bool
+	Ident Ident
+}
+
+// Error implements the error interface.
+func (e *MemoryError) Error() string {
+	dir := "read"
+	if e.Write {
+		dir = "write"
+	}
+	return fmt.Sprintf("%s: %s of %#x at pc %d (key=%d lock=%#x)",
+		e.Kind, dir, e.Addr, e.PC, e.Ident.Key, e.Ident.Lock)
+}
+
+// Profile is the set of static memory instructions observed to load or
+// store valid pointer metadata — the paper's stand-in for compiler
+// annotations (Section 5.2).
+type Profile struct {
+	ptr map[int]bool
+}
+
+// NewProfile returns an empty profile.
+func NewProfile() *Profile { return &Profile{ptr: make(map[int]bool)} }
+
+// Mark records the static instruction at pc as a pointer operation.
+func (p *Profile) Mark(pc int) { p.ptr[pc] = true }
+
+// IsPointerOp reports whether pc was marked.
+func (p *Profile) IsPointerOp(pc int) bool { return p != nil && p.ptr[pc] }
+
+// Len returns the number of marked static instructions.
+func (p *Profile) Len() int { return len(p.ptr) }

@@ -1,0 +1,508 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"watchdog/internal/isa"
+	"watchdog/internal/mem"
+)
+
+func newEng(cfg Config) *Engine {
+	e := NewEngine(cfg, mem.New())
+	e.Init(mem.GlobalBase + 4096)
+	return e
+}
+
+func TestIdentValidity(t *testing.T) {
+	if (Ident{}).Valid() {
+		t.Fatal("zero ident must be invalid")
+	}
+	if !(Ident{Key: 5, Lock: mem.LockBase}).Valid() {
+		t.Fatal("real ident must be valid")
+	}
+	if (Ident{Key: 0, Lock: mem.LockBase}).Valid() {
+		t.Fatal("key 0 must be invalid")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, s := range []string{
+		PolicyBaseline.String(), PolicyWatchdog.String(), PolicyLocation.String(), PolicySoftware.String(),
+		PtrConservative.String(), PtrISAAssisted.String(),
+		BoundsOff.String(), BoundsFused.String(), BoundsSeparate.String(),
+		ErrUseAfterFree.String(), ErrOutOfBounds.String(), ErrNoMetadata.String(), ErrUnallocated.String(),
+	} {
+		if s == "" {
+			t.Fatal("empty stringer")
+		}
+	}
+	e := &MemoryError{Kind: ErrUseAfterFree, PC: 3, Addr: 0x1000, Write: true,
+		Ident: Ident{Key: 7, Lock: 0x2000}}
+	if e.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}
+
+func TestGlobalIdentAlwaysValid(t *testing.T) {
+	e := newEng(DefaultConfig())
+	gm := e.GlobalMeta()
+	if !gm.Valid() {
+		t.Fatal("global meta invalid")
+	}
+	e.SetRegMeta(isa.R1, gm)
+	uops, err := e.Access(100, isa.R1, isa.NoReg, mem.GlobalBase+8, 8, false)
+	if err != nil {
+		t.Fatalf("global access failed: %v", err)
+	}
+	if len(uops) != 1 || uops[0].Op != isa.UopCheck {
+		t.Fatalf("expected one check µop, got %v", uops)
+	}
+	if uops[0].Class != isa.ExecLock {
+		t.Fatal("check must use the lock cache port")
+	}
+}
+
+func TestCheckClassWithoutLockCache(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LockCache = false
+	e := newEng(cfg)
+	e.SetRegMeta(isa.R1, e.GlobalMeta())
+	uops, err := e.Access(0, isa.R1, isa.NoReg, mem.GlobalBase, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uops[0].Class != isa.ExecLoad {
+		t.Fatal("without lock cache, checks must use load ports")
+	}
+}
+
+func TestAccessThroughInvalidMetaFaults(t *testing.T) {
+	e := newEng(DefaultConfig())
+	_, err := e.Access(7, isa.R2, isa.NoReg, mem.HeapBase, 8, true)
+	me, ok := err.(*MemoryError)
+	if !ok || me.Kind != ErrNoMetadata || me.PC != 7 || !me.Write {
+		t.Fatalf("want no-metadata write fault at pc 7, got %v", err)
+	}
+}
+
+func TestIdentLifecycle(t *testing.T) {
+	e := newEng(DefaultConfig())
+	lock := uint64(HeapLockBase)
+	key := uint64(HeapKeyBase + 5)
+	// Runtime writes the key to the lock location, then setident.
+	m := mem.New()
+	e2 := NewEngine(DefaultConfig(), m)
+	e2.Init(mem.GlobalBase + 64)
+	m.WriteU64(lock, key)
+	e2.SetIdent(isa.R1, key, lock)
+	if _, err := e2.Access(0, isa.R1, isa.NoReg, mem.HeapBase, 8, false); err != nil {
+		t.Fatalf("live ident rejected: %v", err)
+	}
+	// Deallocation: lock location no longer holds the key.
+	m.WriteU64(lock, 0)
+	_, err := e2.Access(1, isa.R1, isa.NoReg, mem.HeapBase, 8, false)
+	me, ok := err.(*MemoryError)
+	if !ok || me.Kind != ErrUseAfterFree {
+		t.Fatalf("want UAF, got %v", err)
+	}
+	// Reallocation with a fresh key: still UAF for the old ident.
+	m.WriteU64(lock, key+1)
+	if _, err := e2.Access(2, isa.R1, isa.NoReg, mem.HeapBase, 8, false); err == nil {
+		t.Fatal("stale ident must fail after lock reuse")
+	}
+	_ = e
+}
+
+func TestGetIdentRoundTrip(t *testing.T) {
+	e := newEng(DefaultConfig())
+	e.SetIdent(isa.R3, 42, mem.LockBase+128)
+	k, l := e.GetIdent(isa.R3)
+	if k != 42 || l != mem.LockBase+128 {
+		t.Fatalf("roundtrip = %d %#x", k, l)
+	}
+	if k, l := e.GetIdent(isa.F0); k != 0 || l != 0 {
+		t.Fatal("FP register has no ident")
+	}
+}
+
+func TestBoundsCheck(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Bounds = BoundsFused
+	m := mem.New()
+	e := NewEngine(cfg, m)
+	e.Init(mem.GlobalBase + 64)
+	m.WriteU64(HeapLockBase, 9)
+	e.SetIdent(isa.R1, 9, HeapLockBase)
+	e.SetBound(isa.R1, mem.HeapBase, mem.HeapBase+32)
+	if _, err := e.Access(0, isa.R1, isa.NoReg, mem.HeapBase+24, 8, false); err != nil {
+		t.Fatalf("in-bounds rejected: %v", err)
+	}
+	_, err := e.Access(0, isa.R1, isa.NoReg, mem.HeapBase+32, 8, false)
+	if me, ok := err.(*MemoryError); !ok || me.Kind != ErrOutOfBounds {
+		t.Fatalf("want OOB, got %v", err)
+	}
+	// The last in-bounds byte is reachable with a 1-byte access.
+	if _, err := e.Access(0, isa.R1, isa.NoReg, mem.HeapBase+31, 1, false); err != nil {
+		t.Fatalf("last byte rejected: %v", err)
+	}
+}
+
+func TestBoundsSeparateInjectsTwoUops(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Bounds = BoundsSeparate
+	e := newEng(cfg)
+	e.SetRegMeta(isa.R1, e.GlobalMeta())
+	uops, err := e.Access(0, isa.R1, isa.NoReg, mem.GlobalBase, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uops) != 2 || uops[0].Op != isa.UopCheck || uops[1].Op != isa.UopBoundCheck {
+		t.Fatalf("want check + boundcheck, got %v", uops)
+	}
+	// Fused mode: one widened µop.
+	cfg.Bounds = BoundsFused
+	e2 := newEng(cfg)
+	e2.SetRegMeta(isa.R1, e2.GlobalMeta())
+	uops, err = e2.Access(0, isa.R1, isa.NoReg, mem.GlobalBase, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uops) != 1 || uops[0].Op != isa.UopCheckFull {
+		t.Fatalf("want fused checkfull, got %v", uops)
+	}
+}
+
+func TestShadowRoundTripProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Bounds = BoundsFused
+	e := newEng(cfg)
+	f := func(off uint16, key uint64, lockOff uint16, length uint16) bool {
+		addr := mem.HeapBase + uint64(off)*8
+		if key == 0 {
+			key = 1
+		}
+		in := Meta{
+			Ident: Ident{Key: key, Lock: mem.LockBase + uint64(lockOff)*8},
+			Base:  addr,
+			Bound: addr + uint64(length),
+		}
+		e.SetRegMeta(isa.R5, in)
+		e.PtrStore(0, isa.R5, addr)
+		e.SetRegMeta(isa.R6, Meta{})
+		e.PtrLoad(0, isa.R6, addr)
+		return e.RegMeta(isa.R6) == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectPropagateRules(t *testing.T) {
+	e := newEng(DefaultConfig())
+	valid := e.GlobalMeta()
+	// Only s2 valid -> copy, no µop (copy elimination).
+	e.SetRegMeta(isa.R1, Meta{})
+	e.SetRegMeta(isa.R2, valid)
+	if uops := e.SelectPropagate(isa.R3, isa.R1, isa.R2); len(uops) != 0 {
+		t.Fatalf("single-valid select must be free: %v", uops)
+	}
+	if e.RegMeta(isa.R3) != valid {
+		t.Fatal("metadata not propagated")
+	}
+	// Both valid -> select µop required even with copy elimination.
+	other := valid
+	other.Key = 77
+	e.SetRegMeta(isa.R1, other)
+	uops := e.SelectPropagate(isa.R3, isa.R1, isa.R2)
+	if len(uops) != 1 || uops[0].Op != isa.UopSelectID {
+		t.Fatalf("both-valid select must inject a µop: %v", uops)
+	}
+	if e.RegMeta(isa.R3) != other {
+		t.Fatal("select must prefer the first source (Figure 2d)")
+	}
+	// Both invalid -> invalid, free.
+	e.SetRegMeta(isa.R1, Meta{})
+	e.SetRegMeta(isa.R2, Meta{})
+	if uops := e.SelectPropagate(isa.R3, isa.R1, isa.R2); len(uops) != 0 {
+		t.Fatal("invalid select must be free")
+	}
+	if e.RegMeta(isa.R3).Valid() {
+		t.Fatal("result must be invalid")
+	}
+}
+
+func TestCopyElimOffCostsUops(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CopyElim = false
+	e := newEng(cfg)
+	e.SetRegMeta(isa.R1, e.GlobalMeta())
+	if uops := e.CopyPropagate(isa.R2, isa.R1); len(uops) != 1 {
+		t.Fatalf("without copy elimination a propagation µop is required: %v", uops)
+	}
+	// Invalid metadata still propagates for free (set-to-invalid is a
+	// rename-stage action).
+	e.SetRegMeta(isa.R3, Meta{})
+	if uops := e.CopyPropagate(isa.R2, isa.R3); len(uops) != 0 {
+		t.Fatal("invalid copy must be free")
+	}
+}
+
+func TestStackIdentCallRet(t *testing.T) {
+	e := newEng(DefaultConfig())
+	k0, l0 := e.StackIdentState()
+	spMeta0 := e.RegMeta(isa.SP)
+	if !spMeta0.Valid() {
+		t.Fatal("initial frame ident invalid")
+	}
+	uops := e.Call()
+	if len(uops) != 4 {
+		t.Fatalf("call must inject 4 µops (Figure 3c), got %d", len(uops))
+	}
+	k1, l1 := e.StackIdentState()
+	if k1 != k0+1 || l1 != l0+8 {
+		t.Fatalf("stack key/lock not advanced: %d %#x", k1, l1)
+	}
+	calleeMeta := e.RegMeta(isa.SP)
+	if calleeMeta == spMeta0 {
+		t.Fatal("SP ident unchanged across call")
+	}
+	uops = e.Ret()
+	if len(uops) != 4 {
+		t.Fatalf("ret must inject 4 µops (Figure 3d), got %d", len(uops))
+	}
+	if e.RegMeta(isa.SP) != spMeta0 {
+		t.Fatal("ret must restore the caller's frame ident")
+	}
+	// The callee frame's lock location no longer matches its key.
+	m := e.mem
+	if m.ReadU64(calleeMeta.Lock) == calleeMeta.Key {
+		t.Fatal("callee frame ident must be invalidated by ret")
+	}
+}
+
+// Property: any sequence of nested calls and returns restores the
+// initial frame ident, and every popped frame's ident is dead.
+func TestStackIdentNestingProperty(t *testing.T) {
+	f := func(depth uint8) bool {
+		d := int(depth%20) + 1
+		e := newEng(DefaultConfig())
+		init := e.RegMeta(isa.SP)
+		var frames []Meta
+		for i := 0; i < d; i++ {
+			e.Call()
+			frames = append(frames, e.RegMeta(isa.SP))
+		}
+		for i := d - 1; i >= 0; i-- {
+			if e.RegMeta(isa.SP) != frames[i] {
+				return false
+			}
+			e.Ret()
+			if e.mem.ReadU64(frames[i].Lock) == frames[i].Key {
+				return false // popped frame still live
+			}
+		}
+		return e.RegMeta(isa.SP) == init
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: stack keys are never reused across call/ret sequences.
+func TestStackKeysUniqueProperty(t *testing.T) {
+	e := newEng(DefaultConfig())
+	seen := map[uint64]bool{}
+	k0, _ := e.StackIdentState()
+	seen[k0] = true
+	for i := 0; i < 200; i++ {
+		e.Call()
+		k, _ := e.StackIdentState()
+		if seen[k] {
+			t.Fatalf("stack key %d reused", k)
+		}
+		seen[k] = true
+		if i%3 == 0 {
+			e.Ret()
+		}
+	}
+}
+
+func TestLocationPolicy(t *testing.T) {
+	cfg := Config{Policy: PolicyLocation}
+	e := newEng(cfg)
+	addr := uint64(mem.HeapBase + 256)
+	// Unallocated heap access faults.
+	_, err := e.Access(1, isa.R1, isa.NoReg, addr, 8, false)
+	if me, ok := err.(*MemoryError); !ok || me.Kind != ErrUnallocated {
+		t.Fatalf("want unallocated fault, got %v", err)
+	}
+	e.MarkAlloc(addr, 64)
+	if _, err := e.Access(2, isa.R1, isa.NoReg, addr+56, 8, false); err != nil {
+		t.Fatalf("allocated access rejected: %v", err)
+	}
+	e.MarkFree(addr, 64)
+	if _, err := e.Access(3, isa.R1, isa.NoReg, addr, 8, false); err == nil {
+		t.Fatal("freed access must fault")
+	}
+	// Reallocation hides the dangling access — the known limitation.
+	e.MarkAlloc(addr, 64)
+	if _, err := e.Access(4, isa.R1, isa.NoReg, addr, 8, false); err != nil {
+		t.Fatalf("location policy should miss reallocated UAF, got %v", err)
+	}
+	// Non-heap accesses are not tracked.
+	if _, err := e.Access(5, isa.R1, isa.NoReg, mem.GlobalBase, 8, false); err != nil {
+		t.Fatalf("global access must pass: %v", err)
+	}
+}
+
+func TestSoftwarePolicyUopShapes(t *testing.T) {
+	cfg := Config{Policy: PolicySoftware, PtrPolicy: PtrConservative}
+	m := mem.New()
+	e := NewEngine(cfg, m)
+	e.Init(mem.GlobalBase + 64)
+	e.SetRegMeta(isa.R1, e.GlobalMeta())
+	uops, err := e.Access(50, isa.R1, isa.NoReg, mem.GlobalBase, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uops) != 4 {
+		t.Fatalf("software check must be a 4-instruction sequence, got %d", len(uops))
+	}
+	for _, u := range uops {
+		if u.Class == isa.ExecLock {
+			t.Fatal("software checks must not use the lock cache port")
+		}
+	}
+	if got := e.PtrLoad(51, isa.R2, mem.GlobalBase); len(got) != 3 {
+		t.Fatalf("software metadata load must be 3 instructions, got %d", len(got))
+	}
+	if got := e.PtrStore(52, isa.R2, mem.GlobalBase); len(got) != 3 {
+		t.Fatalf("software metadata store must be 3 instructions, got %d", len(got))
+	}
+	// Runtime code is exempt.
+	e.SetUncheckedBelow(100)
+	uops, err = e.Access(50, isa.R1, isa.NoReg, mem.GlobalBase, 8, false)
+	if err != nil || len(uops) != 0 {
+		t.Fatalf("runtime code must be exempt: %v %v", uops, err)
+	}
+}
+
+func TestProfileMarking(t *testing.T) {
+	prof := NewProfile()
+	cfg := DefaultConfig()
+	cfg.PtrPolicy = PtrConservative
+	cfg.Profiling = true
+	cfg.Profile = prof
+	e := newEng(cfg)
+	// A store of valid metadata marks the static instruction; invalid
+	// metadata does not.
+	e.SetRegMeta(isa.R1, e.GlobalMeta())
+	e.PtrStore(11, isa.R1, mem.HeapBase)
+	e.SetRegMeta(isa.R2, Meta{})
+	e.PtrStore(12, isa.R2, mem.HeapBase+8)
+	e.PtrLoad(13, isa.R3, mem.HeapBase) // loads valid metadata
+	if !prof.IsPointerOp(11) || !prof.IsPointerOp(13) {
+		t.Fatal("valid-metadata ops must be marked")
+	}
+	if prof.IsPointerOp(12) {
+		t.Fatal("invalid-metadata store must not be marked")
+	}
+	if prof.Len() != 2 {
+		t.Fatalf("profile length = %d", prof.Len())
+	}
+}
+
+func TestClassify(t *testing.T) {
+	e := newEng(DefaultConfig()) // ISA-assisted, empty profile
+	ptrLd := &isa.Inst{Op: isa.OpLd, Ptr: isa.PtrYes, Mem: isa.MemRef{Width: 8}}
+	noLd := &isa.Inst{Op: isa.OpLd, Ptr: isa.PtrNo, Mem: isa.MemRef{Width: 8}}
+	unkLd := &isa.Inst{Op: isa.OpLd, Ptr: isa.PtrUnknown, Mem: isa.MemRef{Width: 8}}
+	fpLd := &isa.Inst{Op: isa.OpFld, Ptr: isa.PtrYes, Mem: isa.MemRef{Width: 8}}
+	subLd := &isa.Inst{Op: isa.OpLd, Mem: isa.MemRef{Width: 4}}
+	if !e.Classify(0, ptrLd) || e.Classify(0, noLd) || e.Classify(0, unkLd) {
+		t.Fatal("ISA-assisted classification wrong")
+	}
+	if e.Classify(0, fpLd) || e.Classify(0, subLd) {
+		t.Fatal("FP and sub-word accesses are never pointer ops")
+	}
+	// Conservative mode classifies every 8-byte integer access.
+	cons := DefaultConfig()
+	cons.PtrPolicy = PtrConservative
+	e2 := newEng(cons)
+	if !e2.Classify(0, noLd) || !e2.Classify(0, unkLd) {
+		t.Fatal("conservative must classify all 8-byte int accesses")
+	}
+	if e2.Classify(0, fpLd) || e2.Classify(0, subLd) {
+		t.Fatal("conservative excludes FP/sub-word")
+	}
+	// Profile resolves unannotated instructions.
+	prof := NewProfile()
+	prof.Mark(9)
+	withProf := DefaultConfig()
+	withProf.Profile = prof
+	e3 := newEng(withProf)
+	if !e3.Classify(9, unkLd) || e3.Classify(10, unkLd) {
+		t.Fatal("profile-driven classification wrong")
+	}
+}
+
+func TestEntrySizes(t *testing.T) {
+	if e := newEng(DefaultConfig()); e.EntrySize() != mem.ShadowEntrySize {
+		t.Fatal("UAF-only entry size wrong")
+	}
+	cfg := DefaultConfig()
+	cfg.Bounds = BoundsFused
+	if e := newEng(cfg); e.EntrySize() != mem.ShadowEntrySizeBounds {
+		t.Fatal("bounds entry size wrong")
+	}
+}
+
+func TestSetContextPartitionsIdentifierSpaces(t *testing.T) {
+	m := mem.New()
+	e0 := NewEngine(DefaultConfig(), m)
+	e0.Init(mem.GlobalBase + 64)
+	e0.SetContext(0)
+	e1 := NewEngine(DefaultConfig(), m)
+	e1.Init(mem.GlobalBase + 64)
+	e1.SetContext(1)
+
+	k0, l0 := e0.StackIdentState()
+	k1, l1 := e1.StackIdentState()
+	if k0 == k1 {
+		t.Fatalf("contexts share stack key %d", k0)
+	}
+	if l0 == l1 {
+		t.Fatalf("contexts share lock-stack base %#x", l0)
+	}
+	// Deep call activity in one context never collides with the other.
+	seen := map[uint64]bool{k0: true, k1: true}
+	for i := 0; i < 100; i++ {
+		e0.Call()
+		e1.Call()
+		ka, _ := e0.StackIdentState()
+		kb, _ := e1.StackIdentState()
+		if seen[ka] && ka != k0 {
+			t.Fatalf("key %d reused across contexts", ka)
+		}
+		if ka == kb {
+			t.Fatalf("contexts allocated the same key %d", ka)
+		}
+		seen[ka], seen[kb] = true, true
+	}
+	// Both contexts' frames remain simultaneously valid.
+	if _, err := e0.Access(0, isa.SP, isa.NoReg, mem.StackTop-8, 8, true); err != nil {
+		t.Fatalf("context 0 frame invalid: %v", err)
+	}
+	if _, err := e1.Access(0, isa.SP, isa.NoReg, mem.StackTop-8, 8, true); err != nil {
+		t.Fatalf("context 1 frame invalid: %v", err)
+	}
+}
+
+func TestSetContextBaselineNoop(t *testing.T) {
+	e := newEng(Config{Policy: PolicyBaseline})
+	e.SetContext(3) // must not panic or write memory state
+	if k, _ := e.StackIdentState(); k != 0 {
+		t.Fatalf("baseline engine allocated stack key %d", k)
+	}
+}

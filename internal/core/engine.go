@@ -1,0 +1,674 @@
+package core
+
+import (
+	"watchdog/internal/isa"
+	"watchdog/internal/mem"
+)
+
+// Stats aggregates engine-side accounting (Figure 5 inputs).
+type Stats struct {
+	// MemAccesses counts dynamic macro-level memory accesses subject
+	// to checking.
+	MemAccesses uint64
+	// PtrOps counts memory accesses classified as pointer loads or
+	// stores (and thus carrying metadata µops).
+	PtrOps uint64
+	// Checks counts injected check µops.
+	Checks uint64
+	// Violations counts raised exceptions (the run stops at the first).
+	Violations uint64
+}
+
+// Engine implements the per-instruction Watchdog semantics: metadata
+// propagation, µop injection, and checks. The machine drives it while
+// interpreting macro instructions.
+type Engine struct {
+	cfg Config
+	mem *mem.Memory
+
+	// Sidecar register metadata (decoupled metadata registers).
+	regMeta [isa.NumIntRegs]Meta
+
+	// Hardware stack-frame identifier state (Figure 3c/d): control
+	// registers stack_key and stack_lock.
+	stackKey  uint64
+	stackLock uint64
+
+	globalMeta Meta
+
+	// Location-policy allocation state: allocated heap words.
+	locAlloc map[uint64]bool
+
+	// Instructions in [0, uncheckedBelow) are runtime-library code,
+	// exempt from checking under the software and location policies
+	// (software tools do not instrument the allocator itself). The
+	// Watchdog hardware checks everything, including the runtime.
+	uncheckedBelow int
+
+	entrySize uint64
+	stats     Stats
+	buf       []isa.Uop
+}
+
+// NewEngine builds an engine over the given memory.
+func NewEngine(cfg Config, memory *mem.Memory) *Engine {
+	e := &Engine{cfg: cfg, mem: memory}
+	e.entrySize = mem.ShadowEntrySize
+	if cfg.Bounds != BoundsOff {
+		e.entrySize = mem.ShadowEntrySizeBounds
+	}
+	if cfg.Policy == PolicyLocation {
+		e.locAlloc = make(map[uint64]bool)
+	}
+	return e
+}
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Stats returns the accumulated counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// EntrySize returns the shadow-entry size in bytes (16, or 32 with
+// bounds).
+func (e *Engine) EntrySize() uint64 { return e.entrySize }
+
+// SetUncheckedBelow marks instructions below n as runtime-library code
+// for the software/location policies.
+func (e *Engine) SetUncheckedBelow(n int) { e.uncheckedBelow = n }
+
+// Init establishes the initial metadata state: the always-valid global
+// identifier (its lock location permanently holds its key), shadow
+// metadata for the initialized global segment, and the identifier of
+// the initial stack frame.
+func (e *Engine) Init(globalEnd uint64) {
+	e.globalMeta = Meta{
+		Ident: Ident{Key: GlobalKey, Lock: GlobalLockLoc},
+		Base:  mem.GlobalBase,
+		Bound: mem.GlobalBase + mem.GlobalMax,
+	}
+	if e.cfg.Policy == PolicyBaseline {
+		return
+	}
+	e.mem.WriteU64(GlobalLockLoc, GlobalKey)
+
+	// Initial stack frame identifier (frame of _start/main).
+	e.stackKey = StackKeyBase
+	e.stackLock = mem.StackLockBase
+	e.mem.WriteU64(e.stackLock, e.stackKey)
+	e.regMeta[isa.SP] = e.stackMeta()
+}
+
+// InitShadowRange initializes the shadow metadata of an initialized
+// global data range with the global identifier, so that initialized
+// global pointers (pointers to other globals baked into the data
+// segment) check out when loaded (Section 7). Zero-initialized global
+// memory keeps invalid (null-pointer) metadata.
+func (e *Engine) InitShadowRange(addr, size uint64) {
+	if e.cfg.Policy != PolicyWatchdog && e.cfg.Policy != PolicySoftware {
+		return
+	}
+	for a := addr &^ 7; a < addr+size; a += 8 {
+		e.writeShadow(a, e.globalMeta)
+	}
+}
+
+// SetContext repositions the stack-identifier state for hardware
+// context tid, implementing requirement #1 of the paper's
+// multithreading discussion (Section 7): each thread allocates
+// identifiers from a partitioned key space (thread id in the upper
+// bits) and maintains its own in-memory lock-location stack, so
+// identifier allocation needs no cross-thread synchronization and keys
+// remain globally unique. Call after Init.
+func (e *Engine) SetContext(tid int) {
+	if e.cfg.Policy == PolicyBaseline {
+		return
+	}
+	e.stackKey = StackKeyBase + uint64(tid)<<40
+	e.stackLock = mem.StackLockBase + uint64(tid)*(1<<20)
+	e.mem.WriteU64(e.stackLock, e.stackKey)
+	e.regMeta[isa.SP] = e.stackMeta()
+}
+
+func (e *Engine) stackMeta() Meta {
+	return Meta{
+		Ident: Ident{Key: e.stackKey, Lock: e.stackLock},
+		Base:  mem.StackTop - mem.StackMax,
+		Bound: mem.StackTop,
+	}
+}
+
+// GlobalMeta returns the global identifier's metadata.
+func (e *Engine) GlobalMeta() Meta { return e.globalMeta }
+
+// RegMeta returns the sidecar metadata of an integer register.
+func (e *Engine) RegMeta(r isa.Reg) Meta {
+	if r.IsInt() {
+		return e.regMeta[r]
+	}
+	return Meta{}
+}
+
+// SetRegMeta overrides a register's metadata (loader/test use).
+func (e *Engine) SetRegMeta(r isa.Reg, m Meta) {
+	if r.IsInt() {
+		e.regMeta[r] = m
+	}
+}
+
+// --- shadow space ---
+
+func (e *Engine) readShadow(addr uint64) Meta {
+	sa := mem.ShadowAddr(addr&^7, e.entrySize)
+	m := Meta{Ident: Ident{Key: e.mem.ReadU64(sa), Lock: e.mem.ReadU64(sa + 8)}}
+	if e.cfg.Bounds != BoundsOff {
+		m.Base = e.mem.ReadU64(sa + 16)
+		m.Bound = e.mem.ReadU64(sa + 24)
+	}
+	return m
+}
+
+func (e *Engine) writeShadow(addr uint64, m Meta) {
+	sa := mem.ShadowAddr(addr&^7, e.entrySize)
+	e.mem.WriteU64(sa, m.Key)
+	e.mem.WriteU64(sa+8, m.Lock)
+	if e.cfg.Bounds != BoundsOff {
+		e.mem.WriteU64(sa+16, m.Base)
+		e.mem.WriteU64(sa+24, m.Bound)
+	}
+}
+
+// --- pointer identification (Section 5) ---
+
+// Classify decides whether the memory macro instruction at pc is
+// treated as a pointer load/store for this run.
+func (e *Engine) Classify(pc int, in *isa.Inst) bool {
+	if e.cfg.Policy == PolicyBaseline || e.cfg.Policy == PolicyLocation {
+		return false
+	}
+	if !in.IsPointerWidthIntMem() {
+		return false // FP and sub-word accesses are never pointer ops
+	}
+	switch e.cfg.PtrPolicy {
+	case PtrConservative:
+		return true
+	default: // PtrISAAssisted
+		switch in.Ptr {
+		case isa.PtrYes:
+			return true
+		case isa.PtrNo:
+			return false
+		default:
+			return e.cfg.Profile.IsPointerOp(pc)
+		}
+	}
+}
+
+// --- checks (Sections 3.2, 4.1, 8) ---
+
+// checkClass is the port class of a check µop.
+func (e *Engine) checkClass() isa.ExecClass {
+	if e.cfg.LockCache {
+		return isa.ExecLock
+	}
+	return isa.ExecLoad
+}
+
+// pickMeta selects the governing metadata among the addressing
+// registers: the base register's if valid, else the index register's
+// (the select rule of Figure 2d applied to address generation).
+func (e *Engine) pickMeta(base, index isa.Reg) (Meta, isa.Reg) {
+	if base.IsInt() && e.regMeta[base].Valid() {
+		return e.regMeta[base], base
+	}
+	if index.IsInt() && e.regMeta[index].Valid() {
+		return e.regMeta[index], index
+	}
+	if base.IsInt() {
+		return e.regMeta[base], base
+	}
+	return Meta{}, isa.NoReg
+}
+
+// Access performs the functional check for one memory access and
+// returns the injected check µops. A non-nil error is the raised
+// exception. pc is the macro-instruction index; base/index are the
+// addressing registers.
+func (e *Engine) Access(pc int, base, index isa.Reg, addr uint64, width uint8, isWrite bool) ([]isa.Uop, error) {
+	e.stats.MemAccesses++
+	switch e.cfg.Policy {
+	case PolicyBaseline:
+		return nil, nil
+	case PolicyLocation:
+		return e.locationAccess(pc, addr, width, isWrite)
+	case PolicySoftware:
+		if pc < e.uncheckedBelow {
+			return nil, nil
+		}
+		return e.softwareAccess(pc, base, index, addr, width, isWrite)
+	}
+	// PolicyWatchdog.
+	meta, ptrReg := e.pickMeta(base, index)
+	uops := e.buf[:0]
+
+	chkOp := isa.UopCheck
+	if e.cfg.Bounds == BoundsFused {
+		chkOp = isa.UopCheckFull
+	}
+	chk := isa.NewUop(chkOp, e.checkClass())
+	chk.Addr = meta.Lock
+	chk.Lock = true
+	chk.IsMem = false // the lock read is folded into the check µop's latency
+	chk.MSrc = isa.MetaReg(ptrReg)
+	chk.Meta = isa.MetaCheck
+	uops = append(uops, chk)
+	e.stats.Checks++
+
+	if e.cfg.Bounds == BoundsSeparate {
+		bc := isa.NewUop(isa.UopBoundCheck, isa.ExecALU)
+		bc.MSrc = isa.MetaReg(ptrReg)
+		bc.Meta = isa.MetaCheck
+		uops = append(uops, bc)
+		e.stats.Checks++
+	}
+	e.buf = uops
+
+	if err := e.evalCheck(pc, meta, addr, width, isWrite); err != nil {
+		e.stats.Violations++
+		return uops, err
+	}
+	return uops, nil
+}
+
+// evalCheck is the functional semantics of the check µop(s).
+func (e *Engine) evalCheck(pc int, meta Meta, addr uint64, width uint8, isWrite bool) error {
+	if !meta.Valid() {
+		return &MemoryError{Kind: ErrNoMetadata, PC: pc, Addr: addr, Write: isWrite, Ident: meta.Ident}
+	}
+	if e.mem.ReadU64(meta.Lock) != meta.Key {
+		return &MemoryError{Kind: ErrUseAfterFree, PC: pc, Addr: addr, Write: isWrite, Ident: meta.Ident}
+	}
+	if e.cfg.Bounds != BoundsOff {
+		if addr < meta.Base || addr+uint64(width) > meta.Bound {
+			return &MemoryError{Kind: ErrOutOfBounds, PC: pc, Addr: addr, Write: isWrite, Ident: meta.Ident}
+		}
+	}
+	return nil
+}
+
+// --- metadata movement for pointer loads/stores (Section 3.3) ---
+
+// PtrLoad performs the functional shadow-metadata load for a pointer-
+// classified load into dst and returns the injected shadow_load µop.
+func (e *Engine) PtrLoad(pc int, dst isa.Reg, addr uint64) []isa.Uop {
+	e.stats.PtrOps++
+	if e.cfg.Policy == PolicySoftware {
+		return e.softwarePtrLoad(pc, dst, addr)
+	}
+	m := e.readShadow(addr)
+	if e.cfg.Profiling && m.Valid() {
+		e.cfg.Profile.Mark(pc)
+	}
+	if dst.IsInt() {
+		e.regMeta[dst] = m
+	}
+	u := isa.NewUop(isa.UopShadowLoad, isa.ExecLoad)
+	u.MDst = isa.MetaReg(dst)
+	u.IsMem, u.Width = true, uint8(e.entrySize)
+	u.Addr = mem.ShadowAddr(addr&^7, e.entrySize)
+	u.Shadow = true
+	u.Meta = isa.MetaPtrLoad
+	return []isa.Uop{u}
+}
+
+// PtrStore performs the functional shadow-metadata store for a
+// pointer-classified store of src and returns the shadow_store µop.
+func (e *Engine) PtrStore(pc int, src isa.Reg, addr uint64) []isa.Uop {
+	e.stats.PtrOps++
+	if e.cfg.Policy == PolicySoftware {
+		return e.softwarePtrStore(pc, src, addr)
+	}
+	var m Meta
+	if src.IsInt() {
+		m = e.regMeta[src]
+	}
+	if e.cfg.Profiling && m.Valid() {
+		e.cfg.Profile.Mark(pc)
+	}
+	e.writeShadow(addr, m)
+	u := isa.NewUop(isa.UopShadowStore, isa.ExecStore)
+	u.MSrc = isa.MetaReg(src)
+	u.IsMem, u.IsWr, u.Width = true, true, uint8(e.entrySize)
+	u.Addr = mem.ShadowAddr(addr&^7, e.entrySize)
+	u.Shadow = true
+	u.Meta = isa.MetaPtrStore
+	return []isa.Uop{u}
+}
+
+// NonPtrLoad invalidates dst's metadata for a load not classified as a
+// pointer load (the loaded value has no pointer provenance).
+func (e *Engine) NonPtrLoad(dst isa.Reg) {
+	if dst.IsInt() {
+		e.regMeta[dst] = Meta{}
+	}
+}
+
+// --- register metadata propagation (Sections 3.4, 6) ---
+
+// CopyPropagate handles dst <- f(src) where the metadata is
+// unambiguously copied (moves, add-immediate). With copy elimination
+// the rename stage handles it and no µop is emitted; otherwise a
+// select µop is charged.
+func (e *Engine) CopyPropagate(dst, src isa.Reg) []isa.Uop {
+	if !dst.IsInt() {
+		return nil
+	}
+	var m Meta
+	if src.IsInt() {
+		m = e.regMeta[src]
+	}
+	e.regMeta[dst] = m
+	if e.cfg.Policy != PolicyWatchdog || e.cfg.CopyElim || !m.Valid() {
+		return nil
+	}
+	u := isa.NewUop(isa.UopSelectID, isa.ExecALU)
+	u.MDst, u.MSrc = isa.MetaReg(dst), isa.MetaReg(src)
+	u.Meta = isa.MetaOther
+	return []isa.Uop{u}
+}
+
+// SelectPropagate handles dst <- f(s1, s2) where either register might
+// be the pointer (Figure 2d): the destination inherits s1's metadata
+// if valid, else s2's. When both inputs hold valid metadata a select
+// µop is required even with copy elimination.
+func (e *Engine) SelectPropagate(dst, s1, s2 isa.Reg) []isa.Uop {
+	if !dst.IsInt() {
+		return nil
+	}
+	var m1, m2 Meta
+	if s1.IsInt() {
+		m1 = e.regMeta[s1]
+	}
+	if s2.IsInt() {
+		m2 = e.regMeta[s2]
+	}
+	chosen, from := m1, s1
+	if !m1.Valid() {
+		chosen, from = m2, s2
+	}
+	e.regMeta[dst] = chosen
+	if e.cfg.Policy != PolicyWatchdog {
+		return nil
+	}
+	needUop := (m1.Valid() && m2.Valid()) || (!e.cfg.CopyElim && chosen.Valid())
+	if !needUop {
+		return nil
+	}
+	u := isa.NewUop(isa.UopSelectID, isa.ExecALU)
+	u.MDst, u.MSrc = isa.MetaReg(dst), isa.MetaReg(from)
+	u.Meta = isa.MetaOther
+	return []isa.Uop{u}
+}
+
+// ImmPropagate handles constant materialization: global-address
+// materialization receives the global identifier (PC-relative
+// addressing, Section 7); anything else is a non-pointer.
+func (e *Engine) ImmPropagate(dst isa.Reg, globalAddr bool) {
+	if !dst.IsInt() {
+		return
+	}
+	if globalAddr {
+		e.regMeta[dst] = e.globalMeta
+	} else {
+		e.regMeta[dst] = Meta{}
+	}
+}
+
+// InvalidateReg marks dst as holding a non-pointer (outputs of
+// sub-word ops, divides, compares...). Handled at rename; no µop.
+func (e *Engine) InvalidateReg(dst isa.Reg) {
+	if dst.IsInt() {
+		e.regMeta[dst] = Meta{}
+	}
+}
+
+// --- stack frame identifiers (Figure 3c/d) ---
+
+// Call allocates a stack-frame identifier: four injected µops that
+// bump stack_key, push it onto the in-memory lock-location stack, and
+// attach the new identifier to the stack pointer. The software
+// comparator performs the same work as instrumentation emitted at
+// function entry (as CETS does), so it maintains the state too.
+func (e *Engine) Call() []isa.Uop {
+	if e.cfg.Policy != PolicyWatchdog && e.cfg.Policy != PolicySoftware {
+		return nil
+	}
+	e.stackKey++
+	e.stackLock += 8
+	e.mem.WriteU64(e.stackLock, e.stackKey)
+	e.regMeta[isa.SP] = e.stackMeta()
+
+	uops := make([]isa.Uop, 0, 4)
+	a1 := isa.NewUop(isa.UopAlu, isa.ExecALU) // stack_key++
+	a1.Meta = isa.MetaOther
+	a2 := isa.NewUop(isa.UopAlu, isa.ExecALU) // stack_lock += 8
+	a2.Meta = isa.MetaOther
+	st := isa.NewUop(isa.UopStore, isa.ExecStore) // mem[stack_lock] = stack_key
+	st.IsMem, st.IsWr, st.Width = true, true, 8
+	st.Addr, st.Lock = e.stackLock, true
+	st.Meta = isa.MetaOther
+	sel := isa.NewUop(isa.UopSelectID, isa.ExecALU) // sp.id = (key, lock)
+	sel.MDst = isa.MetaReg(isa.SP)
+	sel.Meta = isa.MetaOther
+	return append(uops, a1, a2, st, sel)
+}
+
+// Ret deallocates the frame identifier: invalidate the lock location,
+// pop the lock stack, and restore the caller frame's identifier to the
+// stack pointer (function-exit instrumentation under the software
+// comparator).
+func (e *Engine) Ret() []isa.Uop {
+	if e.cfg.Policy != PolicyWatchdog && e.cfg.Policy != PolicySoftware {
+		return nil
+	}
+	e.mem.WriteU64(e.stackLock, uint64(InvalidKey))
+	invAddr := e.stackLock
+	e.stackLock -= 8
+	key := e.mem.ReadU64(e.stackLock)
+	e.regMeta[isa.SP] = Meta{
+		Ident: Ident{Key: key, Lock: e.stackLock},
+		Base:  mem.StackTop - mem.StackMax,
+		Bound: mem.StackTop,
+	}
+
+	uops := make([]isa.Uop, 0, 4)
+	st := isa.NewUop(isa.UopStore, isa.ExecStore) // mem[stack_lock] = INVALID
+	st.IsMem, st.IsWr, st.Width = true, true, 8
+	st.Addr, st.Lock = invAddr, true
+	st.Meta = isa.MetaOther
+	a1 := isa.NewUop(isa.UopAlu, isa.ExecALU) // stack_lock -= 8
+	a1.Meta = isa.MetaOther
+	ld := isa.NewUop(isa.UopLoad, isa.ExecLoad) // current_key = mem[stack_lock]
+	ld.IsMem, ld.Width = true, 8
+	ld.Addr, ld.Lock = e.stackLock, true
+	ld.Meta = isa.MetaOther
+	sel := isa.NewUop(isa.UopSelectID, isa.ExecALU) // sp.id = (key, lock)
+	sel.MDst = isa.MetaReg(isa.SP)
+	sel.Meta = isa.MetaOther
+	return append(uops, st, a1, ld, sel)
+}
+
+// --- runtime interface (Figure 3a/b) ---
+
+// SetIdent implements the setident instruction: dst receives ptr's
+// value (handled by the machine) and the identifier (key, lock); with
+// bounds enabled the bounds are attached separately via SetBound.
+func (e *Engine) SetIdent(dst isa.Reg, key, lock uint64) {
+	if !dst.IsInt() {
+		return
+	}
+	m := Meta{Ident: Ident{Key: key, Lock: lock}}
+	if e.cfg.Bounds != BoundsOff {
+		// Until SetBound arrives, inherit maximal bounds so that a
+		// runtime that never conveys bounds still functions.
+		m.Base, m.Bound = 0, ^uint64(0)
+	}
+	e.regMeta[dst] = m
+}
+
+// GetIdent implements the getident instruction.
+func (e *Engine) GetIdent(ptr isa.Reg) (key, lock uint64) {
+	if !ptr.IsInt() {
+		return 0, 0
+	}
+	m := e.regMeta[ptr]
+	return m.Key, m.Lock
+}
+
+// SetBound attaches bounds to dst's existing identifier.
+func (e *Engine) SetBound(dst isa.Reg, base, bound uint64) {
+	if !dst.IsInt() {
+		return
+	}
+	e.regMeta[dst].Base = base
+	e.regMeta[dst].Bound = bound
+}
+
+// --- location policy (Table 1 comparator) ---
+
+// MarkAlloc records [ptr, ptr+size) as allocated (location policy
+// runtime hook).
+func (e *Engine) MarkAlloc(ptr, size uint64) {
+	if e.locAlloc == nil {
+		return
+	}
+	for a := ptr &^ 7; a < ptr+size; a += 8 {
+		e.locAlloc[a] = true
+	}
+}
+
+// MarkFree records [ptr, ptr+size) as deallocated.
+func (e *Engine) MarkFree(ptr, size uint64) {
+	if e.locAlloc == nil {
+		return
+	}
+	for a := ptr &^ 7; a < ptr+size; a += 8 {
+		delete(e.locAlloc, a)
+	}
+}
+
+// locationAccess is the location-based check: a shadow allocation-
+// status lookup of the target address. It only tracks the heap; it
+// cannot know which allocation a pointer was derived from, so a
+// dangling dereference into reallocated memory passes silently —
+// the fundamental limitation the paper's identifier approach removes.
+func (e *Engine) locationAccess(pc int, addr uint64, width uint8, isWrite bool) ([]isa.Uop, error) {
+	if pc < e.uncheckedBelow {
+		return nil, nil
+	}
+	u := isa.NewUop(isa.UopCheck, isa.ExecLoad)
+	u.Addr = mem.ShadowAddr(addr&^7, 1)
+	u.Shadow = true
+	u.IsMem, u.Width = true, 1
+	u.Meta = isa.MetaCheck
+	e.stats.Checks++
+	if mem.RegionOf(addr) == mem.RegionHeap && !e.locAlloc[addr&^7] {
+		e.stats.Violations++
+		return []isa.Uop{u}, &MemoryError{Kind: ErrUnallocated, PC: pc, Addr: addr, Write: isWrite}
+	}
+	return []isa.Uop{u}, nil
+}
+
+// --- software policy (Table 1 comparator) ---
+
+// softwareAccess expands the lock-and-key check into the instruction
+// sequence a compiler-based scheme executes: compute the metadata
+// location, load the lock value, compare, branch. These are ordinary
+// instructions on ordinary ports.
+func (e *Engine) softwareAccess(pc int, base, index isa.Reg, addr uint64, width uint8, isWrite bool) ([]isa.Uop, error) {
+	meta, _ := e.pickMeta(base, index)
+	uops := make([]isa.Uop, 0, 4)
+
+	a := isa.NewUop(isa.UopAlu, isa.ExecALU) // metadata address arithmetic
+	a.Dst = isa.Tmp1
+	a.Meta = isa.MetaCheck
+	ld := isa.NewUop(isa.UopLoad, isa.ExecLoad) // load lock value
+	ld.Dst, ld.Src1 = isa.Tmp1, isa.Tmp1
+	ld.IsMem, ld.Width = true, 8
+	ld.Addr, ld.Lock = meta.Lock, true
+	ld.Meta = isa.MetaCheck
+	cmp := isa.NewUop(isa.UopAlu, isa.ExecALU) // compare with key
+	cmp.Dst, cmp.Src1 = isa.Tmp1, isa.Tmp1
+	cmp.Meta = isa.MetaCheck
+	br := isa.NewUop(isa.UopBranch, isa.ExecBr) // branch to abort (never taken)
+	br.Src1 = isa.Tmp1
+	br.IsBranch = true
+	br.Meta = isa.MetaCheck
+	uops = append(uops, a, ld, cmp, br)
+	e.stats.Checks++
+
+	if err := e.evalCheck(pc, meta, addr, width, isWrite); err != nil {
+		e.stats.Violations++
+		return uops, err
+	}
+	return uops, nil
+}
+
+// softwarePtrLoad is the software metadata-table read: address
+// arithmetic plus two 8-byte loads into ordinary registers.
+func (e *Engine) softwarePtrLoad(pc int, dst isa.Reg, addr uint64) []isa.Uop {
+	m := e.readShadow(addr)
+	if e.cfg.Profiling && m.Valid() {
+		e.cfg.Profile.Mark(pc)
+	}
+	if dst.IsInt() {
+		e.regMeta[dst] = m
+	}
+	sa := mem.ShadowAddr(addr&^7, e.entrySize)
+	uops := make([]isa.Uop, 0, 3)
+	a := isa.NewUop(isa.UopAlu, isa.ExecALU)
+	a.Dst = isa.Tmp1
+	a.Meta = isa.MetaPtrLoad
+	uops = append(uops, a)
+	for i := uint64(0); i < 2; i++ {
+		ld := isa.NewUop(isa.UopLoad, isa.ExecLoad)
+		ld.Src1 = isa.Tmp1
+		ld.MDst = isa.MetaReg(dst)
+		ld.IsMem, ld.Width = true, 8
+		ld.Addr, ld.Shadow = sa+8*i, true
+		ld.Meta = isa.MetaPtrLoad
+		uops = append(uops, ld)
+	}
+	return uops
+}
+
+// softwarePtrStore is the software metadata-table write.
+func (e *Engine) softwarePtrStore(pc int, src isa.Reg, addr uint64) []isa.Uop {
+	var m Meta
+	if src.IsInt() {
+		m = e.regMeta[src]
+	}
+	if e.cfg.Profiling && m.Valid() {
+		e.cfg.Profile.Mark(pc)
+	}
+	e.writeShadow(addr, m)
+	sa := mem.ShadowAddr(addr&^7, e.entrySize)
+	uops := make([]isa.Uop, 0, 3)
+	a := isa.NewUop(isa.UopAlu, isa.ExecALU)
+	a.Dst = isa.Tmp1
+	a.Meta = isa.MetaPtrStore
+	uops = append(uops, a)
+	for i := uint64(0); i < 2; i++ {
+		st := isa.NewUop(isa.UopStore, isa.ExecStore)
+		st.Src1 = isa.Tmp1
+		st.MSrc = isa.MetaReg(src)
+		st.IsMem, st.IsWr, st.Width = true, true, 8
+		st.Addr, st.Shadow = sa+8*i, true
+		st.Meta = isa.MetaPtrStore
+		uops = append(uops, st)
+	}
+	return uops
+}
+
+// StackIdentState exposes the control registers (tests).
+func (e *Engine) StackIdentState() (key, lock uint64) { return e.stackKey, e.stackLock }

@@ -1,0 +1,216 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section 9): Figure 5 (pointer identification),
+// Figure 7 (runtime overhead, conservative vs ISA-assisted), Figure 8
+// (µop overhead breakdown), Figure 9 (lock location cache), Figure 10
+// (memory overhead), Figure 11 (bounds checking), Table 1 (scheme
+// comparison), Table 2 (processor configuration), the Section 9.3
+// idealized-shadow study, and the Section 9.2 security suite.
+package experiments
+
+import (
+	"fmt"
+
+	"watchdog/internal/asm"
+	"watchdog/internal/core"
+	"watchdog/internal/machine"
+	"watchdog/internal/rt"
+	"watchdog/internal/sim"
+	"watchdog/internal/stats"
+	"watchdog/internal/workload"
+)
+
+// ConfigName selects one of the predefined simulation configurations.
+type ConfigName string
+
+// The configuration points the evaluation sweeps over.
+const (
+	CfgBaseline     ConfigName = "baseline"     // no instrumentation
+	CfgConservative ConfigName = "conservative" // Watchdog, conservative ptr id
+	CfgISA          ConfigName = "isa"          // Watchdog, ISA-assisted (profiled)
+	CfgISANoLock    ConfigName = "isa-nolock"   // ISA-assisted, no lock location cache
+	CfgISAIdeal     ConfigName = "isa-ideal"    // ISA-assisted, idealized shadow accesses
+	CfgBounds1      ConfigName = "bounds-1uop"  // + bounds, fused check µop
+	CfgBounds2      ConfigName = "bounds-2uop"  // + bounds, separate check µop
+	CfgLocation     ConfigName = "location"     // location-based comparator
+	CfgSoftware     ConfigName = "software"     // software-only comparator
+	CfgNoCopyElim   ConfigName = "no-copy-elim" // ablation: rename copy elimination off
+	CfgMonolithic   ConfigName = "monolithic"   // ablation: monolithic register metadata
+)
+
+// Runner executes (workload, configuration) pairs with caching of
+// programs, profiles and results, so figures sharing runs (e.g. the
+// baseline) pay for them once.
+type Runner struct {
+	Scale     int
+	Workloads []workload.Workload
+
+	profiles map[string]*core.Profile
+	results  map[string]*machine.Result
+}
+
+// NewRunner builds a runner over all workloads (or the given subset).
+func NewRunner(scale int, names ...string) (*Runner, error) {
+	var ws []workload.Workload
+	if len(names) == 0 {
+		ws = workload.All()
+	} else {
+		for _, n := range names {
+			w, ok := workload.ByName(n)
+			if !ok {
+				return nil, fmt.Errorf("unknown workload %q", n)
+			}
+			ws = append(ws, w)
+		}
+	}
+	return &Runner{
+		Scale:     scale,
+		Workloads: ws,
+		profiles:  make(map[string]*core.Profile),
+		results:   make(map[string]*machine.Result),
+	}, nil
+}
+
+// rtOptions maps a configuration to its runtime variant.
+func rtOptions(name ConfigName) rt.Options {
+	switch name {
+	case CfgBaseline:
+		return rt.Options{Policy: core.PolicyBaseline}
+	case CfgLocation:
+		return rt.Options{Policy: core.PolicyLocation}
+	case CfgSoftware:
+		return rt.Options{Policy: core.PolicySoftware}
+	case CfgBounds1, CfgBounds2:
+		return rt.Options{Policy: core.PolicyWatchdog, Bounds: true}
+	default:
+		return rt.Options{Policy: core.PolicyWatchdog}
+	}
+}
+
+// simConfig maps a configuration name to the full simulation config.
+// The profile argument is used by ISA-assisted configurations.
+func simConfig(name ConfigName, prof *core.Profile) sim.Config {
+	cfg := sim.Default()
+	switch name {
+	case CfgBaseline:
+		cfg.Core = core.Config{Policy: core.PolicyBaseline}
+	case CfgConservative:
+		cfg.Core.PtrPolicy = core.PtrConservative
+	case CfgISA:
+		cfg.Core.Profile = prof
+	case CfgISANoLock:
+		cfg.Core.Profile = prof
+		cfg.Core.LockCache = false
+	case CfgISAIdeal:
+		cfg.Core.Profile = prof
+		cfg.IdealShadow = true
+	case CfgBounds1:
+		cfg.Core.Profile = prof
+		cfg.Core.Bounds = core.BoundsFused
+	case CfgBounds2:
+		cfg.Core.Profile = prof
+		cfg.Core.Bounds = core.BoundsSeparate
+	case CfgLocation:
+		cfg.Core = core.Config{Policy: core.PolicyLocation}
+	case CfgSoftware:
+		cfg.Core = core.Config{Policy: core.PolicySoftware, PtrPolicy: core.PtrConservative}
+	case CfgNoCopyElim:
+		cfg.Core.PtrPolicy = core.PtrConservative
+		cfg.Core.CopyElim = false
+	case CfgMonolithic:
+		cfg.Core.Profile = prof
+		cfg.Monolithic = true
+	}
+	return cfg
+}
+
+// needsProfile reports whether the configuration uses ISA-assisted
+// identification driven by the profiling pass.
+func needsProfile(name ConfigName) bool {
+	switch name {
+	case CfgISA, CfgISANoLock, CfgISAIdeal, CfgBounds1, CfgBounds2, CfgMonolithic:
+		return true
+	}
+	return false
+}
+
+// Run executes one workload under one configuration (cached).
+func (r *Runner) Run(w workload.Workload, name ConfigName) (*machine.Result, error) {
+	key := w.Name + "/" + string(name)
+	if res, ok := r.results[key]; ok {
+		return res, nil
+	}
+	opts := rtOptions(name)
+	prog, rtEnd, err := workload.BuildProgram(w, opts, r.Scale)
+	if err != nil {
+		return nil, err
+	}
+	var prof *core.Profile
+	if needsProfile(name) {
+		pkey := fmt.Sprintf("%s/%s/%v", w.Name, opts.Policy, opts.Bounds)
+		prof, err = r.profileFor(pkey, prog, rtEnd, opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	cfg := simConfig(name, prof)
+	cfg.RuntimeEnd = rtEnd
+	res, err := sim.Run(prog, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s under %s: %w", w.Name, name, err)
+	}
+	if res.MemErr != nil {
+		return nil, fmt.Errorf("%s under %s: unexpected violation: %v", w.Name, name, res.MemErr)
+	}
+	if res.Aborted {
+		return nil, fmt.Errorf("%s under %s: runtime abort %d", w.Name, name, res.AbortCode)
+	}
+	r.results[key] = res
+	return res, nil
+}
+
+func (r *Runner) profileFor(key string, prog *asm.Program, rtEnd int, opts rt.Options) (*core.Profile, error) {
+	if p, ok := r.profiles[key]; ok {
+		return p, nil
+	}
+	base := core.DefaultConfig()
+	if opts.Bounds {
+		base.Bounds = core.BoundsFused
+	}
+	p, err := sim.Profile(prog, base, rtEnd)
+	if err != nil {
+		return nil, fmt.Errorf("profiling %s: %w", key, err)
+	}
+	r.profiles[key] = p
+	return p, nil
+}
+
+// Overhead computes the slowdown ratio of cfg over the baseline for
+// one workload.
+func (r *Runner) Overhead(w workload.Workload, name ConfigName) (float64, error) {
+	base, err := r.Run(w, CfgBaseline)
+	if err != nil {
+		return 0, err
+	}
+	res, err := r.Run(w, name)
+	if err != nil {
+		return 0, err
+	}
+	return float64(res.Timing.Cycles) / float64(base.Timing.Cycles), nil
+}
+
+// Sweep runs every workload under the configuration, returning the
+// per-benchmark slowdown ratios in figure order plus the geometric
+// mean overhead percentage.
+func (r *Runner) Sweep(name ConfigName) (stats.Series, float64, error) {
+	s := stats.Series{Name: string(name)}
+	var ratios []float64
+	for _, w := range r.Workloads {
+		ratio, err := r.Overhead(w, name)
+		if err != nil {
+			return s, 0, err
+		}
+		s.Add(w.Name, (ratio-1)*100)
+		ratios = append(ratios, ratio)
+	}
+	return s, stats.GeomeanOverhead(ratios), nil
+}

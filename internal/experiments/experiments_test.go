@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"watchdog/internal/isa"
+	"watchdog/internal/stats"
+	"watchdog/internal/workload"
+)
+
+// A small but diverse subset keeps the tests fast: one FP kernel, one
+// conservative-heavy kernel, one pointer chaser, one malloc churner.
+var testSet = []string{"lbm", "hmmer", "mcf", "perl"}
+
+func runner(t *testing.T) *Runner {
+	t.Helper()
+	r, err := NewRunner(1, testSet...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestUnknownWorkloadRejected(t *testing.T) {
+	if _, err := NewRunner(1, "nope"); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}
+
+func TestChecksumIdenticalAcrossConfigs(t *testing.T) {
+	r := runner(t)
+	for _, w := range r.Workloads {
+		base, err := r.Run(w, CfgBaseline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range []ConfigName{CfgConservative, CfgISA, CfgISANoLock,
+			CfgBounds1, CfgBounds2, CfgLocation, CfgSoftware, CfgISAIdeal} {
+			res, err := r.Run(w, cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", w.Name, cfg, err)
+			}
+			if len(res.Output) != len(base.Output) || res.Output[0] != base.Output[0] {
+				t.Fatalf("%s/%s: output %v != baseline %v", w.Name, cfg, res.Output, base.Output)
+			}
+		}
+	}
+}
+
+func TestOverheadShapes(t *testing.T) {
+	r := runner(t)
+	_, cons, err := r.Sweep(CfgConservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ia, err := r.Sweep(CfgISA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, nolock, err := r.Sweep(CfgISANoLock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b1, err := r.Sweep(CfgBounds1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b2, err := r.Sweep(CfgBounds2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ideal, err := r.Sweep(CfgISAIdeal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sw, err := r.Sweep(CfgSoftware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The qualitative orderings the paper's figures report:
+	if !(cons > ia) {
+		t.Errorf("Fig 7 shape: conservative (%.1f%%) must exceed ISA-assisted (%.1f%%)", cons, ia)
+	}
+	if !(nolock > ia) {
+		t.Errorf("Fig 9 shape: no lock cache (%.1f%%) must exceed with lock cache (%.1f%%)", nolock, ia)
+	}
+	// The separate bounds µop strictly adds work; the fused variant is
+	// within cache-layout noise of UAF-only on small kernels (the
+	// 32-byte shadow entries change conflict patterns), so it gets a
+	// small tolerance here — the full 20-benchmark geomean ordering is
+	// asserted by the benchmark harness.
+	if !(b2 > b1 && b2 > ia) {
+		t.Errorf("Fig 11 shape: want 2-µop (%.1f%%) > 1-µop (%.1f%%), > UAF-only (%.1f%%)", b2, b1, ia)
+	}
+	if b1 < ia-3.0 {
+		t.Errorf("Fig 11 shape: fused bounds (%.1f%%) implausibly below UAF-only (%.1f%%)", b1, ia)
+	}
+	if !(ideal < ia) {
+		t.Errorf("ideal-shadow shape: idealized (%.1f%%) must be below real (%.1f%%)", ideal, ia)
+	}
+	if !(sw > ia) {
+		t.Errorf("Table 1 shape: software (%.1f%%) must exceed hardware (%.1f%%)", sw, ia)
+	}
+	if ia <= 0 {
+		t.Errorf("ISA-assisted overhead must be positive, got %.1f%%", ia)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	r := runner(t)
+	for _, w := range r.Workloads {
+		cons, err := r.Run(w, CfgConservative)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ia, err := r.Run(w, CfgISA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cf := float64(cons.Engine.PtrOps) / float64(cons.Engine.MemAccesses)
+		af := float64(ia.Engine.PtrOps) / float64(ia.Engine.MemAccesses)
+		if af > cf+1e-9 {
+			t.Errorf("%s: ISA-assisted fraction (%.3f) exceeds conservative (%.3f)", w.Name, af, cf)
+		}
+	}
+	// lbm is FP-dominated: near-zero under both policies.
+	lbm, _ := workload.ByName("lbm")
+	res, err := r.Run(lbm, CfgConservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := float64(res.Engine.PtrOps) / float64(res.Engine.MemAccesses); f > 0.2 {
+		t.Errorf("lbm conservative pointer fraction %.2f too high for an FP kernel", f)
+	}
+}
+
+func TestFig8Accounting(t *testing.T) {
+	r := runner(t)
+	w, _ := workload.ByName("mcf")
+	base, err := r.Run(w, CfgBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(w, CfgISA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var injected uint64
+	for m := isa.MetaClass(1); m < isa.NumMetaClasses; m++ {
+		injected += res.Timing.UopsByMeta[m]
+	}
+	if res.Timing.Uops != res.Timing.UopsByMeta[isa.MetaNone]+injected {
+		t.Fatal("µop class accounting does not sum")
+	}
+	if res.Timing.Uops <= base.Timing.Uops {
+		t.Fatal("instrumented run must execute more µops")
+	}
+	if res.Timing.UopsByMeta[isa.MetaCheck] != res.Engine.Checks {
+		t.Fatalf("check µops (%d) != engine checks (%d)",
+			res.Timing.UopsByMeta[isa.MetaCheck], res.Engine.Checks)
+	}
+}
+
+func TestFig10MetadataFootprint(t *testing.T) {
+	r := runner(t)
+	w, _ := workload.ByName("mcf")
+	base, err := r.Run(w, CfgBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(w, CfgISA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, baseMetaW, _ := splitFootprint(base.Footprint)
+	if baseMetaW != 0 {
+		t.Fatalf("baseline must touch no metadata memory, got %d words", baseMetaW)
+	}
+	appW, _, metaW, _ := splitFootprint(res.Footprint)
+	if metaW == 0 || appW == 0 {
+		t.Fatal("instrumented run must touch both app and metadata memory")
+	}
+	// Shadow entries are 16 bytes per 8-byte word: metadata can never
+	// exceed 2x the app words plus the lock regions.
+	if float64(metaW) > 2.5*float64(appW) {
+		t.Fatalf("metadata words (%d) implausibly large vs app (%d)", metaW, appW)
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	r := runner(t)
+	for name, fn := range map[string]func() (*tableAlias, error){
+		"fig5": r.Fig5, "fig7": r.Fig7, "fig8": r.Fig8,
+	} {
+		tab, err := fn()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		s := tab.String()
+		for _, wl := range testSet {
+			if !strings.Contains(s, wl) {
+				t.Fatalf("%s output missing %s:\n%s", name, wl, s)
+			}
+		}
+	}
+	if !strings.Contains(Table2(), "168-entry ROB") && !strings.Contains(Table2(), "168") {
+		t.Fatal("Table 2 must describe the ROB")
+	}
+}
+
+func TestRunCaching(t *testing.T) {
+	r := runner(t)
+	w, _ := workload.ByName("lbm")
+	a, err := r.Run(w, CfgISA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run(w, CfgISA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("second run must return the cached result")
+	}
+}
+
+// tableAlias keeps the render test's map terse.
+type tableAlias = stats.Table

@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"watchdog/internal/cache"
+	"watchdog/internal/core"
+	"watchdog/internal/isa"
+	"watchdog/internal/mem"
+	"watchdog/internal/pipeline"
+	"watchdog/internal/rt"
+	"watchdog/internal/security"
+	"watchdog/internal/stats"
+)
+
+// Fig5 reproduces Figure 5: the percentage of memory accesses
+// classified as pointer loads/stores under conservative vs
+// ISA-assisted identification, per benchmark and on average.
+func (r *Runner) Fig5() (*stats.Table, error) {
+	t := stats.NewTable("Figure 5: % of memory accesses carrying pointer metadata",
+		"bench", "conservative", "isa-assisted")
+	var cons, ia []float64
+	for _, w := range r.Workloads {
+		cr, err := r.Run(w, CfgConservative)
+		if err != nil {
+			return nil, err
+		}
+		ir, err := r.Run(w, CfgISA)
+		if err != nil {
+			return nil, err
+		}
+		cf := frac(cr.Engine.PtrOps, cr.Engine.MemAccesses)
+		af := frac(ir.Engine.PtrOps, ir.Engine.MemAccesses)
+		cons = append(cons, cf)
+		ia = append(ia, af)
+		t.Row(w.Name, stats.Pct(cf), stats.Pct(af))
+	}
+	t.Row("avg", stats.Pct(stats.Mean(cons)), stats.Pct(stats.Mean(ia)))
+	return t, nil
+}
+
+// Fig7 reproduces Figure 7: runtime overhead with conservative vs
+// ISA-assisted pointer identification (paper: 25% and 15% geomean).
+func (r *Runner) Fig7() (*stats.Table, error) {
+	return r.overheadTable(
+		"Figure 7: runtime overhead of use-after-free checking (% slowdown)",
+		CfgConservative, CfgISA)
+}
+
+// Fig8 reproduces Figure 8: µop overhead breakdown under ISA-assisted
+// identification (paper: 44% total on average; checks dominate).
+func (r *Runner) Fig8() (*stats.Table, error) {
+	t := stats.NewTable("Figure 8: µop overhead breakdown, ISA-assisted (% extra µops over baseline)",
+		"bench", "checks", "ptr-loads", "ptr-stores", "other", "total")
+	var chk, pl, ps, ot, tot []float64
+	for _, w := range r.Workloads {
+		base, err := r.Run(w, CfgBaseline)
+		if err != nil {
+			return nil, err
+		}
+		res, err := r.Run(w, CfgISA)
+		if err != nil {
+			return nil, err
+		}
+		bu := float64(base.Timing.Uops)
+		c := float64(res.Timing.UopsByMeta[isa.MetaCheck]) / bu * 100
+		l := float64(res.Timing.UopsByMeta[isa.MetaPtrLoad]) / bu * 100
+		s := float64(res.Timing.UopsByMeta[isa.MetaPtrStore]) / bu * 100
+		o := float64(res.Timing.UopsByMeta[isa.MetaOther]) / bu * 100
+		chk, pl, ps, ot = append(chk, c), append(pl, l), append(ps, s), append(ot, o)
+		tot = append(tot, c+l+s+o)
+		t.Row(w.Name, c, l, s, o, c+l+s+o)
+	}
+	t.Row("avg", stats.Mean(chk), stats.Mean(pl), stats.Mean(ps), stats.Mean(ot), stats.Mean(tot))
+	return t, nil
+}
+
+// Fig9 reproduces Figure 9: overhead with and without the dedicated
+// lock location cache (paper: 15% -> 24% without it).
+func (r *Runner) Fig9() (*stats.Table, error) {
+	return r.overheadTable(
+		"Figure 9: effect of the lock location cache (% slowdown)",
+		CfgISA, CfgISANoLock)
+}
+
+// Fig10 reproduces Figure 10: memory overhead measured in words
+// touched and in 4 KB pages touched (paper: 32% and 56% average).
+func (r *Runner) Fig10() (*stats.Table, error) {
+	t := stats.NewTable("Figure 10: memory overhead of the metadata spaces",
+		"bench", "words", "pages")
+	var wordsOv, pagesOv []float64
+	for _, w := range r.Workloads {
+		res, err := r.Run(w, CfgISA)
+		if err != nil {
+			return nil, err
+		}
+		appW, appP, metaW, metaP := splitFootprint(res.Footprint)
+		wo := frac(metaW, appW)
+		po := frac(metaP, appP)
+		wordsOv = append(wordsOv, wo)
+		pagesOv = append(pagesOv, po)
+		t.Row(w.Name, stats.Pct(wo), stats.Pct(po))
+	}
+	t.Row("avg", stats.Pct(stats.Mean(wordsOv)), stats.Pct(stats.Mean(pagesOv)))
+	return t, nil
+}
+
+// Fig11 reproduces Figure 11: full memory safety — Watchdog alone vs
+// bounds checking fused into the check µop vs a separate bounds µop
+// (paper: 15% / 18% / 24% geomean).
+func (r *Runner) Fig11() (*stats.Table, error) {
+	return r.overheadTable(
+		"Figure 11: integrating bounds checking (% slowdown)",
+		CfgISA, CfgBounds1, CfgBounds2)
+}
+
+// Ideal reproduces the Section 9.3 cache-pressure isolation study:
+// idealized shadow accesses (paper: overhead drops 15% -> 11%).
+func (r *Runner) Ideal() (*stats.Table, error) {
+	return r.overheadTable(
+		"Section 9.3: idealized shadow-space accesses (% slowdown)",
+		CfgISA, CfgISAIdeal)
+}
+
+// Ablations reports the design-choice studies DESIGN.md calls out:
+// rename copy elimination and decoupled vs monolithic register
+// metadata.
+func (r *Runner) Ablations() (*stats.Table, error) {
+	return r.overheadTable(
+		"Ablations: copy elimination (vs conservative) and monolithic metadata (vs isa)",
+		CfgConservative, CfgNoCopyElim, CfgISA, CfgMonolithic)
+}
+
+// Table1 reproduces Table 1: the comparison of checking schemes, with
+// the qualitative columns from the paper, the overhead measured on
+// this substrate, and — going beyond the paper's table — the measured
+// detection rate on the full Section 9.2 security suite.
+func (r *Runner) Table1() (*stats.Table, error) {
+	t := stats.NewTable("Table 1: comparison of checking approaches",
+		"approach", "class", "metadata", "casts-safe", "comprehensive", "overhead", "juliet")
+	rows := []struct {
+		name   string
+		cfg    ConfigName
+		class  string
+		meta   string
+		casts  string
+		compr  string
+		policy core.Policy
+		ptr    core.PtrPolicy
+	}{
+		{"location (MemTracker-like)", CfgLocation, "location", "disjoint", "Y",
+			"N — misses reallocated UAF", core.PolicyLocation, core.PtrConservative},
+		{"software id-based (CETS-like)", CfgSoftware, "identifier", "disjoint", "Y",
+			"Y", core.PolicySoftware, core.PtrConservative},
+		{"Watchdog (this work)", CfgConservative, "identifier", "disjoint", "Y",
+			"Y", core.PolicyWatchdog, core.PtrConservative},
+		{"Watchdog + ISA assist", CfgISA, "identifier", "disjoint", "Y",
+			"Y", core.PolicyWatchdog, core.PtrISAAssisted},
+	}
+	cases := security.Suite()
+	for _, row := range rows {
+		_, ov, err := r.Sweep(row.cfg)
+		if err != nil {
+			return nil, err
+		}
+		cc := core.Config{Policy: row.policy, PtrPolicy: row.ptr, LockCache: true, CopyElim: true}
+		sum := security.RunSuite(cases, cc, rtOptions(row.cfg))
+		t.Row(row.name, row.class, row.meta, row.casts, row.compr,
+			fmt.Sprintf("%.2fx", 1+ov/100),
+			fmt.Sprintf("%d/%d", sum.BadDetected, sum.BadTotal))
+	}
+	return t, nil
+}
+
+// Table2 prints the simulated processor configuration.
+func Table2() string {
+	p := pipeline.DefaultConfig()
+	h := cache.DefaultHierConfig()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: simulated processor configuration\n")
+	fmt.Fprintf(&b, "  Clock           %.1f GHz\n", p.ClockGHz)
+	fmt.Fprintf(&b, "  Fetch           %d macro-insts/cycle, %d-cycle front end\n", p.FetchWidthMacro, p.FrontEndDepth)
+	fmt.Fprintf(&b, "  Bpred           3-table PPM (256x2, 128x4, 128x4), 8-bit tags, 2-bit ctrs\n")
+	fmt.Fprintf(&b, "  Rename/Dispatch %d µops/cycle\n", p.DispatchWidth)
+	fmt.Fprintf(&b, "  Window          %d-entry ROB, %d-entry IQ, %d-wide issue\n", p.ROBSize, p.IQSize, p.IssueWidth)
+	fmt.Fprintf(&b, "  LQ/SQ           %d / %d entries\n", p.LQSize, p.SQSize)
+	fmt.Fprintf(&b, "  Int FUs         %d ALU, %d branch, %d load ports, %d store port, %d mul/div\n",
+		p.IntALUs, p.BranchUnits, p.LoadPorts, p.StorePorts, p.MulDivs)
+	fmt.Fprintf(&b, "  FP FUs          %d ALU, %d mul, %d div\n", p.FPAlus, p.FPMuls, p.FPDivs)
+	fmt.Fprintf(&b, "  L1 I$           %d KB %d-way, %d cycles\n", h.L1I.SizeBytes>>10, h.L1I.Ways, h.L1I.Latency)
+	fmt.Fprintf(&b, "  L1 D$           %d KB %d-way, %d cycles\n", h.L1D.SizeBytes>>10, h.L1D.Ways, h.L1D.Latency)
+	fmt.Fprintf(&b, "  Private L2$     %d KB %d-way, %d cycles\n", h.L2.SizeBytes>>10, h.L2.Ways, h.L2.Latency)
+	fmt.Fprintf(&b, "  Shared L3$      %d MB %d-way, %d cycles\n", h.L3.SizeBytes>>20, h.L3.Ways, h.L3.Latency)
+	fmt.Fprintf(&b, "  Memory          %d cycles beyond L3\n", h.DRAMLatency)
+	fmt.Fprintf(&b, "  Lock location $ %d KB %d-way, %d cycles\n", h.Lock.SizeBytes>>10, h.Lock.Ways, h.Lock.Latency)
+	return b.String()
+}
+
+// Juliet runs the Section 9.2 security suite under Watchdog and
+// returns the summary (paper: 291/291 detected, no false positives).
+func Juliet() security.Summary {
+	return security.RunSuite(security.Suite(), core.DefaultConfig(),
+		rt.Options{Policy: core.PolicyWatchdog})
+}
+
+// Bars renders one of the overhead comparisons as grouped horizontal
+// bar charts (the terminal rendition of the paper's figures).
+func (r *Runner) Bars(title string, cfgs ...ConfigName) (string, error) {
+	series := make([]stats.Series, len(cfgs))
+	for i, cfg := range cfgs {
+		s, geo, err := r.Sweep(cfg)
+		if err != nil {
+			return "", err
+		}
+		s.Add("Geo.mean", geo)
+		series[i] = s
+	}
+	return stats.RenderBars(title, series), nil
+}
+
+// overheadTable renders per-benchmark % slowdowns for the given
+// configurations plus the geometric-mean row.
+func (r *Runner) overheadTable(title string, cfgs ...ConfigName) (*stats.Table, error) {
+	headers := append([]string{"bench"}, configHeaders(cfgs)...)
+	t := stats.NewTable(title, headers...)
+	series := make([]stats.Series, len(cfgs))
+	geos := make([]float64, len(cfgs))
+	for i, cfg := range cfgs {
+		s, geo, err := r.Sweep(cfg)
+		if err != nil {
+			return nil, err
+		}
+		series[i], geos[i] = s, geo
+	}
+	for bi, w := range r.Workloads {
+		cells := []any{w.Name}
+		for i := range cfgs {
+			cells = append(cells, series[i].Values[bi])
+		}
+		t.Row(cells...)
+	}
+	geoCells := []any{"Geo.mean"}
+	for _, g := range geos {
+		geoCells = append(geoCells, g)
+	}
+	t.Row(geoCells...)
+	return t, nil
+}
+
+func configHeaders(cfgs []ConfigName) []string {
+	out := make([]string, len(cfgs))
+	for i, c := range cfgs {
+		out[i] = string(c)
+	}
+	return out
+}
+
+func frac(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// splitFootprint divides the touch accounting into application memory
+// (globals, heap, stack) and metadata memory (shadow space, lock
+// locations, lock-location stack).
+func splitFootprint(fp map[mem.Region]mem.Footprint) (appW, appP, metaW, metaP uint64) {
+	for region, f := range fp {
+		switch region {
+		case mem.RegionGlobal, mem.RegionHeap, mem.RegionStack:
+			appW += f.Words
+			appP += f.Pages
+		case mem.RegionShadow, mem.RegionLock, mem.RegionStackLock:
+			metaW += f.Words
+			metaP += f.Pages
+		}
+	}
+	return
+}

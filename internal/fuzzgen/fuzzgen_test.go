@@ -1,0 +1,179 @@
+package fuzzgen
+
+import (
+	"testing"
+
+	"watchdog/internal/core"
+	"watchdog/internal/sim"
+)
+
+const seeds = 25
+
+// runCfg executes a generated program under one configuration. The
+// runtime variant is rebuilt to match the engine policy (as the
+// evaluation harness does): the generator is deterministic, so the
+// operation sequence is identical across variants.
+func runCfg(t *testing.T, o Options, cc core.Config) (int64, *core.MemoryError) {
+	t.Helper()
+	o.Policy = cc.Policy
+	prog, rtEnd, _, err := Generate(o)
+	if err != nil {
+		t.Fatalf("seed %d: %v", o.Seed, err)
+	}
+	res, err := sim.Run(prog, sim.Config{Core: cc, RuntimeEnd: rtEnd, InstLimit: 10_000_000})
+	if err != nil {
+		t.Fatalf("seed %d: %v", o.Seed, err)
+	}
+	if res.Aborted {
+		t.Fatalf("seed %d: runtime abort %d (generated program unsafe?)", o.Seed, res.AbortCode)
+	}
+	if res.MemErr != nil {
+		return 0, res.MemErr
+	}
+	if len(res.Output) != 1 {
+		t.Fatalf("seed %d: no checksum", o.Seed)
+	}
+	return res.Output[0], nil
+}
+
+// TestDifferentialSafePrograms: random safe programs must produce the
+// same checksum under every configuration with zero violations.
+func TestDifferentialSafePrograms(t *testing.T) {
+	for seed := int64(0); seed < seeds; seed++ {
+		o := Options{Seed: seed, Policy: core.PolicyWatchdog}
+		base, v := runCfg(t, o, core.Config{Policy: core.PolicyBaseline})
+		if v != nil {
+			t.Fatalf("seed %d: baseline cannot fault: %v", seed, v)
+		}
+		cons := core.DefaultConfig()
+		cons.PtrPolicy = core.PtrConservative
+		for name, cc := range map[string]core.Config{
+			"isa":  core.DefaultConfig(),
+			"cons": cons,
+		} {
+			got, v := runCfg(t, o, cc)
+			if v != nil {
+				t.Fatalf("seed %d/%s: false positive: %v", seed, name, v)
+			}
+			if got != base {
+				t.Fatalf("seed %d/%s: checksum %d != baseline %d", seed, name, got, base)
+			}
+		}
+	}
+}
+
+// TestDifferentialSafeProgramsWithBounds: the same property under full
+// memory safety.
+func TestDifferentialSafeProgramsWithBounds(t *testing.T) {
+	for seed := int64(100); seed < 100+seeds; seed++ {
+		o := Options{Seed: seed, Policy: core.PolicyWatchdog, Bounds: true}
+		base, v := runCfg(t, o, core.Config{Policy: core.PolicyBaseline})
+		if v != nil {
+			t.Fatalf("seed %d: baseline fault: %v", seed, v)
+		}
+		cc := core.DefaultConfig()
+		cc.Bounds = core.BoundsFused
+		got, v := runCfg(t, o, cc)
+		if v != nil {
+			t.Fatalf("seed %d: bounds false positive: %v", seed, v)
+		}
+		if got != base {
+			t.Fatalf("seed %d: bounds checksum %d != %d", seed, got, base)
+		}
+	}
+}
+
+// TestInjectedUAFAlwaysDetected: every planted use-after-free (through
+// a reallocated block) is caught by Watchdog at the planted
+// instruction, while the baseline runs to completion.
+func TestInjectedUAFAlwaysDetected(t *testing.T) {
+	for seed := int64(200); seed < 200+seeds; seed++ {
+		o := Options{Seed: seed, Policy: core.PolicyWatchdog, Bug: BugUAF}
+		prog, rtEnd, bugPC, err := Generate(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bugPC < 0 {
+			t.Fatalf("seed %d: no bug planted", seed)
+		}
+		// Baseline (with the uninstrumented runtime) silently survives.
+		bo := o
+		bo.Policy = core.PolicyBaseline
+		bprog, brtEnd, _, err := Generate(bo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(bprog, sim.Config{Core: core.Config{Policy: core.PolicyBaseline},
+			RuntimeEnd: brtEnd, InstLimit: 10_000_000})
+		if err != nil || res.MemErr != nil || res.Aborted {
+			t.Fatalf("seed %d: baseline must complete: %v %v aborted=%v", seed, err, res.MemErr, res.Aborted)
+		}
+		// Watchdog catches it at exactly the planted access.
+		res, err = sim.Run(prog, sim.Config{Core: core.DefaultConfig(),
+			RuntimeEnd: rtEnd, InstLimit: 10_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MemErr == nil || res.MemErr.Kind != core.ErrUseAfterFree {
+			t.Fatalf("seed %d: UAF not detected: %v", seed, res.MemErr)
+		}
+		if res.MemErr.PC != bugPC {
+			t.Fatalf("seed %d: fault at pc %d, planted at %d", seed, res.MemErr.PC, bugPC)
+		}
+	}
+}
+
+// TestInjectedOOBDetectedOnlyWithBounds: a one-past-the-end read is
+// invisible to UAF-only checking but caught by the bounds extension.
+func TestInjectedOOBDetectedOnlyWithBounds(t *testing.T) {
+	for seed := int64(300); seed < 300+seeds; seed++ {
+		o := Options{Seed: seed, Policy: core.PolicyWatchdog, Bug: BugOOB, Bounds: true}
+		prog, rtEnd, bugPC, err := Generate(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// UAF-only: completes (the identifier is still valid).
+		res, err := sim.Run(prog, sim.Config{Core: core.DefaultConfig(),
+			RuntimeEnd: rtEnd, InstLimit: 10_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MemErr != nil {
+			t.Fatalf("seed %d: UAF-only checking should miss the overflow, got %v", seed, res.MemErr)
+		}
+		// Bounds mode: caught at the planted access.
+		cc := core.DefaultConfig()
+		cc.Bounds = core.BoundsFused
+		res, err = sim.Run(prog, sim.Config{Core: cc, RuntimeEnd: rtEnd, InstLimit: 10_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MemErr == nil || res.MemErr.Kind != core.ErrOutOfBounds {
+			t.Fatalf("seed %d: overflow not detected: %v", seed, res.MemErr)
+		}
+		if res.MemErr.PC != bugPC {
+			t.Fatalf("seed %d: fault at pc %d, planted at %d", seed, res.MemErr.PC, bugPC)
+		}
+	}
+}
+
+// TestGenerateDeterministic: the generator is a pure function of its
+// options.
+func TestGenerateDeterministic(t *testing.T) {
+	a, _, _, err := Generate(Options{Seed: 7, Policy: core.PolicyWatchdog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, _, err := Generate(Options{Seed: 7, Policy: core.PolicyWatchdog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Insts) != len(b.Insts) {
+		t.Fatal("nondeterministic generation")
+	}
+	for i := range a.Insts {
+		if a.Insts[i] != b.Insts[i] {
+			t.Fatalf("instruction %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package isa
+
+// NewUop returns a µop of the given opcode and execution class with
+// every register field initialized to NoReg. All µop construction
+// (cracking here, Watchdog injection in internal/core) must go through
+// NewUop so that unset register fields never alias R0.
+func NewUop(op UopOp, class ExecClass) Uop {
+	return Uop{Op: op, Class: class, Dst: NoReg, Src1: NoReg, Src2: NoReg, Src3: NoReg, MDst: NoReg, MSrc: NoReg}
+}
+
+// Crack decodes one macro instruction into its base µop sequence
+// (before any Watchdog injection), appending to buf and returning the
+// extended slice. Memory-operand addresses and branch outcomes in the
+// produced µops are filled in later by the machine; Crack only
+// establishes opcodes, execution classes and register dependencies,
+// mirroring an x86 decoder cracking macro instructions into RISC µops.
+func Crack(in *Inst, buf []Uop) []Uop {
+	switch in.Op {
+	case OpNop, OpInvalid:
+		return append(buf, NewUop(UopNop, ExecNone))
+
+	case OpMov, OpMovi, OpLea, OpSetcc,
+		OpAdd, OpAddi, OpSub, OpSubi, OpAnd, OpAndi, OpOr, OpOri,
+		OpXor, OpXori, OpShl, OpShli, OpShr, OpShri, OpSar, OpSari:
+		if in.HasMem {
+			return crackALUMem(in, UopAlu, ExecALU, buf)
+		}
+		u := aluUop(in, UopAlu, ExecALU)
+		if in.Op == OpLea {
+			u.Src1, u.Src2 = in.Mem.Base, in.Mem.Index
+		}
+		return append(buf, u)
+
+	case OpMul, OpMuli:
+		if in.HasMem {
+			return crackALUMem(in, UopMul, ExecMulDiv, buf)
+		}
+		return append(buf, aluUop(in, UopMul, ExecMulDiv))
+
+	case OpDiv, OpRem:
+		return append(buf, aluUop(in, UopDiv, ExecMulDiv))
+
+	case OpFmov, OpFmovi, OpI2f, OpF2i, OpFcmp, OpFadd, OpFsub:
+		return append(buf, aluUop(in, UopFAlu, ExecFPAlu))
+	case OpFmul:
+		return append(buf, aluUop(in, UopFMul, ExecFPMul))
+	case OpFdiv:
+		return append(buf, aluUop(in, UopFDiv, ExecFPDiv))
+
+	case OpLd, OpLds:
+		return append(buf, memUop(in, UopLoad, ExecLoad, in.Dst, NoReg))
+	case OpXchg:
+		// Atomic read-modify-write: a load µop and a store µop locked
+		// to the same address.
+		buf = append(buf, memUop(in, UopLoad, ExecLoad, Tmp1, NoReg))
+		st := memUop(in, UopStore, ExecStore, NoReg, in.Dst)
+		buf = append(buf, st)
+		mv := NewUop(UopAlu, ExecALU)
+		mv.Dst, mv.Src1 = in.Dst, Tmp1
+		return append(buf, mv)
+	case OpSt:
+		return append(buf, memUop(in, UopStore, ExecStore, NoReg, in.Src1))
+	case OpFld:
+		return append(buf, memUop(in, UopFLoad, ExecLoad, in.Dst, NoReg))
+	case OpFst:
+		return append(buf, memUop(in, UopFStore, ExecStore, NoReg, in.Src1))
+
+	case OpBr:
+		u := NewUop(UopBranch, ExecBr)
+		u.Src1, u.Src2 = in.Src1, in.Src2
+		u.IsBranch = true
+		return append(buf, u)
+	case OpJmp:
+		return append(buf, NewUop(UopJump, ExecBr))
+	case OpJmpr:
+		u := NewUop(UopJump, ExecBr)
+		u.Src1 = in.Src1
+		return append(buf, u)
+	case OpCall:
+		return crackCallCommon(NoReg, buf)
+	case OpCallr:
+		return crackCallCommon(in.Src1, buf)
+
+	case OpRet:
+		// Load return address through the stack pointer, pop, jump.
+		ld := NewUop(UopLoad, ExecLoad)
+		ld.Dst, ld.Src1, ld.IsMem, ld.Width = Tmp0, SP, true, 8
+		buf = append(buf, ld)
+		sp := NewUop(UopAlu, ExecALU)
+		sp.Dst, sp.Src1 = SP, SP
+		buf = append(buf, sp)
+		j := NewUop(UopJump, ExecBr)
+		j.Src1 = Tmp0
+		return append(buf, j)
+
+	case OpPush:
+		sp := NewUop(UopAlu, ExecALU)
+		sp.Dst, sp.Src1 = SP, SP
+		buf = append(buf, sp)
+		st := NewUop(UopStore, ExecStore)
+		st.Src1, st.Src3 = SP, in.Src1
+		st.IsMem, st.IsWr, st.Width = true, true, 8
+		return append(buf, st)
+	case OpPop:
+		ld := NewUop(UopLoad, ExecLoad)
+		ld.Dst, ld.Src1, ld.IsMem, ld.Width = in.Dst, SP, true, 8
+		buf = append(buf, ld)
+		sp := NewUop(UopAlu, ExecALU)
+		sp.Dst, sp.Src1 = SP, SP
+		return append(buf, sp)
+
+	case OpSetident:
+		u := NewUop(UopSetIdent, ExecALU)
+		u.Dst, u.Src1, u.Src2, u.Src3 = in.Dst, in.Src1, in.Src2, in.Src3
+		u.MDst = MetaReg(in.Dst)
+		u.Meta = MetaOther
+		return append(buf, u)
+	case OpGetident:
+		k := NewUop(UopGetIdent, ExecALU)
+		k.Dst, k.Src1, k.MSrc, k.Meta = in.Dst, in.Src1, MetaReg(in.Src1), MetaOther
+		buf = append(buf, k)
+		l := NewUop(UopGetIdent, ExecALU)
+		l.Dst, l.Src1, l.MSrc, l.Meta = in.Src3, in.Src1, MetaReg(in.Src1), MetaOther
+		return append(buf, l)
+	case OpSetbound:
+		u := NewUop(UopSetBound, ExecALU)
+		u.Dst, u.Src1, u.Src2, u.Src3 = in.Dst, in.Src1, in.Src2, in.Src3
+		u.MDst = MetaReg(in.Dst)
+		u.Meta = MetaOther
+		return append(buf, u)
+
+	case OpSys:
+		u := NewUop(UopSys, ExecALU)
+		u.Src1 = in.Src1
+		return append(buf, u)
+	case OpHalt:
+		return append(buf, NewUop(UopHalt, ExecNone))
+	}
+	return append(buf, NewUop(UopNop, ExecNone))
+}
+
+// crackCallCommon cracks a call: redirect µop plus the push of the
+// return address (the return address is hardware-generated, so the
+// store has no data-register dependence).
+func crackCallCommon(target Reg, buf []Uop) []Uop {
+	j := NewUop(UopJump, ExecBr)
+	j.Src1 = target
+	buf = append(buf, j)
+	sp := NewUop(UopAlu, ExecALU)
+	sp.Dst, sp.Src1 = SP, SP
+	buf = append(buf, sp)
+	st := NewUop(UopStore, ExecStore)
+	st.Src1 = SP
+	st.IsMem, st.IsWr, st.Width = true, true, 8
+	return append(buf, st)
+}
+
+// crackALUMem cracks an ALU macro op with a memory source operand into
+// load + op, the loaded value flowing through timing temp Tmp0.
+func crackALUMem(in *Inst, op UopOp, class ExecClass, buf []Uop) []Uop {
+	ld := NewUop(UopLoad, ExecLoad)
+	ld.Dst, ld.Src1, ld.Src2 = Tmp0, in.Mem.Base, in.Mem.Index
+	ld.IsMem, ld.Width = true, in.Mem.Width
+	buf = append(buf, ld)
+	u := NewUop(op, class)
+	u.Dst, u.Src1, u.Src2 = in.Dst, in.Src1, Tmp0
+	return append(buf, u)
+}
+
+func aluUop(in *Inst, op UopOp, class ExecClass) Uop {
+	u := NewUop(op, class)
+	u.Dst, u.Src1, u.Src2 = in.Dst, in.Src1, in.Src2
+	return u
+}
+
+func memUop(in *Inst, op UopOp, class ExecClass, dst, data Reg) Uop {
+	u := NewUop(op, class)
+	u.Dst, u.Src1, u.Src2, u.Src3 = dst, in.Mem.Base, in.Mem.Index, data
+	u.IsMem, u.IsWr, u.Width = true, class == ExecStore, in.Mem.Width
+	return u
+}
+
+// MetaReg returns the timing-model dependence-table index of the
+// decoupled metadata register shadowing integer register r, or NoReg
+// for non-integer registers.
+func MetaReg(r Reg) Reg {
+	if !r.IsInt() {
+		return NoReg
+	}
+	return MetaRegBase + r
+}

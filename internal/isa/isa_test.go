@@ -1,0 +1,258 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegClasses(t *testing.T) {
+	if !R0.IsInt() || !R15.IsInt() {
+		t.Fatal("R0/R15 must be integer registers")
+	}
+	if F0.IsInt() || !F0.IsFP() {
+		t.Fatal("F0 must be a FP register")
+	}
+	if NoReg.Valid() {
+		t.Fatal("NoReg must not be valid")
+	}
+	if SP != R15 {
+		t.Fatal("SP must alias R15")
+	}
+	if got := SP.String(); got != "sp" {
+		t.Fatalf("SP.String() = %q", got)
+	}
+	if got := F3.String(); got != "f3" {
+		t.Fatalf("F3.String() = %q", got)
+	}
+}
+
+func TestCondEval(t *testing.T) {
+	cases := []struct {
+		c    Cond
+		a, b uint64
+		want bool
+	}{
+		{CondEQ, 5, 5, true},
+		{CondEQ, 5, 6, false},
+		{CondNE, 5, 6, true},
+		{CondLT, ^uint64(0), 0, true},  // -1 < 0 signed
+		{CondB, ^uint64(0), 0, false},  // max > 0 unsigned
+		{CondA, ^uint64(0), 0, true},   // max > 0 unsigned
+		{CondGE, 0, ^uint64(0), true},  // 0 >= -1 signed
+		{CondAE, 0, ^uint64(0), false}, // 0 < max unsigned
+		{CondLE, 3, 3, true},
+		{CondGT, 4, 3, true},
+		{CondBE, 3, 3, true},
+	}
+	for _, tc := range cases {
+		if got := tc.c.Eval(tc.a, tc.b); got != tc.want {
+			t.Errorf("%s.Eval(%d,%d) = %v, want %v", tc.c, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// Property: for every condition, Eval(c, a, b) and Eval(inverse, a, b)
+// must disagree (each condition has an exact complement).
+func TestCondComplement(t *testing.T) {
+	inv := map[Cond]Cond{
+		CondEQ: CondNE, CondLT: CondGE, CondLE: CondGT,
+		CondB: CondAE, CondBE: CondA,
+	}
+	f := func(a, b uint64) bool {
+		for c, ic := range inv {
+			if c.Eval(a, b) == ic.Eval(a, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpcodeTableComplete(t *testing.T) {
+	for op := OpInvalid; op < numOpcodes; op++ {
+		if op.Name() == "" {
+			t.Errorf("opcode %d has no table entry", op)
+		}
+	}
+	if !OpLd.IsLoad() || OpLd.IsStore() {
+		t.Fatal("OpLd classification wrong")
+	}
+	if !OpSt.IsStore() || OpSt.IsLoad() {
+		t.Fatal("OpSt classification wrong")
+	}
+	if !OpBr.IsBranch() || !OpBr.IsControl() {
+		t.Fatal("OpBr classification wrong")
+	}
+	if !OpRet.IsControl() || OpRet.IsBranch() {
+		t.Fatal("OpRet classification wrong")
+	}
+	if !OpPush.IsStore() || !OpPop.IsLoad() {
+		t.Fatal("push/pop memory classification wrong")
+	}
+}
+
+func TestNewUopDefaultsToNoReg(t *testing.T) {
+	u := NewUop(UopAlu, ExecALU)
+	for _, r := range []Reg{u.Dst, u.Src1, u.Src2, u.Src3, u.MDst, u.MSrc} {
+		if r != NoReg {
+			t.Fatalf("NewUop left register field %v set", r)
+		}
+	}
+}
+
+func TestCrackSimpleALU(t *testing.T) {
+	in := &Inst{Op: OpAdd, Dst: R1, Src1: R2, Src2: R3}
+	uops := Crack(in, nil)
+	if len(uops) != 1 {
+		t.Fatalf("add cracked into %d µops, want 1", len(uops))
+	}
+	u := uops[0]
+	if u.Op != UopAlu || u.Dst != R1 || u.Src1 != R2 || u.Src2 != R3 {
+		t.Fatalf("bad crack: %+v", u)
+	}
+	if u.Src3 != NoReg || u.MDst != NoReg || u.MSrc != NoReg {
+		t.Fatalf("unset fields not NoReg: %+v", u)
+	}
+}
+
+func TestCrackALUWithMemOperand(t *testing.T) {
+	in := &Inst{Op: OpAdd, Dst: R1, Src1: R1, HasMem: true,
+		Mem: MemRef{Base: R2, Index: NoReg, Disp: 8, Width: 8}}
+	uops := Crack(in, nil)
+	if len(uops) != 2 {
+		t.Fatalf("mem-operand add cracked into %d µops, want 2", len(uops))
+	}
+	if uops[0].Op != UopLoad || uops[0].Dst != Tmp0 || !uops[0].IsMem {
+		t.Fatalf("first µop should be load to Tmp0: %+v", uops[0])
+	}
+	if uops[1].Op != UopAlu || uops[1].Src2 != Tmp0 || uops[1].Dst != R1 {
+		t.Fatalf("second µop should consume Tmp0: %+v", uops[1])
+	}
+}
+
+func TestCrackStoreCarriesDataInSrc3(t *testing.T) {
+	in := &Inst{Op: OpSt, Src1: R4, Mem: MemRef{Base: R5, Index: R6, Scale: 8, Width: 8}}
+	uops := Crack(in, nil)
+	if len(uops) != 1 {
+		t.Fatalf("store cracked into %d µops", len(uops))
+	}
+	u := uops[0]
+	if !u.IsWr || u.Src1 != R5 || u.Src2 != R6 || u.Src3 != R4 {
+		t.Fatalf("bad store crack: %+v", u)
+	}
+}
+
+func TestCrackPushPop(t *testing.T) {
+	push := Crack(&Inst{Op: OpPush, Src1: R3}, nil)
+	if len(push) != 2 || push[0].Dst != SP || !push[1].IsWr || push[1].Src3 != R3 {
+		t.Fatalf("bad push crack: %+v", push)
+	}
+	pop := Crack(&Inst{Op: OpPop, Dst: R3}, nil)
+	if len(pop) != 2 || pop[0].Dst != R3 || !pop[0].IsMem || pop[1].Dst != SP {
+		t.Fatalf("bad pop crack: %+v", pop)
+	}
+}
+
+func TestCrackCallRet(t *testing.T) {
+	call := Crack(&Inst{Op: OpCall, Imm: 42}, nil)
+	if len(call) != 3 {
+		t.Fatalf("call cracked into %d µops, want 3 (jump, sp, store)", len(call))
+	}
+	if call[0].Op != UopJump || !call[2].IsWr {
+		t.Fatalf("bad call crack: %+v", call)
+	}
+	ret := Crack(&Inst{Op: OpRet}, nil)
+	if len(ret) != 3 {
+		t.Fatalf("ret cracked into %d µops, want 3 (load, sp, jump)", len(ret))
+	}
+	if ret[0].Op != UopLoad || ret[0].Dst != Tmp0 || ret[2].Src1 != Tmp0 {
+		t.Fatalf("bad ret crack: %+v", ret)
+	}
+}
+
+func TestCrackSetGetIdent(t *testing.T) {
+	set := Crack(&Inst{Op: OpSetident, Dst: R1, Src1: R1, Src2: R2, Src3: R3}, nil)
+	if len(set) != 1 || set[0].MDst != MetaReg(R1) || set[0].Meta != MetaOther {
+		t.Fatalf("bad setident crack: %+v", set)
+	}
+	get := Crack(&Inst{Op: OpGetident, Dst: R2, Src1: R1, Src3: R3}, nil)
+	if len(get) != 2 {
+		t.Fatalf("getident cracked into %d µops, want 2", len(get))
+	}
+	if get[0].Dst != R2 || get[1].Dst != R3 || get[0].MSrc != MetaReg(R1) {
+		t.Fatalf("bad getident crack: %+v", get)
+	}
+}
+
+// Property: cracking any well-formed instruction yields at least one
+// µop and never leaves a register field with an out-of-range value
+// other than the timing temps and NoReg.
+func TestCrackRegisterSanity(t *testing.T) {
+	ops := []Opcode{OpMov, OpMovi, OpAdd, OpAddi, OpMul, OpDiv, OpLd, OpSt,
+		OpFld, OpFst, OpFadd, OpBr, OpJmp, OpCall, OpRet, OpPush, OpPop,
+		OpSetident, OpGetident, OpSetbound, OpSys, OpHalt, OpNop}
+	for _, op := range ops {
+		in := &Inst{Op: op, Dst: R1, Src1: R2, Src2: R3, Src3: R4,
+			Mem: MemRef{Base: R5, Index: NoReg, Width: 8}}
+		uops := Crack(in, nil)
+		if len(uops) == 0 {
+			t.Fatalf("%s cracked into zero µops", op.Name())
+		}
+		for _, u := range uops {
+			for _, r := range []Reg{u.Dst, u.Src1, u.Src2, u.Src3} {
+				if r != NoReg && int(r) >= NumTimingRegs {
+					t.Fatalf("%s: register %d out of range", op.Name(), r)
+				}
+			}
+			for _, r := range []Reg{u.MDst, u.MSrc} {
+				if r != NoReg && (int(r) < int(MetaRegBase) || int(r) >= NumTimingRegs) {
+					t.Fatalf("%s: meta register %d out of range", op.Name(), r)
+				}
+			}
+		}
+	}
+}
+
+func TestMetaReg(t *testing.T) {
+	if MetaReg(R0) != MetaRegBase {
+		t.Fatal("MetaReg(R0) wrong")
+	}
+	if MetaReg(R15) != MetaRegBase+15 {
+		t.Fatal("MetaReg(R15) wrong")
+	}
+	if MetaReg(F0) != NoReg {
+		t.Fatal("MetaReg of FP register must be NoReg")
+	}
+	if int(MetaRegBase)+NumIntRegs != NumTimingRegs {
+		t.Fatal("NumTimingRegs inconsistent")
+	}
+}
+
+func TestInstString(t *testing.T) {
+	in := Inst{Op: OpLd, Dst: R1, Mem: MemRef{Base: R2, Index: R3, Scale: 8, Disp: -16, Width: 8}}
+	if s := in.String(); s == "" {
+		t.Fatal("empty instruction string")
+	}
+	br := Inst{Op: OpBr, Cond: CondLT, Src1: R1, Src2: R2, Label: "loop"}
+	if s := br.String(); s == "" {
+		t.Fatal("empty branch string")
+	}
+}
+
+func TestIsPointerWidthIntMem(t *testing.T) {
+	if !(Inst{Op: OpLd, Mem: MemRef{Width: 8}}).IsPointerWidthIntMem() {
+		t.Fatal("8-byte int load must be pointer-width")
+	}
+	if (Inst{Op: OpLd, Mem: MemRef{Width: 4}}).IsPointerWidthIntMem() {
+		t.Fatal("4-byte load must not be pointer-width")
+	}
+	if (Inst{Op: OpFld, Mem: MemRef{Width: 8}}).IsPointerWidthIntMem() {
+		t.Fatal("FP load must not be pointer-width")
+	}
+	if !(Inst{Op: OpPush}).IsPointerWidthIntMem() {
+		t.Fatal("push must be pointer-width")
+	}
+}

@@ -1,0 +1,200 @@
+package isa
+
+import "fmt"
+
+// Opcode identifies a WD64 macro instruction.
+type Opcode uint8
+
+const (
+	OpInvalid Opcode = iota
+
+	// Register moves and constants.
+	OpMov  // Dst <- Src1
+	OpMovi // Dst <- Imm
+	OpLea  // Dst <- effective address of Mem
+
+	// Integer ALU, three-address. Immediate forms use Imm instead of Src2.
+	OpAdd
+	OpAddi
+	OpSub
+	OpSubi
+	OpAnd
+	OpAndi
+	OpOr
+	OpOri
+	OpXor
+	OpXori
+	OpShl
+	OpShli
+	OpShr // logical right
+	OpShri
+	OpSar // arithmetic right
+	OpSari
+	OpMul
+	OpMuli
+	OpDiv // signed divide; divide by zero traps
+	OpRem // signed remainder
+
+	// Set-on-condition: Dst <- Cond(Src1, Src2) ? 1 : 0.
+	OpSetcc
+
+	// Memory. Width selects 1/2/4/8 bytes; loads zero-extend unless
+	// OpLds (sign-extending load).
+	OpLd
+	OpLds
+	OpSt // stores Src1 to Mem
+
+	// Floating point (64-bit IEEE in the FP file).
+	OpFmov
+	OpFmovi // Dst <- float64frombits-style immediate
+	OpFadd
+	OpFsub
+	OpFmul
+	OpFdiv
+	OpFld // FP load, 8 bytes
+	OpFst
+	OpI2f  // int -> float
+	OpF2i  // float -> int (truncate)
+	OpFcmp // Dst(int) <- -1/0/1 comparing FP Src1, Src2
+
+	// Control flow. Branch targets are instruction indexes after
+	// assembly (Imm holds the target).
+	OpBr    // conditional: if Cond(Src1, Src2) goto Imm
+	OpJmp   // unconditional direct
+	OpJmpr  // unconditional indirect through Src1
+	OpCall  // direct call
+	OpCallr // indirect call through Src1
+	OpRet
+
+	// Stack.
+	OpPush
+	OpPop
+
+	// Watchdog runtime interface (Section 3 and Figure 3 of the paper).
+	OpSetident // associate identifier (key=Src2, lock=Src3) with pointer Dst<-Src1
+	OpGetident // Dst<-key, Src3 names the lock destination reg; pointer in Src1
+	OpSetbound // associate bounds (base=Src2, bound=Src3) with pointer Dst<-Src1
+
+	// Xchg atomically exchanges Dst's value with the memory operand
+	// (the synchronization primitive the multithreaded runtime builds
+	// its allocator lock from; macro instructions execute atomically
+	// on the interleaved multi-context machine).
+	OpXchg
+
+	// System: Imm selects the service (see Sys* constants); argument
+	// in Src1 where applicable.
+	OpSys
+	OpHalt
+	OpNop
+
+	numOpcodes
+)
+
+// System-call numbers for OpSys.
+const (
+	SysExit   = 0 // terminate with code in Src1
+	SysPutInt = 1 // append integer in Src1 to the machine's output log
+	SysPutChr = 2 // append byte in Src1 to the machine's output text
+	SysAbort  = 3 // runtime-detected error (e.g. double free); code in Src1
+	// Location-policy runtime hooks: the location-based checker's
+	// modified allocator reports allocation state changes. Arguments
+	// ride in fixed registers: pointer in R1, size in R2.
+	SysMarkAlloc = 4
+	SysMarkFree  = 5
+	// SysTid returns the hardware context (thread) id in R1.
+	SysTid = 6
+)
+
+// opInfo describes static properties of an opcode.
+type opInfo struct {
+	name     string
+	hasDst   bool
+	nSrc     int  // register sources read (excluding memory operand registers)
+	isLoad   bool // has a memory read
+	isStore  bool // has a memory write
+	isBranch bool // conditional control flow
+	isJump   bool // unconditional control flow (incl. call/ret)
+}
+
+var opTable = [numOpcodes]opInfo{
+	OpInvalid:  {name: "invalid"},
+	OpMov:      {name: "mov", hasDst: true, nSrc: 1},
+	OpMovi:     {name: "movi", hasDst: true},
+	OpLea:      {name: "lea", hasDst: true},
+	OpAdd:      {name: "add", hasDst: true, nSrc: 2},
+	OpAddi:     {name: "addi", hasDst: true, nSrc: 1},
+	OpSub:      {name: "sub", hasDst: true, nSrc: 2},
+	OpSubi:     {name: "subi", hasDst: true, nSrc: 1},
+	OpAnd:      {name: "and", hasDst: true, nSrc: 2},
+	OpAndi:     {name: "andi", hasDst: true, nSrc: 1},
+	OpOr:       {name: "or", hasDst: true, nSrc: 2},
+	OpOri:      {name: "ori", hasDst: true, nSrc: 1},
+	OpXor:      {name: "xor", hasDst: true, nSrc: 2},
+	OpXori:     {name: "xori", hasDst: true, nSrc: 1},
+	OpShl:      {name: "shl", hasDst: true, nSrc: 2},
+	OpShli:     {name: "shli", hasDst: true, nSrc: 1},
+	OpShr:      {name: "shr", hasDst: true, nSrc: 2},
+	OpShri:     {name: "shri", hasDst: true, nSrc: 1},
+	OpSar:      {name: "sar", hasDst: true, nSrc: 2},
+	OpSari:     {name: "sari", hasDst: true, nSrc: 1},
+	OpMul:      {name: "mul", hasDst: true, nSrc: 2},
+	OpMuli:     {name: "muli", hasDst: true, nSrc: 1},
+	OpDiv:      {name: "div", hasDst: true, nSrc: 2},
+	OpRem:      {name: "rem", hasDst: true, nSrc: 2},
+	OpSetcc:    {name: "setcc", hasDst: true, nSrc: 2},
+	OpLd:       {name: "ld", hasDst: true, isLoad: true},
+	OpLds:      {name: "lds", hasDst: true, isLoad: true},
+	OpSt:       {name: "st", nSrc: 1, isStore: true},
+	OpFmov:     {name: "fmov", hasDst: true, nSrc: 1},
+	OpFmovi:    {name: "fmovi", hasDst: true},
+	OpFadd:     {name: "fadd", hasDst: true, nSrc: 2},
+	OpFsub:     {name: "fsub", hasDst: true, nSrc: 2},
+	OpFmul:     {name: "fmul", hasDst: true, nSrc: 2},
+	OpFdiv:     {name: "fdiv", hasDst: true, nSrc: 2},
+	OpFld:      {name: "fld", hasDst: true, isLoad: true},
+	OpFst:      {name: "fst", nSrc: 1, isStore: true},
+	OpI2f:      {name: "i2f", hasDst: true, nSrc: 1},
+	OpF2i:      {name: "f2i", hasDst: true, nSrc: 1},
+	OpFcmp:     {name: "fcmp", hasDst: true, nSrc: 2},
+	OpBr:       {name: "br", nSrc: 2, isBranch: true},
+	OpJmp:      {name: "jmp", isJump: true},
+	OpJmpr:     {name: "jmpr", nSrc: 1, isJump: true},
+	OpCall:     {name: "call", isJump: true},
+	OpCallr:    {name: "callr", nSrc: 1, isJump: true},
+	OpRet:      {name: "ret", isJump: true},
+	OpPush:     {name: "push", nSrc: 1, isStore: true},
+	OpPop:      {name: "pop", hasDst: true, isLoad: true},
+	OpXchg:     {name: "xchg", hasDst: true, nSrc: 1, isLoad: true, isStore: true},
+	OpSetident: {name: "setident", hasDst: true, nSrc: 3},
+	OpGetident: {name: "getident", hasDst: true, nSrc: 1},
+	OpSetbound: {name: "setbound", hasDst: true, nSrc: 3},
+	OpSys:      {name: "sys", nSrc: 1},
+	OpHalt:     {name: "halt"},
+	OpNop:      {name: "nop"},
+}
+
+// Name returns the assembler mnemonic.
+func (o Opcode) Name() string {
+	if int(o) < len(opTable) {
+		return opTable[o].name
+	}
+	return fmt.Sprintf("op?%d", uint8(o))
+}
+
+// HasDst reports whether the opcode writes a destination register.
+func (o Opcode) HasDst() bool { return opTable[o].hasDst }
+
+// IsLoad reports whether the opcode reads memory.
+func (o Opcode) IsLoad() bool { return opTable[o].isLoad }
+
+// IsStore reports whether the opcode writes memory.
+func (o Opcode) IsStore() bool { return opTable[o].isStore }
+
+// IsMem reports whether the opcode accesses memory.
+func (o Opcode) IsMem() bool { return opTable[o].isLoad || opTable[o].isStore }
+
+// IsBranch reports whether the opcode is a conditional branch.
+func (o Opcode) IsBranch() bool { return opTable[o].isBranch }
+
+// IsControl reports whether the opcode redirects control flow.
+func (o Opcode) IsControl() bool { return opTable[o].isBranch || opTable[o].isJump }

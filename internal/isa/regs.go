@@ -1,0 +1,157 @@
+// Package isa defines the WD64 instruction set: the macro-instruction
+// layer that programs are written in, the RISC-style µop layer that the
+// pipeline executes, and the cracking of the former into the latter.
+//
+// WD64 is an x86-64 stand-in for the Watchdog reproduction: it is a
+// 64-bit little-endian machine whose macro instructions may carry a
+// memory operand (base + index*scale + displacement) and whose complex
+// operations (push/pop/call/ret, ALU-with-memory-operand) crack into
+// multiple µops, mirroring how the paper's simulator decodes x86 macro
+// instructions into RISC-style µops. Watchdog's metadata µops are
+// injected after cracking (see internal/core).
+package isa
+
+import "fmt"
+
+// Reg names an architectural register. Registers 0-15 are the 64-bit
+// integer file (R15 is the stack pointer), registers 16-31 are the
+// 64-bit floating-point file. NoReg marks an absent operand.
+type Reg uint8
+
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+
+	F0
+	F1
+	F2
+	F3
+	F4
+	F5
+	F6
+	F7
+	F8
+	F9
+	F10
+	F11
+	F12
+	F13
+	F14
+	F15
+
+	// NoReg marks an unused register operand.
+	NoReg Reg = 0xFF
+)
+
+// SP is the architectural stack pointer. Watchdog's hardware stack
+// identifier management (Figure 3c/3d of the paper) attaches the
+// current frame's lock-and-key identifier to this register on calls
+// and returns.
+const SP = R15
+
+// FP is the conventional frame pointer used by the WD64 runtime and
+// workloads. Nothing in the hardware treats it specially.
+const FP = R14
+
+// Register-file sizes.
+const (
+	NumIntRegs = 16
+	NumFPRegs  = 16
+	NumRegs    = NumIntRegs + NumFPRegs
+)
+
+// IsInt reports whether r is an integer register.
+func (r Reg) IsInt() bool { return r < NumIntRegs }
+
+// IsFP reports whether r is a floating-point register.
+func (r Reg) IsFP() bool { return r >= NumIntRegs && r < NumRegs }
+
+// Valid reports whether r names a real register (not NoReg).
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// String returns the assembler name of the register.
+func (r Reg) String() string {
+	switch {
+	case r == NoReg:
+		return "-"
+	case r == SP:
+		return "sp"
+	case r == FP:
+		return "fp"
+	case r.IsInt():
+		return fmt.Sprintf("r%d", uint8(r))
+	case r.IsFP():
+		return fmt.Sprintf("f%d", uint8(r)-NumIntRegs)
+	default:
+		return fmt.Sprintf("reg?%d", uint8(r))
+	}
+}
+
+// Cond is a branch condition evaluated over two integer sources
+// (signed unless noted).
+type Cond uint8
+
+const (
+	CondEQ Cond = iota // ==
+	CondNE             // !=
+	CondLT             // < signed
+	CondLE             // <= signed
+	CondGT             // > signed
+	CondGE             // >= signed
+	CondB              // < unsigned (below)
+	CondBE             // <= unsigned
+	CondA              // > unsigned (above)
+	CondAE             // >= unsigned
+)
+
+var condNames = [...]string{"eq", "ne", "lt", "le", "gt", "ge", "b", "be", "a", "ae"}
+
+// String returns the assembler mnemonic suffix for the condition.
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond?%d", uint8(c))
+}
+
+// Eval evaluates the condition over two 64-bit operands.
+func (c Cond) Eval(a, b uint64) bool {
+	sa, sb := int64(a), int64(b)
+	switch c {
+	case CondEQ:
+		return a == b
+	case CondNE:
+		return a != b
+	case CondLT:
+		return sa < sb
+	case CondLE:
+		return sa <= sb
+	case CondGT:
+		return sa > sb
+	case CondGE:
+		return sa >= sb
+	case CondB:
+		return a < b
+	case CondBE:
+		return a <= b
+	case CondA:
+		return a > b
+	case CondAE:
+		return a >= b
+	}
+	return false
+}

@@ -1,0 +1,221 @@
+package machine
+
+import (
+	"fmt"
+
+	"watchdog/internal/isa"
+	"watchdog/internal/mem"
+)
+
+// annotateMem fills the effective address into the (single) memory
+// µop of a cracked sequence.
+func annotateMem(base []isa.Uop, addr uint64) {
+	for i := range base {
+		if base[i].IsMem {
+			base[i].Addr = addr
+			return
+		}
+	}
+}
+
+// checkedAccess runs the Watchdog check for one memory access, feeds
+// the check µops and then the (annotated) base µops. It returns false
+// if the access faulted; the machine is then halted.
+func (m *Machine) checkedAccess(ptrBase, ptrIndex isa.Reg, addr uint64, width uint8, isWrite bool, base []isa.Uop) bool {
+	chk, err := m.eng.Access(m.pc, ptrBase, ptrIndex, addr, width, isWrite)
+	m.feed(chk)
+	if err != nil {
+		m.fault(err)
+		return false
+	}
+	annotateMem(base, addr)
+	m.feed(base)
+	return true
+}
+
+// load interprets Ld/Lds.
+func (m *Machine) load(in *isa.Inst, base []isa.Uop) error {
+	addr := m.effAddr(in.Mem)
+	if !m.checkedAccess(in.Mem.Base, in.Mem.Index, addr, in.Mem.Width, false, base) {
+		return nil
+	}
+	v := m.Mem.Read(addr, in.Mem.Width)
+	if in.Op == isa.OpLds {
+		v = signExtend(v, in.Mem.Width)
+	}
+	m.setReg(in.Dst, v)
+	if m.eng.Classify(m.pc, in) {
+		m.feed(m.eng.PtrLoad(m.pc, in.Dst, addr))
+	} else {
+		m.eng.NonPtrLoad(in.Dst)
+		if m.model != nil {
+			m.model.InvalidateMeta(in.Dst)
+		}
+	}
+	return nil
+}
+
+// store interprets St.
+func (m *Machine) store(in *isa.Inst, base []isa.Uop) error {
+	addr := m.effAddr(in.Mem)
+	if !m.checkedAccess(in.Mem.Base, in.Mem.Index, addr, in.Mem.Width, true, base) {
+		return nil
+	}
+	m.Mem.Write(addr, in.Mem.Width, m.reg(in.Src1))
+	if m.eng.Classify(m.pc, in) {
+		m.feed(m.eng.PtrStore(m.pc, in.Src1, addr))
+	}
+	return nil
+}
+
+// aluMem interprets an ALU macro op with a memory source operand.
+func (m *Machine) aluMem(in *isa.Inst, base []isa.Uop) error {
+	addr := m.effAddr(in.Mem)
+	if !m.checkedAccess(in.Mem.Base, in.Mem.Index, addr, in.Mem.Width, false, base) {
+		return nil
+	}
+	v := m.Mem.Read(addr, in.Mem.Width)
+	m.setReg(in.Dst, intALU(in.Op, m.reg(in.Src1), v))
+	// The loaded operand is data; the result inherits Src1's metadata
+	// (pointer + offset-in-memory pattern).
+	uops := m.eng.CopyPropagate(in.Dst, in.Src1)
+	if m.model != nil && len(uops) == 0 {
+		m.model.PropagateMeta(in.Dst, in.Src1)
+	}
+	m.feed(uops)
+	return nil
+}
+
+// memInst interprets push/pop stack accesses (pointer register is SP).
+// It returns false when the access faulted (machine already halted).
+func (m *Machine) memInst(in *isa.Inst, addr uint64, isWrite bool, src, dst isa.Reg, base []isa.Uop) bool {
+	if !m.checkedAccess(isa.SP, isa.NoReg, addr, 8, isWrite, base) {
+		return false
+	}
+	if m.eng.Classify(m.pc, in) {
+		if isWrite {
+			// The metadata must be written before the functional store
+			// below overwrites the word (ordering is irrelevant to the
+			// timing model).
+			m.feed(m.eng.PtrStore(m.pc, src, addr))
+		} else {
+			m.feed(m.eng.PtrLoad(m.pc, dst, addr))
+		}
+	} else if !isWrite {
+		m.eng.NonPtrLoad(dst)
+		if m.model != nil {
+			m.model.InvalidateMeta(dst)
+		}
+	}
+	return true
+}
+
+// call interprets direct and indirect calls.
+func (m *Machine) call(in *isa.Inst, pc int, ca uint64, base []isa.Uop) (int, error) {
+	retAddr := mem.CodeAddr(pc + 1)
+	addr := m.Regs[isa.SP] - 8
+
+	var target int
+	if in.Op == isa.OpCall {
+		target = int(in.Imm)
+	} else {
+		tgt, ok := mem.InstIndex(m.reg(in.Src1))
+		if !ok {
+			return 0, fmt.Errorf("machine: indirect call to non-code address %#x at pc %d", m.reg(in.Src1), pc)
+		}
+		target = tgt
+		m.annotateIndirect(ca, m.reg(in.Src1), &base[0])
+	}
+	base[0].Taken = true
+
+	if !m.checkedAccess(isa.SP, isa.NoReg, addr, 8, true, base) {
+		return 0, nil // faulted; machine halted
+	}
+	m.Regs[isa.SP] = addr
+	m.Mem.WriteU64(addr, retAddr)
+	if m.bp != nil {
+		m.bp.PushReturn(retAddr)
+	}
+	// Hardware stack-frame identifier allocation (Figure 3c).
+	m.feed(m.eng.Call())
+	return target, nil
+}
+
+// ret interprets returns.
+func (m *Machine) ret(in *isa.Inst, pc int, ca uint64, base []isa.Uop) (int, error) {
+	addr := m.Regs[isa.SP]
+	retAddr := m.Mem.ReadU64(addr)
+	target, ok := mem.InstIndex(retAddr)
+	if !ok {
+		return 0, fmt.Errorf("machine: return to non-code address %#x at pc %d", retAddr, pc)
+	}
+	if m.bp != nil {
+		pred, okp := m.bp.PredictReturn()
+		m.bp.RecordReturnOutcome(pred, retAddr, okp)
+		// The jump µop is the last of the cracked sequence.
+		j := &base[len(base)-1]
+		j.Taken = true
+		j.Mispredict = !okp || pred != retAddr
+	} else {
+		base[len(base)-1].Taken = true
+	}
+
+	if !m.checkedAccess(isa.SP, isa.NoReg, addr, 8, false, base) {
+		return 0, nil
+	}
+	m.Regs[isa.SP] = addr + 8
+	// Hardware stack-frame identifier deallocation (Figure 3d).
+	m.feed(m.eng.Ret())
+	return target, nil
+}
+
+// annotateIndirect fills indirect-branch prediction outcome.
+func (m *Machine) annotateIndirect(ca, actual uint64, u *isa.Uop) {
+	u.Taken = true
+	if m.bp == nil {
+		return
+	}
+	pred, ok := m.bp.PredictIndirect(ca)
+	u.Mispredict = !ok || pred != actual
+	m.bp.UpdateIndirect(ca, pred, actual, ok)
+}
+
+// syscall interprets OpSys.
+func (m *Machine) syscall(in *isa.Inst) {
+	switch in.Imm {
+	case isa.SysExit:
+		m.res.ExitCode = int64(m.reg(in.Src1))
+		m.halted = true
+	case isa.SysPutInt:
+		m.res.Output = append(m.res.Output, int64(m.reg(in.Src1)))
+	case isa.SysPutChr:
+		m.res.Text += string(rune(m.reg(in.Src1) & 0xff))
+	case isa.SysAbort:
+		m.res.Aborted = true
+		m.res.AbortCode = int64(m.reg(in.Src1))
+		m.halted = true
+	case isa.SysMarkAlloc:
+		m.eng.MarkAlloc(m.Regs[isa.R1], m.Regs[isa.R2])
+	case isa.SysMarkFree:
+		m.eng.MarkFree(m.Regs[isa.R1], m.Regs[isa.R2])
+	case isa.SysTid:
+		// Result in R13 so the allocator's R1 argument survives.
+		m.setReg(isa.R13, uint64(m.Tid))
+		m.eng.InvalidateReg(isa.R13)
+		if m.model != nil {
+			m.model.InvalidateMeta(isa.R13)
+		}
+	}
+}
+
+func signExtend(v uint64, width uint8) uint64 {
+	switch width {
+	case 1:
+		return uint64(int64(int8(v)))
+	case 2:
+		return uint64(int64(int16(v)))
+	case 4:
+		return uint64(int64(int32(v)))
+	}
+	return v
+}

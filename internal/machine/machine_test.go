@@ -1,0 +1,577 @@
+package machine
+
+import (
+	"testing"
+
+	"watchdog/internal/asm"
+	"watchdog/internal/bpred"
+	"watchdog/internal/cache"
+	"watchdog/internal/core"
+	"watchdog/internal/isa"
+	"watchdog/internal/mem"
+	"watchdog/internal/pipeline"
+)
+
+// run assembles and executes a program under the given engine config.
+// withTiming attaches the pipeline model.
+func run(t *testing.T, cfg core.Config, withTiming bool, build func(b *asm.Builder)) (*Result, error) {
+	t.Helper()
+	b := asm.NewBuilder()
+	build(b)
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	memory := mem.New()
+	eng := core.NewEngine(cfg, memory)
+	var model *pipeline.Model
+	var bp *bpred.Predictor
+	if withTiming {
+		hc := cache.DefaultHierConfig()
+		hc.LockCacheEnabled = cfg.LockCache
+		bp = bpred.New(bpred.DefaultConfig())
+		model = pipeline.New(pipeline.DefaultConfig(), cache.NewHierarchy(hc), bp)
+	}
+	m := New(prog, memory, eng, model, bp)
+	m.Load()
+	return m.Run()
+}
+
+func wd() core.Config { return core.DefaultConfig() }
+
+func TestArithmeticLoop(t *testing.T) {
+	res, err := run(t, core.Config{Policy: core.PolicyBaseline}, false, func(b *asm.Builder) {
+		b.Label("_start")
+		b.Movi(isa.R1, 0)  // sum
+		b.Movi(isa.R2, 10) // i
+		b.Label("loop")
+		b.Add(isa.R1, isa.R1, isa.R2)
+		b.Subi(isa.R2, isa.R2, 1)
+		b.Brnz(isa.R2, "loop")
+		b.Sys(isa.SysPutInt, isa.R1)
+		b.Halt()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 1 || res.Output[0] != 55 {
+		t.Fatalf("output = %v, want [55]", res.Output)
+	}
+}
+
+func TestTimingAttached(t *testing.T) {
+	res, err := run(t, wd(), true, func(b *asm.Builder) {
+		b.Label("_start")
+		b.Movi(isa.R1, 0)
+		b.Movi(isa.R2, 100)
+		b.Label("loop")
+		b.Add(isa.R1, isa.R1, isa.R2)
+		b.Subi(isa.R2, isa.R2, 1)
+		b.Brnz(isa.R2, "loop")
+		b.Halt()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timing.Cycles <= 0 {
+		t.Fatal("no cycles accounted")
+	}
+	if res.Timing.Uops < res.Insts {
+		t.Fatalf("uops (%d) < insts (%d)", res.Timing.Uops, res.Insts)
+	}
+}
+
+func TestGlobalAccessValidUnderWatchdog(t *testing.T) {
+	res, err := run(t, wd(), false, func(b *asm.Builder) {
+		b.Global("g", 16)
+		b.Label("_start")
+		b.MoviGlobal(isa.R1, "g", 0)
+		b.Movi(isa.R2, 1234)
+		b.St(asm.Mem(isa.R1, 8, 8), isa.R2)
+		b.Ld(isa.R3, asm.Mem(isa.R1, 8, 8))
+		b.Sys(isa.SysPutInt, isa.R3)
+		b.Halt()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemErr != nil {
+		t.Fatalf("unexpected fault: %v", res.MemErr)
+	}
+	if res.Output[0] != 1234 {
+		t.Fatalf("output = %v", res.Output)
+	}
+}
+
+func TestFabricatedPointerFaults(t *testing.T) {
+	res, err := run(t, wd(), false, func(b *asm.Builder) {
+		b.Label("_start")
+		b.Movi(isa.R1, int64(mem.HeapBase)) // raw integer, no provenance
+		b.Ld(isa.R2, asm.Mem(isa.R1, 0, 8))
+		b.Halt()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemErr == nil || res.MemErr.Kind != core.ErrNoMetadata {
+		t.Fatalf("want no-metadata fault, got %v", res.MemErr)
+	}
+}
+
+// emitIdentSetup emits the manual heap-identifier protocol used by the
+// runtime: derive lock-region and heap pointers from a global arena
+// pointer (so accesses carry valid metadata), write the key to the
+// lock location, and bind the identifier to the heap pointer.
+func emitIdentSetup(b *asm.Builder) {
+	b.Global("anchor", 8)
+	b.Label("_start")
+	// r5 = pointer to the heap lock location, derived from the global
+	// anchor (value rebased via Lea; metadata: global identifier).
+	b.MoviGlobal(isa.R5, "anchor", 0)
+	b.Movi(isa.R6, int64(core.HeapLockBase-mem.GlobalBase))
+	b.Lea(isa.R5, asm.MemIdx(isa.R5, isa.R6, 1, 0, 8))
+	// Widen the lock pointer's bounds to the lock region (the runtime
+	// discipline: in bounds mode the global identifier's bounds cover
+	// only the data segment).
+	b.Movi(isa.R10, int64(mem.LockBase))
+	b.Movi(isa.R11, int64(mem.LockBase+mem.LockMax))
+	b.Setbound(isa.R5, isa.R5, isa.R10, isa.R11)
+	// mem[lock] = key
+	b.Movi(isa.R3, int64(core.HeapKeyBase))
+	b.St(asm.Mem(isa.R5, 0, 8), isa.R3)
+	// r7 = heap pointer with the fresh identifier.
+	b.MoviGlobal(isa.R7, "anchor", 0)
+	b.Movi(isa.R6, int64(mem.HeapBase-mem.GlobalBase))
+	b.Lea(isa.R7, asm.MemIdx(isa.R7, isa.R6, 1, 0, 8))
+	b.Setident(isa.R7, isa.R7, isa.R3, isa.R5)
+}
+
+func TestHeapIdentLifecycle(t *testing.T) {
+	res, err := run(t, wd(), false, func(b *asm.Builder) {
+		emitIdentSetup(b)
+		// Use the allocation.
+		b.Movi(isa.R2, 77)
+		b.St(asm.Mem(isa.R7, 0, 8), isa.R2)
+		b.Ld(isa.R8, asm.Mem(isa.R7, 0, 8))
+		b.Sys(isa.SysPutInt, isa.R8)
+		// "free": invalidate the lock location.
+		b.Movi(isa.R9, 0)
+		b.St(asm.Mem(isa.R5, 0, 8), isa.R9)
+		// Dangling dereference.
+		b.Ld(isa.R8, asm.Mem(isa.R7, 0, 8))
+		b.Halt()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 1 || res.Output[0] != 77 {
+		t.Fatalf("pre-free output = %v", res.Output)
+	}
+	if res.MemErr == nil || res.MemErr.Kind != core.ErrUseAfterFree {
+		t.Fatalf("want use-after-free, got %v", res.MemErr)
+	}
+}
+
+func TestUAFDetectedEvenAfterKeyReuseOfLockLocation(t *testing.T) {
+	// Reallocation scenario: the lock location is reused with a new
+	// key; the stale pointer must still fault (keys are unique).
+	res, err := run(t, wd(), false, func(b *asm.Builder) {
+		emitIdentSetup(b)
+		// free + reallocate: write a *different* key into the same
+		// lock location.
+		b.Movi(isa.R9, int64(core.HeapKeyBase+1))
+		b.St(asm.Mem(isa.R5, 0, 8), isa.R9)
+		// Dangling dereference through the old identifier.
+		b.Ld(isa.R8, asm.Mem(isa.R7, 0, 8))
+		b.Halt()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemErr == nil || res.MemErr.Kind != core.ErrUseAfterFree {
+		t.Fatalf("want use-after-free despite lock reuse, got %v", res.MemErr)
+	}
+}
+
+func TestPointerMetadataThroughMemory(t *testing.T) {
+	// Store a pointer to memory (StP), load it back (LdP), and use it:
+	// the identifier must flow through the shadow space.
+	res, err := run(t, wd(), false, func(b *asm.Builder) {
+		b.Global("slot", 8)
+		emitIdentSetup(b)
+		b.MoviGlobal(isa.R1, "slot", 0)
+		b.StP(asm.Mem(isa.R1, 0, 8), isa.R7)
+		b.LdP(isa.R2, asm.Mem(isa.R1, 0, 8))
+		b.Movi(isa.R3, 5)
+		b.St(asm.Mem(isa.R2, 8, 8), isa.R3) // deref the reloaded pointer
+		b.Sys(isa.SysPutInt, isa.R3)
+		b.Halt()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemErr != nil {
+		t.Fatalf("unexpected fault: %v", res.MemErr)
+	}
+	if len(res.Output) != 1 || res.Output[0] != 5 {
+		t.Fatalf("output = %v", res.Output)
+	}
+}
+
+func TestConservativeIdentificationNeedsNoAnnotations(t *testing.T) {
+	cfg := wd()
+	cfg.PtrPolicy = core.PtrConservative
+	res, err := run(t, cfg, false, func(b *asm.Builder) {
+		b.Global("slot", 8)
+		emitIdentSetup(b)
+		b.MoviGlobal(isa.R1, "slot", 0)
+		b.StU(asm.Mem(isa.R1, 0, 8), isa.R7) // unannotated pointer store
+		b.LdU(isa.R2, asm.Mem(isa.R1, 0, 8)) // unannotated pointer load
+		b.Movi(isa.R3, 9)
+		b.St(asm.Mem(isa.R2, 8, 8), isa.R3)
+		b.Sys(isa.SysPutInt, isa.R3)
+		b.Halt()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemErr != nil {
+		t.Fatalf("unexpected fault: %v", res.MemErr)
+	}
+	if res.Engine.PtrOps == 0 {
+		t.Fatal("conservative mode must classify 8-byte int mem ops as pointer ops")
+	}
+}
+
+func TestStackDanglingPointerDetected(t *testing.T) {
+	// CWE-562 shape: foo publishes the address of a local, returns;
+	// the caller dereferences the stale stack pointer.
+	res, err := run(t, wd(), false, func(b *asm.Builder) {
+		b.Global("q", 8)
+		b.Label("_start")
+		b.Call("foo")
+		b.MoviGlobal(isa.R1, "q", 0)
+		b.LdP(isa.R2, asm.Mem(isa.R1, 0, 8))
+		b.Ld(isa.R3, asm.Mem(isa.R2, 0, 8)) // dangling stack pointer
+		b.Halt()
+		b.Label("foo")
+		b.Subi(isa.SP, isa.SP, 16) // allocate frame
+		b.Movi(isa.R4, 42)
+		b.St(asm.Mem(isa.SP, 0, 8), isa.R4) // local = 42
+		b.Lea(isa.R5, asm.Mem(isa.SP, 0, 8))
+		b.MoviGlobal(isa.R6, "q", 0)
+		b.StP(asm.Mem(isa.R6, 0, 8), isa.R5) // q = &local
+		b.Addi(isa.SP, isa.SP, 16)
+		b.Ret()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemErr == nil || res.MemErr.Kind != core.ErrUseAfterFree {
+		t.Fatalf("want use-after-free on stale stack pointer, got %v", res.MemErr)
+	}
+}
+
+func TestStackFrameReuseStillDetected(t *testing.T) {
+	// After foo returns, bar occupies the same stack memory; the stale
+	// pointer into foo's frame must still fault even though the
+	// address is "allocated" again (the identifier differs).
+	res, err := run(t, wd(), false, func(b *asm.Builder) {
+		b.Global("q", 8)
+		b.Label("_start")
+		b.Call("foo")
+		b.Call("bar")
+		b.Halt()
+		b.Label("foo")
+		b.Subi(isa.SP, isa.SP, 16)
+		b.Lea(isa.R5, asm.Mem(isa.SP, 0, 8))
+		b.MoviGlobal(isa.R6, "q", 0)
+		b.StP(asm.Mem(isa.R6, 0, 8), isa.R5)
+		b.Addi(isa.SP, isa.SP, 16)
+		b.Ret()
+		b.Label("bar")
+		b.Subi(isa.SP, isa.SP, 16) // same stack region as foo's frame
+		b.MoviGlobal(isa.R6, "q", 0)
+		b.LdP(isa.R2, asm.Mem(isa.R6, 0, 8))
+		b.Ld(isa.R3, asm.Mem(isa.R2, 0, 8)) // stale: foo's identifier
+		b.Addi(isa.SP, isa.SP, 16)
+		b.Ret()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemErr == nil || res.MemErr.Kind != core.ErrUseAfterFree {
+		t.Fatalf("want use-after-free on reused stack frame, got %v", res.MemErr)
+	}
+}
+
+func TestBoundsViolationDetected(t *testing.T) {
+	cfg := wd()
+	cfg.Bounds = core.BoundsFused
+	res, err := run(t, cfg, false, func(b *asm.Builder) {
+		emitIdentSetup(b)
+		// Bind bounds [p, p+16).
+		b.Mov(isa.R1, isa.R7)
+		b.Addi(isa.R2, isa.R7, 16)
+		b.Setbound(isa.R7, isa.R7, isa.R1, isa.R2)
+		b.Movi(isa.R3, 1)
+		b.St(asm.Mem(isa.R7, 8, 8), isa.R3)  // in bounds
+		b.St(asm.Mem(isa.R7, 16, 8), isa.R3) // overflow
+		b.Halt()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemErr == nil || res.MemErr.Kind != core.ErrOutOfBounds {
+		t.Fatalf("want out-of-bounds, got %v", res.MemErr)
+	}
+	if res.MemErr.Addr != mem.HeapBase+16 {
+		t.Fatalf("faulting address %#x", res.MemErr.Addr)
+	}
+}
+
+func TestCallRetRecursion(t *testing.T) {
+	// factorial(10) via recursion exercises call/ret, stack frames,
+	// and frame identifiers.
+	res, err := run(t, wd(), true, func(b *asm.Builder) {
+		b.Label("_start")
+		b.Movi(isa.R1, 10)
+		b.Call("fact")
+		b.Sys(isa.SysPutInt, isa.R2)
+		b.Halt()
+		// fact: input r1, output r2, clobbers r3
+		b.Label("fact")
+		b.Movi(isa.R2, 1)
+		b.Movi(isa.R3, 1)
+		b.Br(isa.CondLE, isa.R1, isa.R3, "base")
+		b.Push(isa.R1)
+		b.Subi(isa.R1, isa.R1, 1)
+		b.Call("fact")
+		b.Pop(isa.R1)
+		b.Mul(isa.R2, isa.R2, isa.R1)
+		b.Label("base")
+		b.Ret()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemErr != nil {
+		t.Fatalf("unexpected fault: %v", res.MemErr)
+	}
+	if len(res.Output) != 1 || res.Output[0] != 3628800 {
+		t.Fatalf("fact(10) = %v", res.Output)
+	}
+}
+
+func TestLocationPolicyDetectsFreedButMissesRealloc(t *testing.T) {
+	cfg := core.Config{Policy: core.PolicyLocation}
+	// Access after free, no reallocation: detected.
+	res, err := run(t, cfg, false, func(b *asm.Builder) {
+		b.Label("_start")
+		b.Movi(isa.R1, int64(mem.HeapBase))
+		b.Movi(isa.R2, 64)
+		b.Sys(isa.SysMarkAlloc, isa.R1)
+		b.Movi(isa.R3, 7)
+		b.St(asm.Mem(isa.R1, 0, 8), isa.R3)
+		b.Sys(isa.SysMarkFree, isa.R1)
+		b.Ld(isa.R4, asm.Mem(isa.R1, 0, 8)) // freed
+		b.Halt()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemErr == nil || res.MemErr.Kind != core.ErrUnallocated {
+		t.Fatalf("location policy must detect access to freed memory, got %v", res.MemErr)
+	}
+	// Access after free + reallocation at the same address: MISSED —
+	// the fundamental limitation of location-based checking.
+	res, err = run(t, cfg, false, func(b *asm.Builder) {
+		b.Label("_start")
+		b.Movi(isa.R1, int64(mem.HeapBase))
+		b.Movi(isa.R2, 64)
+		b.Sys(isa.SysMarkAlloc, isa.R1)
+		b.Sys(isa.SysMarkFree, isa.R1)
+		b.Sys(isa.SysMarkAlloc, isa.R1) // reallocated to another owner
+		b.Ld(isa.R4, asm.Mem(isa.R1, 0, 8))
+		b.Sys(isa.SysPutInt, isa.R4)
+		b.Halt()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemErr != nil {
+		t.Fatalf("location policy should MISS post-reallocation UAF, got %v", res.MemErr)
+	}
+}
+
+func TestSoftwarePolicyDetectsAndCostsMore(t *testing.T) {
+	build := func(b *asm.Builder) {
+		b.Global("buf", 256)
+		b.Label("_start")
+		b.MoviGlobal(isa.R1, "buf", 0)
+		b.Movi(isa.R2, 32) // iterations
+		b.Movi(isa.R4, 0)
+		b.Label("loop")
+		b.St(asm.Mem(isa.R1, 0, 8), isa.R2)
+		b.Ld(isa.R3, asm.Mem(isa.R1, 0, 8))
+		b.Add(isa.R4, isa.R4, isa.R3)
+		b.Addi(isa.R1, isa.R1, 8)
+		b.Subi(isa.R2, isa.R2, 1)
+		b.Brnz(isa.R2, "loop")
+		b.Sys(isa.SysPutInt, isa.R4)
+		b.Halt()
+	}
+	base, err := run(t, core.Config{Policy: core.PolicyBaseline}, true, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := run(t, core.Config{Policy: core.PolicySoftware, PtrPolicy: core.PtrConservative}, true, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.MemErr != nil {
+		t.Fatalf("software policy faulted: %v", sw.MemErr)
+	}
+	if base.Output[0] != sw.Output[0] {
+		t.Fatal("software policy changed program semantics")
+	}
+	if sw.Timing.Cycles <= base.Timing.Cycles {
+		t.Fatalf("software checking must cost cycles: %d vs %d", sw.Timing.Cycles, base.Timing.Cycles)
+	}
+}
+
+func TestFunctionalEquivalenceAcrossPolicies(t *testing.T) {
+	build := func(b *asm.Builder) {
+		b.Global("data", 128)
+		b.Label("_start")
+		b.MoviGlobal(isa.R1, "data", 0)
+		b.Movi(isa.R2, 16)
+		b.Movi(isa.R5, 0)
+		b.Label("fill")
+		b.St(asm.Mem(isa.R1, 0, 8), isa.R2)
+		b.Addi(isa.R1, isa.R1, 8)
+		b.Subi(isa.R2, isa.R2, 1)
+		b.Brnz(isa.R2, "fill")
+		b.MoviGlobal(isa.R1, "data", 0)
+		b.Movi(isa.R2, 16)
+		b.Label("sum")
+		b.Ld(isa.R3, asm.Mem(isa.R1, 0, 8))
+		b.Add(isa.R5, isa.R5, isa.R3)
+		b.Addi(isa.R1, isa.R1, 8)
+		b.Subi(isa.R2, isa.R2, 1)
+		b.Brnz(isa.R2, "sum")
+		b.Sys(isa.SysPutInt, isa.R5)
+		b.Halt()
+	}
+	var want int64 = -1
+	for _, cfg := range []core.Config{
+		{Policy: core.PolicyBaseline},
+		core.DefaultConfig(),
+		{Policy: core.PolicyWatchdog, PtrPolicy: core.PtrConservative, LockCache: true, CopyElim: true},
+		{Policy: core.PolicyLocation},
+		{Policy: core.PolicySoftware, PtrPolicy: core.PtrConservative},
+	} {
+		res, err := run(t, cfg, false, build)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Policy, err)
+		}
+		if res.MemErr != nil {
+			t.Fatalf("%s: unexpected fault %v", cfg.Policy, res.MemErr)
+		}
+		if want == -1 {
+			want = res.Output[0]
+		} else if res.Output[0] != want {
+			t.Fatalf("%s: output %d != %d", cfg.Policy, res.Output[0], want)
+		}
+	}
+	if want != 136 {
+		t.Fatalf("sum = %d, want 136", want)
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	res, err := run(t, wd(), false, func(b *asm.Builder) {
+		b.Global("farr", 32)
+		b.Label("_start")
+		b.Fmovi(isa.F0, 1.5)
+		b.Fmovi(isa.F1, 2.5)
+		b.Fadd(isa.F2, isa.F0, isa.F1) // 4.0
+		b.Fmul(isa.F2, isa.F2, isa.F1) // 10.0
+		b.MoviGlobal(isa.R1, "farr", 0)
+		b.Fst(asm.Mem(isa.R1, 0, 8), isa.F2)
+		b.Fld(isa.F3, asm.Mem(isa.R1, 0, 8))
+		b.F2i(isa.R2, isa.F3)
+		b.Sys(isa.SysPutInt, isa.R2)
+		b.Halt()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemErr != nil {
+		t.Fatalf("fault: %v", res.MemErr)
+	}
+	if res.Output[0] != 10 {
+		t.Fatalf("fp result = %v", res.Output)
+	}
+}
+
+func TestUopOverheadWatchdogVsBaseline(t *testing.T) {
+	build := func(b *asm.Builder) {
+		b.Global("buf", 1024)
+		b.Label("_start")
+		b.MoviGlobal(isa.R1, "buf", 0)
+		b.Movi(isa.R2, 128)
+		b.Label("loop")
+		b.St(asm.Mem(isa.R1, 0, 8), isa.R2)
+		b.Ld(isa.R3, asm.Mem(isa.R1, 0, 8))
+		b.Addi(isa.R1, isa.R1, 8)
+		b.Subi(isa.R2, isa.R2, 1)
+		b.Brnz(isa.R2, "loop")
+		b.Halt()
+	}
+	base, err := run(t, core.Config{Policy: core.PolicyBaseline}, true, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := run(t, wd(), true, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Timing.Uops <= base.Timing.Uops {
+		t.Fatal("watchdog must inject µops")
+	}
+	if w.Timing.UopsByMeta[isa.MetaCheck] == 0 {
+		t.Fatal("no check µops accounted")
+	}
+	// Every memory access gets exactly one check µop here.
+	if w.Timing.UopsByMeta[isa.MetaCheck] != w.Engine.Checks {
+		t.Fatalf("check accounting mismatch: %d vs %d",
+			w.Timing.UopsByMeta[isa.MetaCheck], w.Engine.Checks)
+	}
+}
+
+func TestDeterministicEndToEnd(t *testing.T) {
+	build := func(b *asm.Builder) {
+		b.Global("buf", 512)
+		b.Label("_start")
+		b.MoviGlobal(isa.R1, "buf", 0)
+		b.Movi(isa.R2, 64)
+		b.Label("loop")
+		b.St(asm.Mem(isa.R1, 0, 8), isa.R2)
+		b.Addi(isa.R1, isa.R1, 8)
+		b.Subi(isa.R2, isa.R2, 1)
+		b.Brnz(isa.R2, "loop")
+		b.Halt()
+	}
+	a, err := run(t, wd(), true, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := run(t, wd(), true, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Timing.Cycles != b2.Timing.Cycles || a.Timing.Uops != b2.Timing.Uops {
+		t.Fatal("end-to-end run not deterministic")
+	}
+}

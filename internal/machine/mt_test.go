@@ -1,0 +1,281 @@
+package machine
+
+import (
+	"testing"
+
+	"watchdog/internal/asm"
+	"watchdog/internal/core"
+	"watchdog/internal/isa"
+	"watchdog/internal/mem"
+	"watchdog/internal/rt"
+)
+
+// buildMT assembles an n-thread program: the builder callback defines
+// thread0..thread<n-1>.
+func buildMT(t *testing.T, n int, build func(b *asm.Builder)) *asm.Program {
+	t.Helper()
+	r := rt.NewBuild(rt.Options{Policy: core.PolicyWatchdog, MT: true})
+	r.EmitMTStart(n)
+	build(r.B)
+	prog, err := r.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func runMT(t *testing.T, prog *asm.Program, n int) ([]*Result, *mem.Memory) {
+	t.Helper()
+	memory := mem.New()
+	mt, err := NewMT(prog, memory, core.DefaultConfig(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := mt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results, memory
+}
+
+// emitLockedIncrements emits a thread body incrementing a shared
+// counter count times under an xchg spinlock.
+func emitLockedIncrements(b *asm.Builder, tid int, count int64, locked bool) {
+	lbl := func(s string) string { return s + string(rune('0'+tid)) }
+	b.Label(lbl("thread"))
+	b.Movi(isa.R4, count)
+	b.Label(lbl("inc.loop"))
+	if locked {
+		b.Label(lbl("inc.acq"))
+		b.Movi(isa.R2, 1)
+		b.MoviGlobal(isa.R3, "lock", 0)
+		b.Xchg(isa.R2, asm.Mem(isa.R3, 0, 8))
+		b.Brnz(isa.R2, lbl("inc.acq"))
+	}
+	b.MoviGlobal(isa.R3, "counter", 0)
+	b.Ld(isa.R2, asm.Mem(isa.R3, 0, 8))
+	b.Addi(isa.R2, isa.R2, 1)
+	b.St(asm.Mem(isa.R3, 0, 8), isa.R2)
+	if locked {
+		b.MoviGlobal(isa.R3, "lock", 0)
+		b.Movi(isa.R2, 0)
+		b.St(asm.Mem(isa.R3, 0, 8), isa.R2)
+	}
+	b.Subi(isa.R4, isa.R4, 1)
+	b.Brnz(isa.R4, lbl("inc.loop"))
+	b.Ret()
+}
+
+func TestSpinlockCounterExact(t *testing.T) {
+	const n, per = 4, 500
+	var counterAddr uint64
+	prog := buildMT(t, n, func(b *asm.Builder) {
+		counterAddr = b.GlobalWords("counter", []uint64{0})
+		b.GlobalWords("lock", []uint64{0})
+		for tid := 0; tid < n; tid++ {
+			emitLockedIncrements(b, tid, per, true)
+		}
+	})
+	results, memory := runMT(t, prog, n)
+	if i, v := FirstViolation(results); v != nil {
+		t.Fatalf("context %d faulted: %v", i, v)
+	}
+	if got := memory.ReadU64(counterAddr); got != n*per {
+		t.Fatalf("locked counter = %d, want %d", got, n*per)
+	}
+}
+
+func TestUnsynchronizedCounterLosesUpdates(t *testing.T) {
+	// The negative control: without the lock, the 3-instruction
+	// read-modify-write races under instruction-granularity
+	// interleaving and updates are lost.
+	const n, per = 4, 500
+	var counterAddr uint64
+	prog := buildMT(t, n, func(b *asm.Builder) {
+		counterAddr = b.GlobalWords("counter", []uint64{0})
+		b.GlobalWords("lock", []uint64{0})
+		for tid := 0; tid < n; tid++ {
+			emitLockedIncrements(b, tid, per, false)
+		}
+	})
+	results, memory := runMT(t, prog, n)
+	if i, v := FirstViolation(results); v != nil {
+		t.Fatalf("context %d faulted: %v", i, v)
+	}
+	if got := memory.ReadU64(counterAddr); got >= n*per {
+		t.Fatalf("racy counter = %d, expected lost updates below %d", got, n*per)
+	}
+}
+
+func TestConcurrentMallocChurn(t *testing.T) {
+	// Each thread allocates, writes, reads back and frees its own
+	// blocks concurrently; the shared allocator must stay consistent
+	// and no checks may fire.
+	const n = 4
+	prog := buildMT(t, n, func(b *asm.Builder) {
+		for tid := 0; tid < n; tid++ {
+			lbl := func(s string) string { return s + string(rune('0'+tid)) }
+			b.Label(lbl("thread"))
+			b.Movi(isa.R4, 40) // iterations
+			b.Movi(isa.R6, 0)  // checksum
+			b.Label(lbl("ch.loop"))
+			b.Movi(isa.R1, int64(16+16*tid))
+			b.Call("malloc")
+			b.Mov(isa.R5, isa.R1)
+			b.Movi(isa.R2, int64(100+tid))
+			b.St(asm.Mem(isa.R5, 0, 8), isa.R2)
+			b.Ld(isa.R3, asm.Mem(isa.R5, 0, 8))
+			b.Add(isa.R6, isa.R6, isa.R3)
+			b.Mov(isa.R1, isa.R5)
+			b.Call("free")
+			b.Subi(isa.R4, isa.R4, 1)
+			b.Brnz(isa.R4, lbl("ch.loop"))
+			b.Sys(isa.SysPutInt, isa.R6)
+			b.Ret()
+		}
+	})
+	results, _ := runMT(t, prog, n)
+	for tid, r := range results {
+		if r.MemErr != nil {
+			t.Fatalf("thread %d faulted: %v", tid, r.MemErr)
+		}
+		if r.Aborted {
+			t.Fatalf("thread %d aborted (%d): allocator state corrupted", tid, r.AbortCode)
+		}
+		want := int64(40 * (100 + tid))
+		if len(r.Output) != 1 || r.Output[0] != want {
+			t.Fatalf("thread %d checksum %v, want %d", tid, r.Output, want)
+		}
+	}
+}
+
+func TestCrossThreadHeapUAFDetected(t *testing.T) {
+	// Thread 0 allocates and publishes a pointer, thread 1 uses it
+	// (fine), thread 0 frees it and re-allocates, thread 1 uses it
+	// again -> the stale identifier faults in thread 1.
+	prog := buildMT(t, 2, func(b *asm.Builder) {
+		b.Global("slot", 8)
+		b.GlobalWords("stage", []uint64{0})
+
+		b.Label("thread0")
+		b.Movi(isa.R1, 64)
+		b.Call("malloc")
+		b.Mov(isa.R4, isa.R1)
+		b.Movi(isa.R2, 7)
+		b.St(asm.Mem(isa.R4, 0, 8), isa.R2)
+		b.MoviGlobal(isa.R3, "slot", 0)
+		b.StP(asm.Mem(isa.R3, 0, 8), isa.R4) // publish
+		emitSetStage(b, 1)
+		emitWaitStage(b, "t0", 2) // wait for thread 1's first use
+		b.Mov(isa.R1, isa.R4)
+		b.Call("free") // now the published pointer dangles
+		b.Movi(isa.R1, 64)
+		b.Call("malloc") // reallocate the block
+		emitSetStage(b, 3)
+		b.Ret()
+
+		b.Label("thread1")
+		emitWaitStage(b, "t1a", 1)
+		b.MoviGlobal(isa.R3, "slot", 0)
+		b.LdP(isa.R4, asm.Mem(isa.R3, 0, 8))
+		b.Ld(isa.R2, asm.Mem(isa.R4, 0, 8)) // valid use
+		emitSetStage(b, 2)
+		emitWaitStage(b, "t1b", 3)
+		b.Ld(isa.R2, asm.Mem(isa.R4, 0, 8)) // use after cross-thread free
+		b.Ret()
+	})
+	results, _ := runMT(t, prog, 2)
+	tid, v := FirstViolation(results)
+	if v == nil || v.Kind != core.ErrUseAfterFree {
+		t.Fatalf("want cross-thread UAF, got %v", v)
+	}
+	if tid != 1 {
+		t.Fatalf("violation attributed to thread %d, want 1", tid)
+	}
+}
+
+func TestCrossThreadStackUAFDetected(t *testing.T) {
+	// Thread 0 publishes the address of a local and returns from the
+	// frame; thread 1 dereferences the stale stack pointer.
+	prog := buildMT(t, 2, func(b *asm.Builder) {
+		b.Global("slot", 8)
+		b.GlobalWords("stage", []uint64{0})
+
+		b.Label("thread0")
+		b.Call("t0.maker")
+		emitSetStage(b, 1)
+		b.Ret()
+		b.Label("t0.maker")
+		b.Subi(isa.SP, isa.SP, 16)
+		b.Movi(isa.R2, 42)
+		b.St(asm.Mem(isa.SP, 0, 8), isa.R2)
+		b.Lea(isa.R2, asm.Mem(isa.SP, 0, 8))
+		b.MoviGlobal(isa.R3, "slot", 0)
+		b.StP(asm.Mem(isa.R3, 0, 8), isa.R2)
+		b.Addi(isa.SP, isa.SP, 16)
+		b.Ret()
+
+		b.Label("thread1")
+		emitWaitStage(b, "t1", 1)
+		b.MoviGlobal(isa.R3, "slot", 0)
+		b.LdP(isa.R4, asm.Mem(isa.R3, 0, 8))
+		b.Ld(isa.R2, asm.Mem(isa.R4, 0, 8)) // another thread's dead frame
+		b.Ret()
+	})
+	results, _ := runMT(t, prog, 2)
+	tid, v := FirstViolation(results)
+	if v == nil || v.Kind != core.ErrUseAfterFree {
+		t.Fatalf("want cross-thread stack UAF, got %v", v)
+	}
+	if tid != 1 {
+		t.Fatalf("violation attributed to thread %d, want 1", tid)
+	}
+}
+
+func TestPerThreadStackIdentifiersIndependent(t *testing.T) {
+	// Deep call chains in both threads concurrently: frame identifiers
+	// come from partitioned spaces and never interfere.
+	prog := buildMT(t, 2, func(b *asm.Builder) {
+		for tid := 0; tid < 2; tid++ {
+			lbl := func(s string) string { return s + string(rune('0'+tid)) }
+			b.Label(lbl("thread"))
+			b.Movi(isa.R1, 30)
+			b.Call(lbl("rec"))
+			b.Sys(isa.SysPutInt, isa.R1)
+			b.Ret()
+			b.Label(lbl("rec"))
+			done := lbl("rec.done")
+			b.Brz(isa.R1, done)
+			b.Subi(isa.SP, isa.SP, 16)
+			b.St(asm.Mem(isa.SP, 0, 8), isa.R1) // a local per frame
+			b.PushP(isa.R4)                     // annotated spill: R4 holds a pointer
+			b.Lea(isa.R4, asm.Mem(isa.SP, 8, 8))
+			b.Subi(isa.R1, isa.R1, 1)
+			b.Call(lbl("rec"))
+			b.Ld(isa.R2, asm.Mem(isa.R4, 0, 8)) // own live frame: valid
+			b.PopP(isa.R4)
+			b.Addi(isa.SP, isa.SP, 16)
+			b.Label(done)
+			b.Ret()
+		}
+	})
+	results, _ := runMT(t, prog, 2)
+	if i, v := FirstViolation(results); v != nil {
+		t.Fatalf("context %d faulted: %v", i, v)
+	}
+}
+
+func emitSetStage(b *asm.Builder, v int64) {
+	b.MoviGlobal(isa.R8, "stage", 0)
+	b.Movi(isa.R9, v)
+	b.St(asm.Mem(isa.R8, 0, 8), isa.R9)
+}
+
+func emitWaitStage(b *asm.Builder, uid string, v int64) {
+	lbl := "wait." + uid
+	b.Label(lbl)
+	b.MoviGlobal(isa.R8, "stage", 0)
+	b.Ld(isa.R9, asm.Mem(isa.R8, 0, 8))
+	b.Movi(isa.R10, v)
+	b.Br(isa.CondNE, isa.R9, isa.R10, lbl)
+}

@@ -1,0 +1,123 @@
+package machine
+
+// Sampling implements the paper's simulation methodology (Section
+// 9.1): periodic sampling, where each measured sample is preceded by a
+// functional fast-forward (no timing model) and a timing warmup whose
+// cycles are discarded. The paper used 2% sampling with 10M-instruction
+// samples preceded by 480M fast-forward and 10M warmup per period.
+//
+// During fast-forward the machine still executes the Watchdog engine's
+// functional semantics (metadata propagation, checks), so detection
+// remains exact; only the microarchitectural timing is skipped. The
+// branch predictor and caches keep training during warmup, as in
+// functional-warming samplers.
+type Sampling struct {
+	FastForward uint64 // instructions per period with timing off
+	Warmup      uint64 // instructions with timing on, cycles discarded
+	Sample      uint64 // instructions with timing on, cycles measured
+}
+
+// PaperSampling returns the paper's parameters scaled down by the
+// given factor (the paper's 480M/10M/10M period is far larger than the
+// synthetic kernels).
+func PaperSampling(scaleDown uint64) Sampling {
+	if scaleDown == 0 {
+		scaleDown = 1
+	}
+	return Sampling{
+		FastForward: 480_000_000 / scaleDown,
+		Warmup:      10_000_000 / scaleDown,
+		Sample:      10_000_000 / scaleDown,
+	}
+}
+
+type samplePhase int
+
+const (
+	phaseFastForward samplePhase = iota
+	phaseWarmup
+	phaseSample
+)
+
+// sampler tracks the machine's position in the sampling period.
+type sampler struct {
+	cfg        Sampling
+	phase      samplePhase
+	phaseInsts uint64
+
+	startCycles   int64
+	sampledCycles int64
+	sampledInsts  uint64
+	sampledUops   uint64
+	startUops     uint64
+}
+
+// timingOn reports whether the timing model should be fed.
+func (s *sampler) timingOn() bool { return s.phase != phaseFastForward }
+
+// tick advances the phase machine by one macro instruction; the
+// machine consults it before feeding the timing model.
+func (m *Machine) sampleTick() {
+	s := m.sampler
+	s.phaseInsts++
+	switch s.phase {
+	case phaseFastForward:
+		if s.phaseInsts >= s.cfg.FastForward {
+			s.phase = phaseWarmup
+			s.phaseInsts = 0
+		}
+	case phaseWarmup:
+		if s.phaseInsts >= s.cfg.Warmup {
+			s.phase = phaseSample
+			s.phaseInsts = 0
+			if m.model != nil {
+				s.startCycles = m.model.Cycles()
+				s.startUops = m.model.Stats().Uops
+			}
+		}
+	case phaseSample:
+		if s.phaseInsts >= s.cfg.Sample {
+			if m.model != nil {
+				s.sampledCycles += m.model.Cycles() - s.startCycles
+				s.sampledUops += m.model.Stats().Uops - s.startUops
+			}
+			s.sampledInsts += s.cfg.Sample
+			s.phase = phaseFastForward
+			s.phaseInsts = 0
+		}
+	}
+}
+
+// closeSampling folds a partially measured sample at program end.
+func (m *Machine) closeSampling() {
+	s := m.sampler
+	if s == nil {
+		return
+	}
+	if s.phase == phaseSample && s.phaseInsts > 0 && m.model != nil {
+		s.sampledCycles += m.model.Cycles() - s.startCycles
+		s.sampledUops += m.model.Stats().Uops - s.startUops
+		s.sampledInsts += s.phaseInsts
+	}
+	m.res.SampledCycles = s.sampledCycles
+	m.res.SampledInsts = s.sampledInsts
+	m.res.SampledUops = s.sampledUops
+}
+
+// SetSampling enables periodic sampling; call before Run.
+func (m *Machine) SetSampling(cfg Sampling) {
+	m.sampler = &sampler{cfg: cfg, phase: phaseFastForward}
+	if cfg.FastForward == 0 {
+		m.sampler.phase = phaseWarmup
+	}
+}
+
+// EstimatedCycles extrapolates whole-program cycles from the sampled
+// windows (CPI of the samples applied to the full instruction count).
+func (r *Result) EstimatedCycles() int64 {
+	if r.SampledInsts == 0 {
+		return r.Timing.Cycles
+	}
+	cpi := float64(r.SampledCycles) / float64(r.SampledInsts)
+	return int64(cpi * float64(r.Insts))
+}

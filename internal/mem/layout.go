@@ -1,0 +1,129 @@
+// Package mem implements the simulated 48-bit virtual address space:
+// sparse paged storage, the program memory layout, the disjoint shadow
+// metadata space, and the word/page touch accounting behind the
+// paper's Figure 10 memory-overhead experiment.
+package mem
+
+// The WD64 memory layout. Current 64-bit x86 systems expose 48-bit
+// virtual addresses; Watchdog positions the shadow space using a few
+// high-order bits of the remaining virtual address space so that a
+// data address converts to its shadow address by bit selection and
+// concatenation (Section 3.3). Region boundaries are chosen so that a
+// region test is a simple range compare.
+const (
+	// CodeBase is where instruction indexes map; code is not byte
+	// addressable in WD64 (instructions are structs), but call/return
+	// addresses live in this range: address = CodeBase + 8*instIndex.
+	CodeBase uint64 = 0x0000_1000_0000
+
+	// GlobalBase..GlobalBase+GlobalMax is the data segment. Pointers
+	// into it carry the always-valid global identifier.
+	GlobalBase uint64 = 0x0000_2000_0000
+	GlobalMax  uint64 = 0x0000_1000_0000 // 256 MiB
+
+	// HeapBase is where the runtime allocator's arena starts.
+	HeapBase uint64 = 0x0000_4000_0000
+	HeapMax  uint64 = 0x0000_1000_0000
+
+	// LockBase is the lock-locations region: one 8-byte lock location
+	// per live heap allocation, allocated LIFO by the runtime.
+	LockBase uint64 = 0x0000_6000_0000
+	LockMax  uint64 = 0x0000_0400_0000
+
+	// StackLockBase is the in-memory stack of lock locations for stack
+	// frames, maintained by the hardware on call/return (Figure 3c/d).
+	StackLockBase uint64 = 0x0000_6800_0000
+	StackLockMax  uint64 = 0x0000_0400_0000
+
+	// StackTop is the initial stack pointer; the stack grows down.
+	StackTop uint64 = 0x0000_7F00_0000
+	StackMax uint64 = 0x0000_0100_0000
+
+	// ShadowBase positions the disjoint metadata space: the shadow
+	// entry for the 8-byte word at address A lives at
+	// ShadowBase + (A>>3)*ShadowEntrySize.
+	ShadowBase uint64 = 0x4000_0000_0000
+
+	// ShadowEntrySize is the per-word metadata footprint: 16 bytes
+	// (64-bit key + 64-bit lock) for use-after-free checking; the
+	// bounds extension widens entries to 32 bytes (key, lock, base,
+	// bound — 256 bits of metadata per pointer, Section 8).
+	ShadowEntrySize       = 16
+	ShadowEntrySizeBounds = 32
+
+	// PageSize is the virtual page size used for the Figure 10
+	// page-granularity accounting and the TLBs.
+	PageSize = 4096
+	// WordSize is the pointer word size; pointers are word aligned.
+	WordSize = 8
+)
+
+// Region classifies an address for statistics and for routing
+// lock-location accesses to the lock location cache.
+type Region uint8
+
+const (
+	RegionNone Region = iota
+	RegionCode
+	RegionGlobal
+	RegionHeap
+	RegionLock
+	RegionStackLock
+	RegionStack
+	RegionShadow
+	NumRegions
+)
+
+var regionNames = [NumRegions]string{
+	"none", "code", "global", "heap", "lock", "stacklock", "stack", "shadow",
+}
+
+// String returns the region name.
+func (r Region) String() string { return regionNames[r] }
+
+// RegionOf classifies an address.
+func RegionOf(addr uint64) Region {
+	switch {
+	case addr >= ShadowBase:
+		return RegionShadow
+	case addr >= StackTop-StackMax && addr < StackTop+PageSize:
+		return RegionStack
+	case addr >= StackLockBase && addr < StackLockBase+StackLockMax:
+		return RegionStackLock
+	case addr >= LockBase && addr < LockBase+LockMax:
+		return RegionLock
+	case addr >= HeapBase && addr < HeapBase+HeapMax:
+		return RegionHeap
+	case addr >= GlobalBase && addr < GlobalBase+GlobalMax:
+		return RegionGlobal
+	case addr >= CodeBase && addr < GlobalBase:
+		return RegionCode
+	}
+	return RegionNone
+}
+
+// ShadowAddr converts a data address to the address of its shadow
+// metadata entry, for the given entry size (16 for lock-and-key only,
+// 32 with bounds). Pointers are word aligned, so the word index is
+// addr>>3; the conversion is shift-and-add, matching the paper's
+// "simple bit selection and concatenation".
+func ShadowAddr(addr uint64, entrySize uint64) uint64 {
+	return ShadowBase + (addr>>3)*entrySize
+}
+
+// IsShadow reports whether the address lies in the shadow space.
+func IsShadow(addr uint64) bool { return addr >= ShadowBase }
+
+// CodeAddr converts an instruction index to its code-segment address
+// (used for return addresses pushed by call).
+func CodeAddr(instIndex int) uint64 { return CodeBase + uint64(instIndex)*8 }
+
+// InstIndex converts a code-segment address back to an instruction
+// index. The second result is false if the address is not in the code
+// segment or misaligned.
+func InstIndex(addr uint64) (int, bool) {
+	if addr < CodeBase || addr >= GlobalBase || addr%8 != 0 {
+		return 0, false
+	}
+	return int((addr - CodeBase) / 8), true
+}

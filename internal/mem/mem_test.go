@@ -1,0 +1,216 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := New()
+	m.WriteU64(HeapBase, 0xdeadbeefcafef00d)
+	if got := m.ReadU64(HeapBase); got != 0xdeadbeefcafef00d {
+		t.Fatalf("round trip failed: %#x", got)
+	}
+	m.Write(HeapBase+8, 4, 0x11223344)
+	if got := m.Read(HeapBase+8, 4); got != 0x11223344 {
+		t.Fatalf("4-byte round trip failed: %#x", got)
+	}
+	if got := m.Read(HeapBase+8, 8); got != 0x11223344 {
+		t.Fatalf("upper bytes must stay zero: %#x", got)
+	}
+	m.Write(HeapBase+16, 1, 0xabcd) // only low byte stored
+	if got := m.Read(HeapBase+16, 1); got != 0xcd {
+		t.Fatalf("1-byte write truncation failed: %#x", got)
+	}
+}
+
+func TestZeroInitialized(t *testing.T) {
+	m := New()
+	if got := m.ReadU64(StackTop - 64); got != 0 {
+		t.Fatalf("fresh memory must read zero, got %#x", got)
+	}
+}
+
+// Property: writing a (width, value) at a random aligned address then
+// reading it back returns value truncated to width; neighbours are
+// untouched.
+func TestReadWriteProperty(t *testing.T) {
+	m := New()
+	f := func(off uint32, widthSel uint8, v uint64) bool {
+		widths := []uint8{1, 2, 4, 8}
+		w := widths[int(widthSel)%len(widths)]
+		addr := HeapBase + uint64(off%1_000_000)*8
+		before := m.ReadU64(addr + 8)
+		m.Write(addr, w, v)
+		var mask uint64 = ^uint64(0)
+		if w < 8 {
+			mask = (uint64(1) << (8 * w)) - 1
+		}
+		if m.Read(addr, w) != v&mask {
+			return false
+		}
+		return m.ReadU64(addr+8) == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	m := New()
+	addr := HeapBase + PageSize - 3 // crosses page boundary
+	m.Write(addr, 8, 0x1122334455667788)
+	if got := m.Read(addr, 8); got != 0x1122334455667788 {
+		t.Fatalf("cross-page round trip failed: %#x", got)
+	}
+}
+
+func TestWriteBytes(t *testing.T) {
+	m := New()
+	b := make([]byte, 3*PageSize)
+	for i := range b {
+		b[i] = byte(i * 7)
+	}
+	m.WriteBytes(GlobalBase+100, b)
+	for i := 0; i < len(b); i += 997 {
+		if got := m.Read(GlobalBase+100+uint64(i), 1); got != uint64(b[i]) {
+			t.Fatalf("WriteBytes mismatch at %d: %#x != %#x", i, got, b[i])
+		}
+	}
+}
+
+func TestRegionOf(t *testing.T) {
+	cases := []struct {
+		addr uint64
+		want Region
+	}{
+		{CodeBase, RegionCode},
+		{CodeAddr(100), RegionCode},
+		{GlobalBase, RegionGlobal},
+		{GlobalBase + GlobalMax - 8, RegionGlobal},
+		{HeapBase, RegionHeap},
+		{LockBase, RegionLock},
+		{LockBase + 8, RegionLock},
+		{StackLockBase, RegionStackLock},
+		{StackTop - 8, RegionStack},
+		{StackTop - StackMax, RegionStack},
+		{ShadowBase, RegionShadow},
+		{ShadowAddr(HeapBase, ShadowEntrySize), RegionShadow},
+		{0, RegionNone},
+	}
+	for _, tc := range cases {
+		if got := RegionOf(tc.addr); got != tc.want {
+			t.Errorf("RegionOf(%#x) = %s, want %s", tc.addr, got, tc.want)
+		}
+	}
+}
+
+// Property: the shadow codec is injective over word-aligned addresses
+// and always lands in the shadow region.
+func TestShadowAddrProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		aa := HeapBase + uint64(a)*8
+		bb := HeapBase + uint64(b)*8
+		sa := ShadowAddr(aa, ShadowEntrySize)
+		sb := ShadowAddr(bb, ShadowEntrySize)
+		if !IsShadow(sa) || !IsShadow(sb) {
+			return false
+		}
+		return (aa == bb) == (sa == sb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Adjacent words map to adjacent entries.
+	s0 := ShadowAddr(HeapBase, ShadowEntrySize)
+	s1 := ShadowAddr(HeapBase+8, ShadowEntrySize)
+	if s1-s0 != ShadowEntrySize {
+		t.Fatalf("adjacent words not adjacent entries: %#x %#x", s0, s1)
+	}
+	// Bounds entries are twice the size.
+	b1 := ShadowAddr(HeapBase+8, ShadowEntrySizeBounds)
+	b0 := ShadowAddr(HeapBase, ShadowEntrySizeBounds)
+	if b1-b0 != ShadowEntrySizeBounds {
+		t.Fatalf("bounds entries wrong stride: %d", b1-b0)
+	}
+}
+
+func TestShadowRegionsDisjointFromData(t *testing.T) {
+	// The shadow images of every data region must not collide with any
+	// data region.
+	for _, base := range []uint64{GlobalBase, HeapBase, StackTop - StackMax, LockBase, StackLockBase} {
+		s := ShadowAddr(base, ShadowEntrySizeBounds)
+		if RegionOf(s) != RegionShadow {
+			t.Fatalf("shadow of %#x falls into region %s", base, RegionOf(s))
+		}
+	}
+}
+
+func TestCodeAddrRoundTrip(t *testing.T) {
+	for _, idx := range []int{0, 1, 12345} {
+		a := CodeAddr(idx)
+		got, ok := InstIndex(a)
+		if !ok || got != idx {
+			t.Fatalf("code addr round trip failed for %d", idx)
+		}
+	}
+	if _, ok := InstIndex(HeapBase); ok {
+		t.Fatal("heap address must not decode as instruction index")
+	}
+	if _, ok := InstIndex(CodeBase + 4); ok {
+		t.Fatal("misaligned code address must not decode")
+	}
+}
+
+func TestFootprintAccounting(t *testing.T) {
+	m := New()
+	// Touch 10 heap words in one page and 1 word in another page.
+	for i := 0; i < 10; i++ {
+		m.WriteU64(HeapBase+uint64(i)*8, 1)
+	}
+	m.WriteU64(HeapBase+2*PageSize, 1)
+	// Touch two full 16-byte shadow entries (key+lock per entry).
+	m.WriteU64(ShadowAddr(HeapBase, 16), 1)
+	m.WriteU64(ShadowAddr(HeapBase, 16)+8, 1)
+	m.WriteU64(ShadowAddr(HeapBase+8, 16), 1)
+	m.WriteU64(ShadowAddr(HeapBase+8, 16)+8, 1)
+	fp := m.FootprintByRegion()
+	if fp[RegionHeap].Words != 11 {
+		t.Fatalf("heap words = %d, want 11", fp[RegionHeap].Words)
+	}
+	if fp[RegionHeap].Pages != 2 {
+		t.Fatalf("heap pages = %d, want 2", fp[RegionHeap].Pages)
+	}
+	if fp[RegionShadow].Words != 4 { // two 16-byte entries = 4 words
+		t.Fatalf("shadow words = %d, want 4", fp[RegionShadow].Words)
+	}
+	if fp[RegionShadow].Pages != 1 {
+		t.Fatalf("shadow pages = %d, want 1", fp[RegionShadow].Pages)
+	}
+}
+
+func TestReadDoesNotAllocateSeparatePageState(t *testing.T) {
+	m := New()
+	_ = m.ReadU64(HeapBase)
+	if n := m.NumPages(); n != 1 {
+		t.Fatalf("read materialized %d pages, want 1", n)
+	}
+}
+
+func BenchmarkMemoryReadWrite(b *testing.B) {
+	m := New()
+	r := rand.New(rand.NewSource(1))
+	addrs := make([]uint64, 1024)
+	for i := range addrs {
+		addrs[i] = HeapBase + uint64(r.Intn(1<<20))*8
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := addrs[i%len(addrs)]
+		m.WriteU64(a, uint64(i))
+		if m.ReadU64(a) != uint64(i) {
+			b.Fatal("mismatch")
+		}
+	}
+}

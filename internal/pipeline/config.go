@@ -1,0 +1,74 @@
+// Package pipeline implements the out-of-order core timing model: a
+// dependence-graph (interval-style) model of the Table 2 Sandy-Bridge-
+// like processor. µops flow in program order through a bandwidth-
+// limited front end into a finite ROB/IQ/LQ/SQ window; issue is
+// constrained by operand readiness, issue width, and functional-unit /
+// cache-port availability; retirement is in-order. The model captures
+// the effects Watchdog's evaluation depends on: injected µops consume
+// front-end, issue and retire bandwidth plus window occupancy; check
+// µops contend for load ports unless the lock location cache provides
+// its own port; decoupled metadata keeps shadow loads off the critical
+// path so they overlap under superscalar execution.
+package pipeline
+
+// Config holds the core parameters (Table 2 of the paper).
+type Config struct {
+	ClockGHz float64
+
+	FetchWidthMacro int // macro instructions fetched per cycle (16 bytes ≈ 4)
+	FrontEndDepth   int // fetch(3) + rename(2) + dispatch(1) cycles
+	DispatchWidth   int // µops renamed+dispatched per cycle
+	IssueWidth      int
+	RetireWidth     int
+
+	ROBSize int
+	IQSize  int
+	LQSize  int
+	SQSize  int
+
+	IntALUs     int
+	MulDivs     int
+	LoadPorts   int
+	StorePorts  int
+	BranchUnits int
+	FPAlus      int
+	FPMuls      int
+	FPDivs      int
+	LockPorts   int // ports on the lock location cache
+
+	MulLat   int
+	DivLat   int
+	FPAluLat int
+	FPMulLat int
+	FPDivLat int
+}
+
+// DefaultConfig returns the Table 2 configuration.
+func DefaultConfig() Config {
+	return Config{
+		ClockGHz:        3.2,
+		FetchWidthMacro: 4,
+		FrontEndDepth:   6,
+		DispatchWidth:   6,
+		IssueWidth:      6,
+		RetireWidth:     6,
+		ROBSize:         168,
+		IQSize:          54,
+		LQSize:          64,
+		SQSize:          36,
+		IntALUs:         6,
+		MulDivs:         2,
+		LoadPorts:       2,
+		StorePorts:      1,
+		BranchUnits:     1,
+		FPAlus:          2,
+		FPMuls:          1,
+		FPDivs:          1,
+		LockPorts:       2,
+		MulLat:          3,
+		DivLat:          20,
+		FPAluLat:        3,
+		FPMulLat:        5,
+		FPDivLat:        20,
+	}
+}

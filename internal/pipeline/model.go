@@ -1,0 +1,388 @@
+package pipeline
+
+import (
+	"watchdog/internal/bpred"
+	"watchdog/internal/cache"
+	"watchdog/internal/isa"
+)
+
+// Stats aggregates the timing run.
+type Stats struct {
+	Cycles     int64
+	MacroInsts uint64
+	Uops       uint64
+	// UopsByMeta buckets µops for the Figure 8 breakdown.
+	UopsByMeta [isa.NumMetaClasses]uint64
+	// ShadowAccesses counts metadata-space memory µops.
+	ShadowAccesses uint64
+	LockReads      uint64
+	Mispredicts    uint64
+
+	// Cache statistics, pulled from the hierarchy at the end of the
+	// run.
+	LockCacheAccesses uint64
+	LockCacheMisses   uint64
+	L1DAccesses       uint64
+	L1DMisses         uint64
+	L2Misses          uint64
+	L3Misses          uint64
+}
+
+// IPC returns retired µops per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Uops) / float64(s.Cycles)
+}
+
+// pendingStore records an in-flight store for store-to-load forwarding.
+type pendingStore struct {
+	addr      uint64
+	width     uint8
+	dataReady int64
+	retire    int64
+}
+
+// Model is the dependence-graph timing model. µops must be fed
+// strictly in program order via OnInst/OnUop.
+type Model struct {
+	cfg  Config
+	hier *cache.Hierarchy
+	bp   *bpred.Predictor
+
+	// IdealShadow makes shadow-space metadata accesses free of cache
+	// effects (they occupy ports but always hit and do not disturb
+	// cache state) — the Section 9.3 cache-pressure isolation study.
+	IdealShadow bool
+	// Monolithic models the strawman monolithic register data/metadata
+	// (Section 6.1): a pointer load's data consumers also wait for the
+	// metadata load (partial-register-write serialization).
+	Monolithic bool
+
+	// Ready times per timing register (data regs, temps, metadata regs).
+	regReady [isa.NumTimingRegs]int64
+	dispatch *slotWindow
+	issue    *slotWindow
+	retire   *slotWindow
+	fu       [isa.NumExecClasses]*slotWindow
+	// ROB/LQ/SQ entries free at retirement, which is in order, so a
+	// ring of freeing times is exact. IQ entries free at issue, which
+	// is out of order, so occupancy needs the min-heap of issue times.
+	rob       *ring
+	lq        *ring
+	sq        *ring
+	iq        minHeap
+	stores    []pendingStore // ring buffer of SQSize entries
+	storeHead int
+
+	fetchTime    int64 // earliest fetch cycle for the next macro inst
+	fetchGroup   int   // macro insts fetched in the current cycle
+	lastRetire   int64
+	lastFetchBlk uint64
+
+	stats Stats
+}
+
+// New builds a model over the given hierarchy and predictor.
+func New(cfg Config, hier *cache.Hierarchy, bp *bpred.Predictor) *Model {
+	m := &Model{cfg: cfg, hier: hier, bp: bp}
+	m.dispatch = newSlots(cfg.DispatchWidth)
+	m.issue = newSlots(cfg.IssueWidth)
+	m.retire = newSlots(cfg.RetireWidth)
+	m.fu[isa.ExecALU] = newSlots(cfg.IntALUs)
+	m.fu[isa.ExecBr] = newSlots(cfg.BranchUnits)
+	m.fu[isa.ExecLoad] = newSlots(cfg.LoadPorts)
+	m.fu[isa.ExecStore] = newSlots(cfg.StorePorts)
+	m.fu[isa.ExecMulDiv] = newSlots(cfg.MulDivs)
+	m.fu[isa.ExecFPAlu] = newSlots(cfg.FPAlus)
+	m.fu[isa.ExecFPMul] = newSlots(cfg.FPMuls)
+	m.fu[isa.ExecFPDiv] = newSlots(cfg.FPDivs)
+	m.fu[isa.ExecLock] = newSlots(cfg.LockPorts)
+	m.rob = newRing(cfg.ROBSize)
+	m.iq = make(minHeap, 0, cfg.IQSize+1)
+	m.lq = newRing(cfg.LQSize)
+	m.sq = newRing(cfg.SQSize)
+	m.stores = make([]pendingStore, cfg.SQSize)
+	m.fetchTime = 1
+	return m
+}
+
+// Stats returns the accumulated statistics; Cycles is the retire time
+// of the last µop.
+func (m *Model) Stats() Stats {
+	s := m.stats
+	s.Cycles = m.lastRetire
+	s.L1DAccesses = m.hier.L1D.Accesses
+	s.L1DMisses = m.hier.L1D.Misses
+	s.L2Misses = m.hier.L2.Misses
+	s.L3Misses = m.hier.L3.Misses
+	if m.hier.Lock != nil {
+		s.LockCacheAccesses = m.hier.Lock.Accesses
+		s.LockCacheMisses = m.hier.Lock.Misses
+	}
+	return s
+}
+
+// OnInst begins a new macro instruction: fetch bandwidth and I-cache
+// accounting. codeAddr is the instruction's code-segment address.
+func (m *Model) OnInst(codeAddr uint64) {
+	m.stats.MacroInsts++
+	blk := codeAddr >> 6
+	if blk != m.lastFetchBlk {
+		m.lastFetchBlk = blk
+		lat := m.hier.Fetch(codeAddr)
+		if extra := lat - 3; extra > 0 {
+			// I-cache miss stalls fetch by the beyond-L1 latency.
+			m.fetchTime += int64(extra)
+			m.fetchGroup = 0
+		}
+	}
+	if m.fetchGroup >= m.cfg.FetchWidthMacro {
+		m.fetchTime++
+		m.fetchGroup = 0
+	}
+	m.fetchGroup++
+}
+
+// Redirect models a fetch redirect after a taken control transfer:
+// the remainder of the current fetch group is discarded.
+func (m *Model) redirectFetch(at int64) {
+	if at >= m.fetchTime {
+		m.fetchTime = at
+	}
+	m.fetchGroup = 0
+}
+
+// OnUop accounts one µop, in program order. The machine has already
+// filled the dynamic annotations (Addr, Taken, Mispredict).
+func (m *Model) OnUop(u *isa.Uop) {
+	m.stats.Uops++
+	m.stats.UopsByMeta[u.Meta]++
+
+	// --- dispatch (front end + window allocation) ---
+	dispMin := m.fetchTime + int64(m.cfg.FrontEndDepth)
+	if t := m.rob.peek(); t+1 > dispMin {
+		dispMin = t + 1 // ROB full until the oldest entry retires
+	}
+	// IQ full until some occupant issues: drain the earliest-issuing
+	// occupants until a slot exists at the dispatch cycle.
+	for len(m.iq) >= m.cfg.IQSize {
+		if t := m.iq.pop(); t+1 > dispMin {
+			dispMin = t + 1
+		}
+	}
+	if u.IsMem && !u.IsWr {
+		if t := m.lq.peek(); t+1 > dispMin {
+			dispMin = t + 1
+		}
+	}
+	if u.IsMem && u.IsWr {
+		if t := m.sq.peek(); t+1 > dispMin {
+			dispMin = t + 1
+		}
+	}
+	disp := m.dispatch.reserve(dispMin)
+
+	// --- operand readiness ---
+	ready := disp + 1
+	for _, r := range [...]isa.Reg{u.Src1, u.Src2, u.Src3} {
+		if r != isa.NoReg && int(r) < isa.NumTimingRegs {
+			if t := m.regReady[r]; t > ready {
+				ready = t
+			}
+		}
+	}
+	if u.MSrc != isa.NoReg {
+		if t := m.regReady[u.MSrc]; t > ready {
+			ready = t
+		}
+	}
+
+	// --- issue (width + functional unit / port) ---
+	var issueAt int64
+	cls := u.Class
+	if cls == isa.ExecNone {
+		issueAt = ready
+	} else {
+		// Find the first cycle with both an issue slot and a free
+		// functional unit, then consume both.
+		t := ready
+		for {
+			if m.issue.freeAt(t) && m.fu[cls].freeAt(t) {
+				m.issue.reserveAt(t)
+				m.fu[cls].reserveAt(t)
+				issueAt = t
+				break
+			}
+			t++
+		}
+	}
+
+	// --- execute ---
+	complete := issueAt + 1
+	switch u.Op {
+	case isa.UopMul:
+		complete = issueAt + int64(m.cfg.MulLat)
+	case isa.UopDiv:
+		complete = issueAt + int64(m.cfg.DivLat)
+	case isa.UopFAlu:
+		complete = issueAt + int64(m.cfg.FPAluLat)
+	case isa.UopFMul:
+		complete = issueAt + int64(m.cfg.FPMulLat)
+	case isa.UopFDiv:
+		complete = issueAt + int64(m.cfg.FPDivLat)
+	case isa.UopLoad, isa.UopFLoad, isa.UopShadowLoad:
+		complete = issueAt + m.loadLatency(u, issueAt)
+	case isa.UopCheck, isa.UopCheckFull:
+		// Load of the lock location plus an equality comparison.
+		m.stats.LockReads++
+		var lat int64
+		if m.IdealShadow && !m.hier.LockCacheEnabled() {
+			lat = 3
+		} else {
+			lat = int64(m.hier.LockRead(u.Addr))
+		}
+		complete = issueAt + lat + 1
+	case isa.UopStore, isa.UopFStore, isa.UopShadowStore:
+		// Address generation; data drains from the store queue after
+		// retirement, so completion does not wait for the cache.
+		complete = issueAt + 1
+	}
+
+	// --- retire (in order) ---
+	ret := complete + 1
+	if ret <= m.lastRetire {
+		ret = m.lastRetire
+	}
+	ret = m.retire.reserve(ret)
+	if ret < m.lastRetire {
+		ret = m.lastRetire
+	}
+	m.lastRetire = ret
+
+	// --- bookkeeping ---
+	if u.Dst != isa.NoReg && int(u.Dst) < isa.NumTimingRegs && !u.IsWr {
+		m.regReady[u.Dst] = complete
+	}
+	if u.MDst != isa.NoReg {
+		m.regReady[u.MDst] = complete
+		if m.Monolithic && u.Op == isa.UopShadowLoad {
+			// Monolithic registers: the metadata load is a partial
+			// write of the same register as the data load; consumers
+			// of the data serialize behind it.
+			for _, r := range dataRegOfMeta(u.MDst) {
+				if m.regReady[r] < complete {
+					m.regReady[r] = complete
+				}
+			}
+		}
+	}
+	m.rob.push(ret)
+	m.iq.push(issueAt)
+	// (IQ heap is bounded: the dispatch loop above pops to capacity.)
+	if u.IsMem && !u.IsWr {
+		m.lq.push(ret)
+	}
+	if u.IsMem && u.IsWr {
+		m.sq.push(ret)
+		dataReady := issueAt
+		if u.Src3 != isa.NoReg {
+			if t := m.regReady[u.Src3]; t > dataReady {
+				dataReady = t
+			}
+		}
+		m.stores[m.storeHead] = pendingStore{addr: u.Addr, width: u.Width, dataReady: dataReady, retire: ret}
+		m.storeHead = (m.storeHead + 1) % len(m.stores)
+		// Perform the cache write (post-retirement drain) for tag and
+		// prefetcher state.
+		if !(m.IdealShadow && u.Shadow) {
+			if u.Lock {
+				m.hier.LockWrite(u.Addr)
+			} else {
+				m.hier.Data(u.Addr, true)
+			}
+		}
+	}
+
+	// --- control flow ---
+	if u.Op == isa.UopBranch || u.Op == isa.UopJump {
+		if u.Mispredict {
+			m.stats.Mispredicts++
+			m.redirectFetch(complete)
+		} else if u.Taken {
+			// Correctly predicted taken: the fetch group ends.
+			m.fetchGroup = m.cfg.FetchWidthMacro
+		}
+	}
+}
+
+// loadLatency computes a load µop's latency, checking store-to-load
+// forwarding before accessing the hierarchy.
+func (m *Model) loadLatency(u *isa.Uop, issueAt int64) int64 {
+	// Search the store queue for the youngest older store overlapping
+	// this word that is still in flight.
+	word := u.Addr &^ 7
+	for i := 1; i <= len(m.stores); i++ {
+		s := &m.stores[(m.storeHead-i+len(m.stores))%len(m.stores)]
+		if s.retire == 0 || s.retire <= issueAt {
+			continue // drained (or empty slot)
+		}
+		if s.addr&^7 == word {
+			// Forwarded from the store queue.
+			lat := int64(1)
+			if s.dataReady > issueAt {
+				lat = s.dataReady - issueAt + 1
+			}
+			return lat
+		}
+	}
+	if m.IdealShadow && u.Shadow {
+		return 3 // always an L1 hit, no cache-state disturbance
+	}
+	if u.Lock {
+		return int64(m.hier.LockRead(u.Addr))
+	}
+	return int64(m.hier.Data(u.Addr, false))
+}
+
+// dataRegOfMeta maps a metadata timing register back to its data
+// register (for the monolithic ablation).
+func dataRegOfMeta(meta isa.Reg) []isa.Reg {
+	if meta >= isa.MetaRegBase && int(meta) < isa.NumTimingRegs {
+		return []isa.Reg{meta - isa.MetaRegBase}
+	}
+	return nil
+}
+
+// PropagateMeta models rename-stage metadata copy elimination: the
+// metadata mapping of dst is repointed at src's physical register with
+// no µop (Section 6.2, Figure 6). Timing-wise the destination's
+// metadata becomes ready when the source's is.
+func (m *Model) PropagateMeta(dst, src isa.Reg) {
+	d, s := isa.MetaReg(dst), isa.MetaReg(src)
+	if d == isa.NoReg {
+		return
+	}
+	if s == isa.NoReg {
+		m.regReady[d] = 0
+		return
+	}
+	m.regReady[d] = m.regReady[s]
+}
+
+// InvalidateMeta models rename-stage setting of a register's metadata
+// to invalid (instructions that never generate pointers), again with
+// no µop.
+func (m *Model) InvalidateMeta(dst isa.Reg) {
+	if d := isa.MetaReg(dst); d != isa.NoReg {
+		m.regReady[d] = 0
+	}
+}
+
+// Cycles returns the retire time of the last µop fed so far (the
+// running cycle counter, used by the sampling methodology).
+func (m *Model) Cycles() int64 { return m.lastRetire }
+
+// Clock returns the configured clock in GHz (for ns conversions).
+func (m *Model) Clock() float64 { return m.cfg.ClockGHz }

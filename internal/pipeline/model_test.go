@@ -1,0 +1,303 @@
+package pipeline
+
+import (
+	"testing"
+
+	"watchdog/internal/bpred"
+	"watchdog/internal/cache"
+	"watchdog/internal/isa"
+	"watchdog/internal/mem"
+)
+
+func newModel() *Model {
+	return New(DefaultConfig(), cache.NewHierarchy(cache.DefaultHierConfig()), bpred.New(bpred.DefaultConfig()))
+}
+
+func feedALU(m *Model, n int, dependent bool) {
+	for i := 0; i < n; i++ {
+		m.OnInst(mem.CodeAddr(i % 64)) // loop-resident code
+		u := isa.NewUop(isa.UopAlu, isa.ExecALU)
+		if dependent {
+			u.Dst, u.Src1 = isa.R1, isa.R1
+		} else {
+			u.Dst = isa.Reg(i % 8) // independent chains
+		}
+		m.OnUop(&u)
+	}
+}
+
+func TestDependentChainIsSerial(t *testing.T) {
+	m := newModel()
+	feedALU(m, 1000, true)
+	c := m.Stats().Cycles
+	if c < 1000 {
+		t.Fatalf("dependent chain of 1000 ALU ops took %d cycles, must be >= 1000", c)
+	}
+	if c > 1500 { // allowance for cold-start I-cache/TLB misses
+		t.Fatalf("dependent chain took %d cycles, too much overhead", c)
+	}
+}
+
+func TestIndependentOpsSuperscalar(t *testing.T) {
+	m := newModel()
+	feedALU(m, 4000, false)
+	s := m.Stats()
+	ipc := s.IPC()
+	// Fetch is 4 macro/cycle (one µop each), so IPC should approach 4.
+	if ipc < 3.0 {
+		t.Fatalf("independent ALU IPC = %.2f, want near 4", ipc)
+	}
+	if ipc > 4.5 {
+		t.Fatalf("IPC = %.2f exceeds fetch bandwidth", ipc)
+	}
+}
+
+func TestDispatchWidthLimitsUopsPerInst(t *testing.T) {
+	// One macro inst cracking into 12 independent µops per "inst":
+	// dispatch width 6 limits throughput to <= 6 µops/cycle.
+	m := newModel()
+	for i := 0; i < 500; i++ {
+		m.OnInst(mem.CodeAddr(i))
+		for j := 0; j < 12; j++ {
+			u := isa.NewUop(isa.UopAlu, isa.ExecALU)
+			u.Dst = isa.Reg((i*12 + j) % 8)
+			m.OnUop(&u)
+		}
+	}
+	s := m.Stats()
+	if ipc := s.IPC(); ipc > 6.2 {
+		t.Fatalf("IPC %.2f exceeds dispatch width", ipc)
+	}
+}
+
+func TestLoadLatencyChain(t *testing.T) {
+	// Dependent loads (pointer chasing) pay at least the L1 latency
+	// each.
+	m := newModel()
+	for i := 0; i < 200; i++ {
+		m.OnInst(mem.CodeAddr(i))
+		u := isa.NewUop(isa.UopLoad, isa.ExecLoad)
+		u.Dst, u.Src1 = isa.R1, isa.R1
+		u.IsMem, u.Width = true, 8
+		u.Addr = mem.HeapBase // same line: always warm after first
+		m.OnUop(&u)
+	}
+	c := m.Stats().Cycles
+	if c < 3*200 {
+		t.Fatalf("dependent load chain took %d cycles, want >= %d", c, 3*200)
+	}
+}
+
+func TestCacheMissCostsMore(t *testing.T) {
+	run := func(stride uint64) int64 {
+		m := newModel()
+		for i := 0; i < 2000; i++ {
+			m.OnInst(mem.CodeAddr(i))
+			u := isa.NewUop(isa.UopLoad, isa.ExecLoad)
+			u.Dst, u.Src1 = isa.R1, isa.R1
+			u.IsMem, u.Width = true, 8
+			// Large random-ish stride defeats the stream prefetcher.
+			u.Addr = mem.HeapBase + (uint64(i)*stride*2654435761)%(64<<20)&^7
+			m.OnUop(&u)
+		}
+		return m.Stats().Cycles
+	}
+	hot := run(0)
+	cold := run(64)
+	if cold <= hot {
+		t.Fatalf("missing loads (%d cycles) must be slower than hitting loads (%d)", cold, hot)
+	}
+}
+
+func TestStoreToLoadForwarding(t *testing.T) {
+	// A load of an address stored by a still-in-flight store must be
+	// satisfied by forwarding, independent of cache state. A div chain
+	// delays the store's retirement so the load issues while the store
+	// is in the SQ.
+	run := func(forwardable bool) int64 {
+		m := newModel()
+		// Long-latency chain occupying the ROB head so stores linger.
+		for i := 0; i < 8; i++ {
+			m.OnInst(mem.CodeAddr(i))
+			d := isa.NewUop(isa.UopDiv, isa.ExecMulDiv)
+			d.Dst, d.Src1 = isa.R9, isa.R9
+			m.OnUop(&d)
+		}
+		stAddr := mem.HeapBase + 64<<10
+		ldAddr := stAddr
+		if !forwardable {
+			ldAddr = stAddr + 4096 // different, cold line
+		}
+		m.OnInst(mem.CodeAddr(20))
+		st := isa.NewUop(isa.UopStore, isa.ExecStore)
+		st.Src1 = isa.R2
+		st.IsMem, st.IsWr, st.Width, st.Addr = true, true, 8, stAddr
+		m.OnUop(&st)
+		m.OnInst(mem.CodeAddr(21))
+		ld := isa.NewUop(isa.UopLoad, isa.ExecLoad)
+		ld.Dst, ld.Src1 = isa.R1, isa.R3
+		ld.IsMem, ld.Width, ld.Addr = true, 8, ldAddr
+		m.OnUop(&ld)
+		// A dependent use so the load's completion shows in the tail.
+		m.OnInst(mem.CodeAddr(22))
+		use := isa.NewUop(isa.UopAlu, isa.ExecALU)
+		use.Dst, use.Src1 = isa.R4, isa.R1
+		m.OnUop(&use)
+		return m.Stats().Cycles
+	}
+	fwd, cold := run(true), run(false)
+	if fwd >= cold {
+		t.Fatalf("forwarded load (%d cycles) must beat cold load (%d)", fwd, cold)
+	}
+}
+
+func TestMispredictPenalty(t *testing.T) {
+	run := func(mispredict bool) int64 {
+		m := newModel()
+		for i := 0; i < 500; i++ {
+			m.OnInst(mem.CodeAddr(i))
+			u := isa.NewUop(isa.UopBranch, isa.ExecBr)
+			u.IsBranch, u.Taken = true, true
+			u.Mispredict = mispredict
+			m.OnUop(&u)
+			m.OnInst(mem.CodeAddr(i + 1000))
+			a := isa.NewUop(isa.UopAlu, isa.ExecALU)
+			a.Dst = isa.R1
+			m.OnUop(&a)
+		}
+		return m.Stats().Cycles
+	}
+	good, bad := run(false), run(true)
+	if bad < good+500*5 {
+		t.Fatalf("mispredicts cost too little: %d vs %d cycles", bad, good)
+	}
+}
+
+func TestROBLimitsInFlight(t *testing.T) {
+	// A long-latency op followed by many independent ops: the window
+	// fills and dispatch stalls, so cycles reflect the drain.
+	m := newModel()
+	m.OnInst(mem.CodeAddr(0))
+	div := isa.NewUop(isa.UopDiv, isa.ExecMulDiv)
+	div.Dst, div.Src1 = isa.R9, isa.R9
+	m.OnUop(&div)
+	// The divider result feeds a second div, etc: 50 serial divides
+	// (20 cycles each) while 5000 independent ALU ops try to pass.
+	for i := 0; i < 50; i++ {
+		m.OnInst(mem.CodeAddr(i + 1))
+		d := isa.NewUop(isa.UopDiv, isa.ExecMulDiv)
+		d.Dst, d.Src1 = isa.R9, isa.R9
+		m.OnUop(&d)
+	}
+	feedALU(m, 5000, false)
+	c := m.Stats().Cycles
+	if c < 50*20 {
+		t.Fatalf("serial divides must dominate: %d cycles", c)
+	}
+}
+
+func TestLockPortSeparateFromLoadPorts(t *testing.T) {
+	// Saturate the 2 load ports; check µops on the lock port must not
+	// slow things down when the lock cache exists, but must contend
+	// when it does not.
+	run := func(lockCache bool) int64 {
+		hc := cache.DefaultHierConfig()
+		hc.LockCacheEnabled = lockCache
+		m := New(DefaultConfig(), cache.NewHierarchy(hc), bpred.New(bpred.DefaultConfig()))
+		for i := 0; i < 2000; i++ {
+			m.OnInst(mem.CodeAddr(i % 64))
+			for j := 0; j < 2; j++ { // two loads: saturates load ports
+				u := isa.NewUop(isa.UopLoad, isa.ExecLoad)
+				u.Dst = isa.Reg(j)
+				u.IsMem, u.Width = true, 8
+				u.Addr = mem.HeapBase + uint64(i%512)*8
+				m.OnUop(&u)
+			}
+			chk := isa.NewUop(isa.UopCheck, isa.ExecLock)
+			if !lockCache {
+				chk.Class = isa.ExecLoad
+			}
+			chk.Addr = mem.LockBase + uint64(i%8)*8
+			chk.Lock = true
+			m.OnUop(&chk)
+		}
+		return m.Stats().Cycles
+	}
+	with, without := run(true), run(false)
+	if without <= with {
+		t.Fatalf("check µops without lock cache (%d cycles) must be slower than with (%d)", without, with)
+	}
+}
+
+func TestPropagateMetaIsFree(t *testing.T) {
+	m := newModel()
+	// Metadata ready late on R1.
+	m.regReady[isa.MetaReg(isa.R1)] = 500
+	m.PropagateMeta(isa.R2, isa.R1)
+	if m.regReady[isa.MetaReg(isa.R2)] != 500 {
+		t.Fatal("PropagateMeta must copy readiness")
+	}
+	m.InvalidateMeta(isa.R2)
+	if m.regReady[isa.MetaReg(isa.R2)] != 0 {
+		t.Fatal("InvalidateMeta must clear readiness")
+	}
+	if m.Stats().Uops != 0 {
+		t.Fatal("rename-stage metadata handling must not consume µops")
+	}
+}
+
+func TestMonolithicSerializesShadowLoad(t *testing.T) {
+	run := func(mono bool) int64 {
+		m := newModel()
+		m.Monolithic = mono
+		for i := 0; i < 500; i++ {
+			m.OnInst(mem.CodeAddr(i % 32))
+			// Pointer load: data load + shadow (metadata) load, then a
+			// dependent use of the data.
+			ld := isa.NewUop(isa.UopLoad, isa.ExecLoad)
+			ld.Dst, ld.Src1 = isa.R1, isa.R2
+			ld.IsMem, ld.Width, ld.Addr = true, 8, mem.HeapBase+uint64(i%128)*8
+			m.OnUop(&ld)
+			sh := isa.NewUop(isa.UopShadowLoad, isa.ExecLoad)
+			sh.MDst = isa.MetaReg(isa.R1)
+			sh.IsMem, sh.Width, sh.Shadow = true, 16, true
+			sh.Addr = mem.ShadowAddr(ld.Addr, 16) + uint64(i%4)*4096*16 // miss-prone
+			sh.Meta = isa.MetaPtrLoad
+			m.OnUop(&sh)
+			use := isa.NewUop(isa.UopAlu, isa.ExecALU)
+			use.Dst, use.Src1 = isa.R3, isa.R1
+			m.OnUop(&use)
+		}
+		return m.Stats().Cycles
+	}
+	dec, mono := run(false), run(true)
+	if mono <= dec {
+		t.Fatalf("monolithic (%d cycles) must be slower than decoupled (%d)", mono, dec)
+	}
+}
+
+func TestStatsBuckets(t *testing.T) {
+	m := newModel()
+	m.OnInst(mem.CodeAddr(0))
+	u := isa.NewUop(isa.UopCheck, isa.ExecLock)
+	u.Meta = isa.MetaCheck
+	u.Addr = mem.LockBase
+	u.Lock = true
+	m.OnUop(&u)
+	s := m.Stats()
+	if s.UopsByMeta[isa.MetaCheck] != 1 || s.LockReads != 1 {
+		t.Fatalf("stats buckets wrong: %+v", s)
+	}
+}
+
+func TestDeterministicCycles(t *testing.T) {
+	run := func() int64 {
+		m := newModel()
+		feedALU(m, 300, true)
+		feedALU(m, 300, false)
+		return m.Stats().Cycles
+	}
+	if run() != run() {
+		t.Fatal("timing model must be deterministic")
+	}
+}

@@ -1,0 +1,132 @@
+package pipeline
+
+// slotWindow tracks per-cycle usage of a bandwidth-limited resource
+// (issue slots, functional units, cache ports, retire slots) over a
+// sliding window of cycles. Entries are lazily reset when a new cycle
+// maps onto a ring position.
+type slotWindow struct {
+	width int
+	use   []int16
+	cyc   []int64
+}
+
+const slotRing = 1 << 15
+
+func newSlots(width int) *slotWindow {
+	return &slotWindow{width: width, use: make([]int16, slotRing), cyc: make([]int64, slotRing)}
+}
+
+func (s *slotWindow) at(t int64) *int16 {
+	i := t & (slotRing - 1)
+	if s.cyc[i] != t {
+		s.cyc[i] = t
+		s.use[i] = 0
+	}
+	return &s.use[i]
+}
+
+// reserve finds the earliest cycle >= t with a free slot, consumes it,
+// and returns the cycle.
+func (s *slotWindow) reserve(t int64) int64 {
+	for {
+		u := s.at(t)
+		if int(*u) < s.width {
+			*u++
+			return t
+		}
+		t++
+	}
+}
+
+// reserveAt consumes a slot at exactly cycle t, reporting whether one
+// was free.
+func (s *slotWindow) reserveAt(t int64) bool {
+	u := s.at(t)
+	if int(*u) < s.width {
+		*u++
+		return true
+	}
+	return false
+}
+
+// freeAt reports whether a slot is free at cycle t without consuming.
+func (s *slotWindow) freeAt(t int64) bool {
+	return int(*s.at(t)) < s.width
+}
+
+// minHeap is a small int64 min-heap used for the issue-queue occupancy
+// model (IQ entries free out of order, at issue time).
+type minHeap []int64
+
+func (h *minHeap) push(v int64) {
+	*h = append(*h, v)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p] <= (*h)[i] {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *minHeap) pop() int64 {
+	old := *h
+	v := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		sm := i
+		if l < n && (*h)[l] < (*h)[sm] {
+			sm = l
+		}
+		if r < n && (*h)[r] < (*h)[sm] {
+			sm = r
+		}
+		if sm == i {
+			break
+		}
+		(*h)[i], (*h)[sm] = (*h)[sm], (*h)[i]
+		i = sm
+	}
+	return v
+}
+
+// ring is a fixed-size ring of int64 timestamps used for window
+// occupancy constraints (ROB/IQ/LQ/SQ): element i of the ring holds
+// the freeing time of the entry allocated size positions ago.
+type ring struct {
+	buf []int64
+	n   uint64
+}
+
+func newRing(size int) *ring {
+	return &ring{buf: make([]int64, size)}
+}
+
+// push records the freeing time of the newest entry and returns the
+// freeing time of the entry that must have drained for a new slot to
+// exist (zero until the ring has wrapped).
+func (r *ring) push(freeAt int64) (mustDrain int64) {
+	i := r.n % uint64(len(r.buf))
+	mustDrain = r.buf[i]
+	r.buf[i] = freeAt
+	r.n++
+	if r.n <= uint64(len(r.buf)) {
+		return 0
+	}
+	return mustDrain
+}
+
+// peek returns the freeing time of the oldest entry in the ring
+// without modifying it (zero until the ring is full).
+func (r *ring) peek() int64 {
+	if r.n < uint64(len(r.buf)) {
+		return 0
+	}
+	return r.buf[r.n%uint64(len(r.buf))]
+}

@@ -1,0 +1,102 @@
+package pipeline
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSlotWindowWidth(t *testing.T) {
+	s := newSlots(2)
+	if got := s.reserve(10); got != 10 {
+		t.Fatalf("first reserve at %d", got)
+	}
+	if got := s.reserve(10); got != 10 {
+		t.Fatalf("second reserve at %d", got)
+	}
+	if got := s.reserve(10); got != 11 {
+		t.Fatalf("third reserve must spill to 11, got %d", got)
+	}
+	if s.freeAt(10) {
+		t.Fatal("cycle 10 must be full")
+	}
+	if !s.freeAt(12) {
+		t.Fatal("cycle 12 must be free")
+	}
+}
+
+func TestSlotWindowLazyReset(t *testing.T) {
+	s := newSlots(1)
+	s.reserve(5)
+	// Far-future cycle mapping to the same ring slot must be fresh.
+	far := int64(5 + slotRing)
+	if !s.freeAt(far) {
+		t.Fatal("ring slot must lazily reset for a new cycle")
+	}
+}
+
+func TestRingPeekPush(t *testing.T) {
+	r := newRing(3)
+	if r.peek() != 0 {
+		t.Fatal("empty ring must peek 0")
+	}
+	r.push(10)
+	r.push(20)
+	r.push(30)
+	if got := r.peek(); got != 10 {
+		t.Fatalf("full ring must peek oldest (10), got %d", got)
+	}
+	r.push(40)
+	if got := r.peek(); got != 20 {
+		t.Fatalf("after wrap, peek = %d, want 20", got)
+	}
+}
+
+// Property: the min-heap pops values in sorted order (this heap had a
+// real sift-down bug once; keep it pinned).
+func TestMinHeapSortedProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		var h minHeap
+		want := make([]int64, len(raw))
+		for i, v := range raw {
+			h.push(int64(v))
+			want[i] = int64(v)
+		}
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		for _, w := range want {
+			if h.pop() != w {
+				return false
+			}
+		}
+		return len(h) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinHeapInterleavedOps(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	var h minHeap
+	var ref []int64
+	for i := 0; i < 5000; i++ {
+		if len(ref) == 0 || r.Intn(3) > 0 {
+			v := int64(r.Intn(1000))
+			h.push(v)
+			ref = append(ref, v)
+		} else {
+			got := h.pop()
+			mi := 0
+			for j, v := range ref {
+				if v < ref[mi] {
+					mi = j
+				}
+			}
+			if got != ref[mi] {
+				t.Fatalf("pop = %d, want %d", got, ref[mi])
+			}
+			ref = append(ref[:mi], ref[mi+1:]...)
+		}
+	}
+}

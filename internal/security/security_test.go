@@ -1,0 +1,109 @@
+package security
+
+import (
+	"testing"
+
+	"watchdog/internal/core"
+	"watchdog/internal/rt"
+)
+
+func TestSuiteCount(t *testing.T) {
+	cases := Suite()
+	bad, good := 0, 0
+	byCWE := map[int]int{}
+	ids := map[string]bool{}
+	for _, c := range cases {
+		if ids[c.ID] {
+			t.Fatalf("duplicate case id %q", c.ID)
+		}
+		ids[c.ID] = true
+		if c.Bad {
+			bad++
+			byCWE[c.CWE]++
+		} else {
+			good++
+		}
+	}
+	if bad != 291 {
+		t.Fatalf("bad cases = %d, want 291 (the paper's count)", bad)
+	}
+	if good != 291 {
+		t.Fatalf("good cases = %d, want 291", good)
+	}
+	if byCWE[416] != 192 || byCWE[562] != 99 {
+		t.Fatalf("per-CWE counts = %v", byCWE)
+	}
+}
+
+func TestWatchdogDetectsAllWithNoFalsePositives(t *testing.T) {
+	s := RunSuite(Suite(), core.DefaultConfig(), rt.Options{Policy: core.PolicyWatchdog})
+	for _, f := range s.Failures {
+		t.Errorf("case %s (%s, bad=%v): detected=%v clean=%v err=%v",
+			f.Case.ID, f.Case.Variant, f.Case.Bad, f.Detected, f.Clean, f.Err)
+		if len(s.Failures) > 10 {
+			break
+		}
+	}
+	if s.BadDetected != s.BadTotal {
+		t.Fatalf("detected %d/%d bad cases", s.BadDetected, s.BadTotal)
+	}
+	if s.GoodClean != s.GoodTotal {
+		t.Fatalf("false positives: %d", s.GoodTotal-s.GoodClean)
+	}
+}
+
+func TestConservativeModeAlsoDetectsAll(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.PtrPolicy = core.PtrConservative
+	s := RunSuite(Suite(), cfg, rt.Options{Policy: core.PolicyWatchdog})
+	if s.BadDetected != s.BadTotal || s.GoodClean != s.GoodTotal {
+		t.Fatalf("conservative mode: %s", s)
+	}
+}
+
+func TestBoundsModeAlsoDetectsAll(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Bounds = core.BoundsFused
+	s := RunSuite(Suite(), cfg, rt.Options{Policy: core.PolicyWatchdog, Bounds: true})
+	if s.BadDetected != s.BadTotal || s.GoodClean != s.GoodTotal {
+		t.Fatalf("bounds mode: %s", s)
+	}
+}
+
+func TestLocationPolicyMissesReallocationCases(t *testing.T) {
+	// The location-based comparator must catch some cases but miss the
+	// CWE-416 reallocation variants (Table 1's Compre. = N row) —
+	// demonstrating why identifier-based checking matters.
+	var reallocBad, plainBad []Case
+	for _, c := range Suite() {
+		if !c.Bad || c.CWE != 416 {
+			continue
+		}
+		switch {
+		case contains(c.Variant, "realloc-same-size"):
+			reallocBad = append(reallocBad, c)
+		case contains(c.Variant, "no-realloc"):
+			plainBad = append(plainBad, c)
+		}
+	}
+	cfg := core.Config{Policy: core.PolicyLocation}
+	opts := rt.Options{Policy: core.PolicyLocation}
+	sRe := RunSuite(reallocBad, cfg, opts)
+	sPl := RunSuite(plainBad, cfg, opts)
+	if sPl.BadDetected != sPl.BadTotal {
+		t.Fatalf("location policy must detect unreallocated UAF: %d/%d", sPl.BadDetected, sPl.BadTotal)
+	}
+	if sRe.BadDetected != 0 {
+		t.Fatalf("location policy unexpectedly detected %d/%d reallocated-UAF cases",
+			sRe.BadDetected, sRe.BadTotal)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"watchdog/internal/asm"
+	"watchdog/internal/core"
+	"watchdog/internal/isa"
+	"watchdog/internal/machine"
+	"watchdog/internal/rt"
+	"watchdog/internal/workload"
+)
+
+// TestSamplingApproximatesFullSimulation: the extrapolated cycle count
+// from periodic sampling must land near the fully simulated count on a
+// steady-state kernel.
+func TestSamplingApproximatesFullSimulation(t *testing.T) {
+	w, _ := workload.ByName("hmmer")
+	prog, rtEnd, err := workload.BuildProgram(w, rt.Options{Policy: core.PolicyWatchdog}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := Default()
+	full.RuntimeEnd = rtEnd
+	fres, err := Run(prog, full)
+	if err != nil || fres.MemErr != nil {
+		t.Fatalf("full run: %v %v", err, fres.MemErr)
+	}
+
+	sampled := Default()
+	sampled.RuntimeEnd = rtEnd
+	sampled.Sampling = &machine.Sampling{FastForward: 40_000, Warmup: 5_000, Sample: 5_000}
+	sres, err := Run(prog, sampled)
+	if err != nil || sres.MemErr != nil {
+		t.Fatalf("sampled run: %v %v", err, sres.MemErr)
+	}
+	if sres.SampledInsts == 0 {
+		t.Fatal("no sample windows measured")
+	}
+	if sres.SampledInsts >= sres.Insts/2 {
+		t.Fatalf("sampling measured %d of %d insts — not actually sampling", sres.SampledInsts, sres.Insts)
+	}
+	est := sres.EstimatedCycles()
+	ratio := float64(est) / float64(fres.Timing.Cycles)
+	if math.Abs(ratio-1) > 0.30 {
+		t.Fatalf("sampled estimate %d vs full %d (ratio %.2f) outside 30%%", est, fres.Timing.Cycles, ratio)
+	}
+	// Checksums unaffected by sampling (functional execution is exact).
+	if len(sres.Output) != len(fres.Output) || sres.Output[0] != fres.Output[0] {
+		t.Fatalf("sampling changed program output: %v vs %v", sres.Output, fres.Output)
+	}
+}
+
+// TestSamplingStillDetectsViolations: detection is functional, so a
+// violation inside a fast-forward window is still caught.
+func TestSamplingStillDetectsViolations(t *testing.T) {
+	r := rt.NewBuild(rt.Options{Policy: core.PolicyWatchdog})
+	b := r.B
+	b.Label("main")
+	// Burn instructions so the bug lands in a fast-forward phase.
+	b.Movi(isa.R5, 50_000)
+	b.Label("burn")
+	b.Subi(isa.R5, isa.R5, 1)
+	b.Brnz(isa.R5, "burn")
+	b.Movi(isa.R1, 32)
+	b.Call("malloc")
+	b.Mov(isa.R4, isa.R1)
+	b.Call("free")
+	b.Ld(isa.R3, asm.Mem(isa.R4, 0, 8)) // dangling
+	b.Ret()
+	prog, err := r.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Default()
+	cfg.RuntimeEnd = r.RuntimeEnd()
+	cfg.Sampling = &machine.Sampling{FastForward: 1_000_000, Warmup: 1000, Sample: 1000}
+	res, err := Run(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemErr == nil || res.MemErr.Kind != core.ErrUseAfterFree {
+		t.Fatalf("violation missed under sampling: %v", res.MemErr)
+	}
+}

@@ -1,0 +1,113 @@
+// Package sim wires the subsystems into runnable simulations: it
+// builds the memory, engine, hierarchy, predictor and pipeline from a
+// single Config, runs programs, and implements the two-pass profiling
+// methodology for ISA-assisted pointer identification (Section 5.2).
+package sim
+
+import (
+	"watchdog/internal/asm"
+	"watchdog/internal/bpred"
+	"watchdog/internal/cache"
+	"watchdog/internal/core"
+	"watchdog/internal/isa"
+	"watchdog/internal/machine"
+	"watchdog/internal/mem"
+	"watchdog/internal/pipeline"
+)
+
+// Config configures a simulation run.
+type Config struct {
+	Core     core.Config
+	Pipeline pipeline.Config
+	Hier     cache.HierConfig
+	// Timing attaches the out-of-order timing model; functional-only
+	// runs (profiling) leave it off.
+	Timing bool
+	// IdealShadow idealizes shadow-space metadata accesses (the
+	// Section 9.3 cache-pressure isolation study).
+	IdealShadow bool
+	// Monolithic enables the monolithic register data/metadata
+	// strawman of Section 6.1 (ablation).
+	Monolithic bool
+	// RuntimeEnd marks the end of runtime-library code (checking
+	// exemption for the software/location policies).
+	RuntimeEnd int
+	// InstLimit overrides the default macro-instruction limit.
+	InstLimit uint64
+	// Trace, when set, observes every executed macro instruction.
+	Trace func(pc int, in *isa.Inst)
+	// Sampling, when non-nil, enables the paper's periodic-sampling
+	// methodology (Section 9.1).
+	Sampling *machine.Sampling
+}
+
+// Default returns the paper's primary configuration with timing.
+func Default() Config {
+	return Config{
+		Core:     core.DefaultConfig(),
+		Pipeline: pipeline.DefaultConfig(),
+		Hier:     cache.DefaultHierConfig(),
+		Timing:   true,
+	}
+}
+
+// Baseline returns the uninstrumented configuration with timing.
+func Baseline() Config {
+	c := Default()
+	c.Core = core.Config{Policy: core.PolicyBaseline}
+	return c
+}
+
+// Run executes the program under the configuration.
+func Run(prog *asm.Program, cfg Config) (*machine.Result, error) {
+	memory := mem.New()
+	// The hierarchy must agree with the engine about the lock cache.
+	hier := cfg.Hier
+	hier.LockCacheEnabled = cfg.Core.LockCache
+	eng := core.NewEngine(cfg.Core, memory)
+	eng.SetUncheckedBelow(cfg.RuntimeEnd)
+
+	var model *pipeline.Model
+	var bp *bpred.Predictor
+	if cfg.Timing {
+		bp = bpred.New(bpred.DefaultConfig())
+		model = pipeline.New(cfg.Pipeline, cache.NewHierarchy(hier), bp)
+		model.IdealShadow = cfg.IdealShadow
+		model.Monolithic = cfg.Monolithic
+	}
+	m := machine.New(prog, memory, eng, model, bp)
+	m.Trace = cfg.Trace
+	if cfg.Sampling != nil {
+		m.SetSampling(*cfg.Sampling)
+	}
+	if cfg.InstLimit != 0 {
+		m.InstLimit = cfg.InstLimit
+	}
+	m.Load()
+	return m.Run()
+}
+
+// Profile performs the functional profiling pass of Section 5.2: a run
+// with conservative identification that records every static memory
+// instruction observed to load or store valid pointer metadata. The
+// returned profile drives ISA-assisted classification of unannotated
+// instructions in subsequent runs.
+func Profile(prog *asm.Program, base core.Config, runtimeEnd int) (*core.Profile, error) {
+	p := core.NewProfile()
+	cfg := Config{
+		Core:       base,
+		RuntimeEnd: runtimeEnd,
+	}
+	cfg.Core.Policy = core.PolicyWatchdog
+	cfg.Core.PtrPolicy = core.PtrConservative
+	cfg.Core.Profiling = true
+	cfg.Core.Profile = p
+	res, err := Run(prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if res.MemErr != nil {
+		return nil, res.MemErr
+	}
+	return p, nil
+}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"testing"
+
+	"watchdog/internal/asm"
+	"watchdog/internal/core"
+	"watchdog/internal/isa"
+	"watchdog/internal/rt"
+)
+
+func buildCounting(t *testing.T, opts rt.Options) (*progAlias, int) {
+	t.Helper()
+	r := rt.NewBuild(opts)
+	b := r.B
+	b.Label("main")
+	b.Movi(isa.R1, 64)
+	b.Call("malloc")
+	b.Mov(isa.R4, isa.R1)
+	b.Movi(isa.R5, 8)
+	b.Label("loop")
+	b.St(asmMem(isa.R4, 0, 8), isa.R5)
+	b.Subi(isa.R5, isa.R5, 1)
+	b.Brnz(isa.R5, "loop")
+	b.Mov(isa.R1, isa.R4)
+	b.Call("free")
+	b.Movi(isa.R1, 99)
+	b.Sys(isa.SysPutInt, isa.R1)
+	b.Ret()
+	prog, err := r.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, r.RuntimeEnd()
+}
+
+func TestRunFunctionalAndTimed(t *testing.T) {
+	prog, rtEnd := buildCounting(t, rt.Options{Policy: core.PolicyWatchdog})
+	// Functional only.
+	res, err := Run(prog, Config{Core: core.DefaultConfig(), RuntimeEnd: rtEnd})
+	if err != nil || res.MemErr != nil {
+		t.Fatalf("functional run: %v %v", err, res.MemErr)
+	}
+	if res.Timing.Cycles != 0 {
+		t.Fatal("functional run must not accumulate cycles")
+	}
+	// Timed.
+	cfg := Default()
+	cfg.RuntimeEnd = rtEnd
+	res, err = Run(prog, cfg)
+	if err != nil || res.MemErr != nil {
+		t.Fatalf("timed run: %v %v", err, res.MemErr)
+	}
+	if res.Timing.Cycles == 0 || res.Output[0] != 99 {
+		t.Fatalf("timed run: cycles=%d output=%v", res.Timing.Cycles, res.Output)
+	}
+}
+
+func TestBaselineConfig(t *testing.T) {
+	prog, rtEnd := buildCounting(t, rt.Options{Policy: core.PolicyBaseline})
+	cfg := Baseline()
+	cfg.RuntimeEnd = rtEnd
+	res, err := Run(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine.Checks != 0 {
+		t.Fatal("baseline must inject no checks")
+	}
+}
+
+func TestProfilePass(t *testing.T) {
+	prog, rtEnd := buildCounting(t, rt.Options{Policy: core.PolicyWatchdog})
+	p, err := Profile(prog, core.DefaultConfig(), rtEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() == 0 {
+		t.Fatal("profile empty (the runtime stores pointers)")
+	}
+}
+
+func TestLockCacheConsistency(t *testing.T) {
+	// The engine's LockCache flag drives the hierarchy: disabling it
+	// must not crash and must still run correctly.
+	prog, rtEnd := buildCounting(t, rt.Options{Policy: core.PolicyWatchdog})
+	cfg := Default()
+	cfg.Core.LockCache = false
+	cfg.RuntimeEnd = rtEnd
+	res, err := Run(prog, cfg)
+	if err != nil || res.MemErr != nil {
+		t.Fatalf("no-lock-cache run: %v %v", err, res.MemErr)
+	}
+}
+
+// progAlias and asmMem keep the test body terse.
+type progAlias = asm.Program
+
+func asmMem(base isa.Reg, disp int64, width uint8) isa.MemRef {
+	return asm.Mem(base, disp, width)
+}

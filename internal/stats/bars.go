@@ -1,0 +1,53 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// RenderBars renders grouped horizontal bar charts — the terminal
+// rendition of the paper's per-benchmark bar figures. Each Series is
+// one bar group (e.g. "conservative" and "isa-assisted" in Figure 7);
+// all series must share the same labels in the same order.
+func RenderBars(title string, series []Series) string {
+	if len(series) == 0 {
+		return title + "\n"
+	}
+	maxVal := 0.0
+	labelW, nameW := 0, 0
+	for _, s := range series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+		for i, v := range s.Values {
+			if math.Abs(v) > maxVal {
+				maxVal = math.Abs(v)
+			}
+			if len(s.Labels[i]) > labelW {
+				labelW = len(s.Labels[i])
+			}
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+	const width = 44
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for i := range series[0].Labels {
+		for si, s := range series {
+			label := ""
+			if si == 0 {
+				label = s.Labels[i]
+			}
+			n := int(math.Round(math.Abs(s.Values[i]) / maxVal * width))
+			bar := strings.Repeat("█", n)
+			if n == 0 && s.Values[i] != 0 {
+				bar = "▏"
+			}
+			fmt.Fprintf(&b, "%-*s  %-*s %s %.1f\n", labelW, label, nameW, s.Name, bar, s.Values[i])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("Geomean(2,8) = %f", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Fatalf("Geomean(nil) = %f", g)
+	}
+	if !math.IsNaN(Geomean([]float64{1, -1})) {
+		t.Fatal("negative input must yield NaN")
+	}
+}
+
+func TestGeomeanOverhead(t *testing.T) {
+	// 15% overhead on every benchmark -> 15% geomean overhead.
+	xs := []float64{1.15, 1.15, 1.15}
+	if o := GeomeanOverhead(xs); math.Abs(o-15) > 1e-9 {
+		t.Fatalf("overhead = %f", o)
+	}
+}
+
+// Property: geomean lies between min and max.
+func TestGeomeanBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = 1 + float64(r)/1000
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		g := Geomean(xs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Fatalf("mean = %f", m)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Figure X", "bench", "overhead")
+	tb.Row("lbm", 1.5)
+	tb.Row("mcf", 42.0)
+	s := tb.String()
+	if !strings.Contains(s, "Figure X") || !strings.Contains(s, "lbm") {
+		t.Fatalf("table missing content:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), s)
+	}
+}
+
+func TestSeriesSorted(t *testing.T) {
+	s := Series{Name: "x"}
+	s.Add("a", 1)
+	s.Add("b", 3)
+	s.Add("c", 2)
+	sorted := s.Sorted()
+	if sorted.Labels[0] != "b" || sorted.Values[2] != 1 {
+		t.Fatalf("sorted = %+v", sorted)
+	}
+	// Original untouched.
+	if s.Labels[0] != "a" {
+		t.Fatal("Sorted must not mutate")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.316) != "31.6%" {
+		t.Fatalf("Pct = %s", Pct(0.316))
+	}
+}
+
+func TestRenderBars(t *testing.T) {
+	a := Series{Name: "conservative"}
+	a.Add("lbm", 0.2)
+	a.Add("mcf", 11.3)
+	b := Series{Name: "isa"}
+	b.Add("lbm", 0.2)
+	b.Add("mcf", 4.7)
+	out := RenderBars("Figure 7", []Series{a, b})
+	if !strings.Contains(out, "mcf") || !strings.Contains(out, "█") {
+		t.Fatalf("bar output malformed:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title + 2 labels x 2 series
+		t.Fatalf("bar output has %d lines:\n%s", len(lines), out)
+	}
+	// Zero-series edge case.
+	if out := RenderBars("empty", nil); !strings.Contains(out, "empty") {
+		t.Fatal("empty render must keep the title")
+	}
+}

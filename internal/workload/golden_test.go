@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"testing"
+
+	"watchdog/internal/core"
+	"watchdog/internal/rt"
+	"watchdog/internal/sim"
+)
+
+// goldenChecksums pins every workload's scale-1 checksum. A change
+// here means a kernel's computation changed — deliberate kernel edits
+// must update the table; anything else is a simulator regression.
+var goldenChecksums = map[string]int64{
+	"lbm":      7170,
+	"compress": 16772740,
+	"gzip":     7331,
+	"milc":     1097728,
+	"bzip2":    155878,
+	"ammp":     11520,
+	"go":       5616,
+	"sjeng":    26,
+	"equake":   594,
+	"h264":     276480,
+	"ijpeg":    1553,
+	"gobmk":    40,
+	"art":      16,
+	"twolf":    130816,
+	"hmmer":    1111561,
+	"vpr":      27440,
+	"mcf":      199680,
+	"mesa":     8,
+	"gcc":      336,
+	"perl":     596,
+}
+
+func TestGoldenChecksums(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			want, ok := goldenChecksums[w.Name]
+			if !ok {
+				t.Fatalf("no golden checksum for %s", w.Name)
+			}
+			prog, rtEnd, err := BuildProgram(w, rt.Options{Policy: core.PolicyBaseline}, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.Run(prog, sim.Config{Core: core.Config{Policy: core.PolicyBaseline}, RuntimeEnd: rtEnd})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Output[len(res.Output)-1] != want {
+				t.Fatalf("checksum = %d, want %d", res.Output[len(res.Output)-1], want)
+			}
+		})
+	}
+}

@@ -1,0 +1,448 @@
+package workload
+
+import "watchdog/internal/asm"
+
+// Floating-point-dominated kernels: lbm, milc, equake, art, mesa, and
+// ammp (FP with per-atom neighbor pointers). These sit at the low end
+// of Figure 5's pointer-operation fractions.
+
+func init() {
+	register(Workload{
+		Name:     "lbm",
+		Kernel:   "1-D flow stencil relaxation over a flat FP array",
+		PtrHeavy: "minimal",
+		Build:    buildLBM,
+	})
+	register(Workload{
+		Name:     "milc",
+		Kernel:   "complex-number lattice multiply-accumulate",
+		PtrHeavy: "minimal",
+		Build:    buildMILC,
+	})
+	register(Workload{
+		Name:     "equake",
+		Kernel:   "sparse matrix-vector product (CSR, 8-byte indices)",
+		PtrHeavy: "low",
+		Build:    buildEquake,
+	})
+	register(Workload{
+		Name:     "art",
+		Kernel:   "neural-network layer evaluation with winner search",
+		PtrHeavy: "low",
+		Build:    buildArt,
+	})
+	register(Workload{
+		Name:     "mesa",
+		Kernel:   "4x4 matrix transform over a vertex stream",
+		PtrHeavy: "low",
+		Build:    buildMesa,
+	})
+	register(Workload{
+		Name:     "ammp",
+		Kernel:   "molecular-dynamics force loop with neighbor pointers",
+		PtrHeavy: "medium",
+		Build:    buildAmmp,
+	})
+}
+
+func buildLBM(c *Ctx) {
+	b := c.B
+	const N, W = 2048, 32
+	b.Global("lbm_f", N*8)
+
+	b.MoviGlobal(R4, "lbm_f", 0)
+	// init: f[i] = float(i & 7)
+	b.Movi(R5, 0)
+	c.Loop(R6, N, func() {
+		b.Andi(R8, R5, 7)
+		b.I2f(F0, R8)
+		b.Fst(asm.MemIdx(R4, R5, 8, 0, 8), F0)
+		b.Addi(R5, R5, 1)
+	})
+	// relaxation steps
+	b.Fmovi(F4, 0.25)
+	c.Loop(R7, int64(4*c.Scale), func() {
+		inner := c.L("lbm.row")
+		b.Movi(R5, W)
+		b.Label(inner)
+		b.Fld(F0, asm.MemIdx(R4, R5, 8, -8, 8))
+		b.Fld(F1, asm.MemIdx(R4, R5, 8, 8, 8))
+		b.Fld(F2, asm.MemIdx(R4, R5, 8, -W*8, 8))
+		b.Fld(F3, asm.MemIdx(R4, R5, 8, W*8, 8))
+		b.Fadd(F0, F0, F1)
+		b.Fadd(F2, F2, F3)
+		b.Fadd(F0, F0, F2)
+		b.Fmul(F0, F0, F4)
+		b.Fst(asm.MemIdx(R4, R5, 8, 0, 8), F0)
+		b.Addi(R5, R5, 1)
+		b.Movi(R2, N-W)
+		b.Br(CondLT, R5, R2, inner)
+	})
+	emitFPChecksum(c, R4, N)
+}
+
+func buildMILC(c *Ctx) {
+	b := c.B
+	const N = 1024
+	b.Global("milc_are", N*8)
+	b.Global("milc_aim", N*8)
+	b.Global("milc_bre", N*8)
+	b.Global("milc_bim", N*8)
+	b.Global("milc_cre", N*8)
+	b.Global("milc_cim", N*8)
+
+	// init the lattice deterministically
+	b.MoviGlobal(R4, "milc_are", 0)
+	b.MoviGlobal(R7, "milc_bre", 0)
+	b.Movi(R5, 0)
+	c.Loop(R6, N, func() {
+		b.Andi(R8, R5, 15)
+		b.I2f(F0, R8)
+		b.Fst(asm.MemIdx(R4, R5, 8, 0, 8), F0)   // a.re
+		b.Fst(asm.MemIdx(R4, R5, 8, N*8, 8), F0) // a.im (adjacent global)
+		b.Xori(R9, R8, 7)
+		b.I2f(F1, R9)
+		b.Fst(asm.MemIdx(R7, R5, 8, 0, 8), F1)   // b.re
+		b.Fst(asm.MemIdx(R7, R5, 8, N*8, 8), F1) // b.im
+		b.Addi(R5, R5, 1)
+	})
+	// c += a * b (complex), repeated
+	b.MoviGlobal(R4, "milc_are", 0)
+	c.Loop(R7, int64(8*c.Scale), func() {
+		inner := c.L("milc.mul")
+		b.Movi(R5, 0)
+		b.Label(inner)
+		b.Fld(F0, asm.MemIdx(R4, R5, 8, 0, 8))     // a.re
+		b.Fld(F1, asm.MemIdx(R4, R5, 8, N*8, 8))   // a.im
+		b.Fld(F2, asm.MemIdx(R4, R5, 8, 2*N*8, 8)) // b.re
+		b.Fld(F3, asm.MemIdx(R4, R5, 8, 3*N*8, 8)) // b.im
+		b.Fmul(F5, F0, F2)
+		b.Fmul(F6, F1, F3)
+		b.Fsub(F5, F5, F6) // re = are*bre - aim*bim
+		b.Fmul(F7, F0, F3)
+		b.Fmul(F8, F1, F2)
+		b.Fadd(F7, F7, F8) // im = are*bim + aim*bre
+		b.Fld(F9, asm.MemIdx(R4, R5, 8, 4*N*8, 8))
+		b.Fadd(F9, F9, F5)
+		b.Fst(asm.MemIdx(R4, R5, 8, 4*N*8, 8), F9) // c.re +=
+		b.Fld(F9, asm.MemIdx(R4, R5, 8, 5*N*8, 8))
+		b.Fadd(F9, F9, F7)
+		b.Fst(asm.MemIdx(R4, R5, 8, 5*N*8, 8), F9) // c.im +=
+		b.Addi(R5, R5, 1)
+		b.Movi(R2, N)
+		b.Br(CondLT, R5, R2, inner)
+	})
+	b.MoviGlobal(R4, "milc_cre", 0)
+	emitFPChecksum(c, R4, 2*N)
+}
+
+func buildEquake(c *Ctx) {
+	b := c.B
+	const N, NNZ = 512, 8       // rows, nonzeros per row
+	b.Global("eq_col", N*NNZ*8) // 8-byte column indices
+	b.Global("eq_val", N*NNZ*8) // FP values
+	b.Global("eq_x", N*8)
+	b.Global("eq_y", N*8)
+
+	// init: col[r*NNZ+k] = (r*7 + k*131) % N ; val = float(k+1); x[i] = float(i&7)
+	b.MoviGlobal(R4, "eq_col", 0)
+	b.Movi(R5, 0)
+	c.Loop(R6, N*NNZ, func() {
+		b.Muli(R8, R5, 131)
+		b.Addi(R8, R8, 7)
+		b.Movi(R9, N)
+		b.Rem(R8, R8, R9)
+		b.St(asm.MemIdx(R4, R5, 8, 0, 8), R8) // col
+		b.Andi(R9, R5, 7)
+		b.Addi(R9, R9, 1)
+		b.I2f(F0, R9)
+		b.Fst(asm.MemIdx(R4, R5, 8, N*NNZ*8, 8), F0) // val
+		b.Addi(R5, R5, 1)
+	})
+	b.MoviGlobal(R7, "eq_x", 0)
+	b.Movi(R5, 0)
+	c.Loop(R6, N, func() {
+		b.Andi(R8, R5, 7)
+		b.I2f(F0, R8)
+		b.Fst(asm.MemIdx(R7, R5, 8, 0, 8), F0)
+		b.Addi(R5, R5, 1)
+	})
+
+	// y = A*x repeated; then x[i] += y[i]*0.5 to keep values bounded
+	c.Loop(R6, int64(8*c.Scale), func() {
+		rows := c.L("eq.rows")
+		b.Movi(R5, 0) // element index r*NNZ+k walks linearly
+		b.Movi(R7, 0) // row
+		b.Label(rows)
+		b.Fmovi(F5, 0)
+		c.Loop(R14, NNZ, func() {
+			b.MoviGlobal(R10, "eq_col", 0)
+			b.Ld(R8, asm.MemIdx(R10, R5, 8, 0, 8)) // col index (8-byte int load)
+			b.Fld(F1, asm.MemIdx(R10, R5, 8, N*NNZ*8, 8))
+			b.MoviGlobal(R11, "eq_x", 0)
+			b.Fld(F2, asm.MemIdx(R11, R8, 8, 0, 8)) // x[col]
+			b.Fmul(F1, F1, F2)
+			b.Fadd(F5, F5, F1)
+			b.Addi(R5, R5, 1)
+		})
+		b.MoviGlobal(R12, "eq_y", 0)
+		b.Fst(asm.MemIdx(R12, R7, 8, 0, 8), F5)
+		b.Addi(R7, R7, 1)
+		b.Movi(R2, N)
+		b.Br(CondLT, R7, R2, rows)
+		// damp x so the values stay finite
+		b.Fmovi(F6, 0.001)
+		b.Movi(R7, 0)
+		c.Loop(R14, N, func() {
+			b.MoviGlobal(R12, "eq_y", 0)
+			b.Fld(F1, asm.MemIdx(R12, R7, 8, 0, 8))
+			b.Fmul(F1, F1, F6)
+			b.MoviGlobal(R11, "eq_x", 0)
+			b.Fld(F2, asm.MemIdx(R11, R7, 8, 0, 8))
+			b.Fadd(F2, F2, F1)
+			b.Fmovi(F3, 0.5)
+			b.Fmul(F2, F2, F3)
+			b.Fst(asm.MemIdx(R11, R7, 8, 0, 8), F2)
+			b.Addi(R7, R7, 1)
+		})
+	})
+	b.MoviGlobal(R4, "eq_y", 0)
+	emitFPChecksum(c, R4, N)
+}
+
+func buildArt(c *Ctx) {
+	b := c.B
+	const I, J = 64, 64 // inputs, neurons
+	b.Global("art_w", I*J*8)
+	b.Global("art_x", I*8)
+	b.Global("art_y", J*8)
+
+	b.MoviGlobal(R4, "art_w", 0)
+	b.Movi(R5, 0)
+	c.Loop(R6, I*J, func() {
+		b.Muli(R8, R5, 37)
+		b.Andi(R8, R8, 63)
+		b.I2f(F0, R8)
+		b.Fst(asm.MemIdx(R4, R5, 8, 0, 8), F0)
+		b.Addi(R5, R5, 1)
+	})
+	b.MoviGlobal(R7, "art_x", 0)
+	b.Movi(R5, 0)
+	c.Loop(R6, I, func() {
+		b.Andi(R8, R5, 15)
+		b.I2f(F0, R8)
+		b.Fst(asm.MemIdx(R7, R5, 8, 0, 8), F0)
+		b.Addi(R5, R5, 1)
+	})
+
+	// winner accumulation across repeated presentations
+	b.Movi(R4, 0) // winner-index checksum accumulator
+	c.Loop(R6, int64(16*c.Scale), func() {
+		// forward pass: y[j] = sum_i w[j*I+i] * x[i]
+		b.Movi(R7, 0) // j
+		rows := c.L("art.j")
+		b.Label(rows)
+		b.Fmovi(F5, 0)
+		b.Muli(R9, R7, I)
+		b.Movi(R5, 0) // i
+		c.Loop(R14, I, func() {
+			b.Add(R10, R9, R5)
+			b.MoviGlobal(R11, "art_w", 0)
+			b.Fld(F1, asm.MemIdx(R11, R10, 8, 0, 8))
+			b.MoviGlobal(R12, "art_x", 0)
+			b.Fld(F2, asm.MemIdx(R12, R5, 8, 0, 8))
+			b.Fmul(F1, F1, F2)
+			b.Fadd(F5, F5, F1)
+			b.Addi(R5, R5, 1)
+		})
+		b.MoviGlobal(R13, "art_y", 0)
+		b.Fst(asm.MemIdx(R13, R7, 8, 0, 8), F5)
+		b.Addi(R7, R7, 1)
+		b.Movi(R2, J)
+		b.Br(CondLT, R7, R2, rows)
+		// winner search
+		b.Movi(R7, 0) // j
+		b.Movi(R8, 0) // argmax
+		b.Fmovi(F6, -1e30)
+		win := c.L("art.win")
+		b.Label(win)
+		b.MoviGlobal(R13, "art_y", 0)
+		b.Fld(F1, asm.MemIdx(R13, R7, 8, 0, 8))
+		b.Fcmp(R9, F1, F6)
+		b.Movi(R10, 1)
+		skip := c.L("art.skip")
+		b.Br(CondNE, R9, R10, skip)
+		b.Fmov(F6, F1)
+		b.Mov(R8, R7)
+		b.Label(skip)
+		b.Addi(R7, R7, 1)
+		b.Movi(R2, J)
+		b.Br(CondLT, R7, R2, win)
+		b.Add(R4, R4, R8)
+		b.Addi(R4, R4, 1) // count presentations so the checksum is nonzero
+		// perturb x so winners vary
+		b.MoviGlobal(R12, "art_x", 0)
+		b.Andi(R9, R6, 63)
+		b.Fld(F1, asm.MemIdx(R12, R9, 8, 0, 8))
+		b.Fmovi(F2, 1.5)
+		b.Fadd(F1, F1, F2)
+		b.Fst(asm.MemIdx(R12, R9, 8, 0, 8), F1)
+	})
+	b.Mov(R1, R4)
+	b.Sys(SysPutInt, R1)
+	b.Ret()
+}
+
+func buildMesa(c *Ctx) {
+	b := c.B
+	const N = 1024 // vertices
+	b.Global("mesa_m", 16*8)
+	b.Global("mesa_v", N*4*8)
+
+	// matrix: simple rotation-ish integer-valued entries
+	b.MoviGlobal(R4, "mesa_m", 0)
+	b.Movi(R5, 0)
+	c.Loop(R6, 16, func() {
+		b.Muli(R8, R5, 3)
+		b.Andi(R8, R8, 7)
+		b.Subi(R8, R8, 3)
+		b.I2f(F0, R8)
+		b.Fst(asm.MemIdx(R4, R5, 8, 0, 8), F0)
+		b.Addi(R5, R5, 1)
+	})
+	b.MoviGlobal(R7, "mesa_v", 0)
+	b.Movi(R5, 0)
+	c.Loop(R6, N*4, func() {
+		b.Andi(R8, R5, 31)
+		b.I2f(F0, R8)
+		b.Fst(asm.MemIdx(R7, R5, 8, 0, 8), F0)
+		b.Addi(R5, R5, 1)
+	})
+
+	c.Loop(R6, int64(8*c.Scale), func() {
+		verts := c.L("mesa.v")
+		b.Movi(R5, 0) // vertex word index (v*4)
+		b.Label(verts)
+		// load vertex
+		b.MoviGlobal(R7, "mesa_v", 0)
+		b.Fld(F0, asm.MemIdx(R7, R5, 8, 0, 8))
+		b.Fld(F1, asm.MemIdx(R7, R5, 8, 8, 8))
+		b.Fld(F2, asm.MemIdx(R7, R5, 8, 16, 8))
+		b.Fld(F3, asm.MemIdx(R7, R5, 8, 24, 8))
+		// v' = M * v, row by row
+		b.MoviGlobal(R8, "mesa_m", 0)
+		for row := int64(0); row < 4; row++ {
+			b.Fld(F4, asm.Mem(R8, row*32+0, 8))
+			b.Fmul(F4, F4, F0)
+			b.Fld(F5, asm.Mem(R8, row*32+8, 8))
+			b.Fmul(F5, F5, F1)
+			b.Fadd(F4, F4, F5)
+			b.Fld(F5, asm.Mem(R8, row*32+16, 8))
+			b.Fmul(F5, F5, F2)
+			b.Fadd(F4, F4, F5)
+			b.Fld(F5, asm.Mem(R8, row*32+24, 8))
+			b.Fmul(F5, F5, F3)
+			b.Fadd(F4, F4, F5)
+			b.Fmovi(F5, 0.0625)
+			b.Fmul(F4, F4, F5) // contraction keeps values bounded across steps
+			b.Fst(asm.MemIdx(R7, R5, 8, row*8, 8), F4)
+		}
+		b.Addi(R5, R5, 4)
+		b.Movi(R2, N*4)
+		b.Br(CondLT, R5, R2, verts)
+	})
+	b.MoviGlobal(R4, "mesa_v", 0)
+	emitFPChecksum(c, R4, N*4)
+}
+
+func buildAmmp(c *Ctx) {
+	b := c.B
+	const N = 256
+	const stride = 48 // x, y, z, nbrPtr, fx, pad
+	// atoms = malloc(N*stride); table of atom pointers not needed —
+	// the array is dense, but each atom carries a neighbor POINTER
+	// that the force loop chases (pointer load per atom).
+	b.Movi(R1, N*stride)
+	b.Call("malloc")
+	b.Mov(R4, R1) // atoms base
+
+	// init positions and neighbor pointers
+	b.Movi(R5, 0) // atom index
+	c.Loop(R6, N, func() {
+		b.Muli(R8, R5, stride)
+		b.Andi(R9, R5, 15)
+		b.I2f(F0, R9)
+		b.Fst(asm.MemIdx(R4, R8, 1, 0, 8), F0) // x
+		b.Addi(R9, R9, 3)
+		b.I2f(F0, R9)
+		b.Fst(asm.MemIdx(R4, R8, 1, 8, 8), F0) // y
+		b.Fst(asm.MemIdx(R4, R8, 1, 16, 8), F0)
+		// neighbor = &atoms[(i*17+1) % N]
+		b.Muli(R9, R5, 17)
+		b.Addi(R9, R9, 1)
+		b.Movi(R10, N)
+		b.Rem(R9, R9, R10)
+		b.Muli(R9, R9, stride)
+		b.Lea(R10, asm.MemIdx(R4, R9, 1, 0, 8))
+		b.Muli(R8, R5, stride)
+		b.StP(asm.MemIdx(R4, R8, 1, 24, 8), R10)
+		b.Addi(R5, R5, 1)
+	})
+
+	// force loop: f += (x - nbr->x) * k, chased through the pointer
+	c.Loop(R6, int64(24*c.Scale), func() {
+		atoms := c.L("ammp.atoms")
+		b.Movi(R5, 0)
+		b.Label(atoms)
+		b.Muli(R8, R5, stride)
+		b.LdP(R9, asm.MemIdx(R4, R8, 1, 24, 8)) // neighbor pointer
+		b.Fld(F0, asm.MemIdx(R4, R8, 1, 0, 8))  // x
+		b.Fld(F1, asm.Mem(R9, 0, 8))            // nbr->x
+		b.Fsub(F0, F0, F1)
+		b.Fld(F2, asm.MemIdx(R4, R8, 1, 8, 8)) // y
+		b.Fld(F3, asm.Mem(R9, 8, 8))
+		b.Fsub(F2, F2, F3)
+		b.Fmul(F0, F0, F0)
+		b.Fmul(F2, F2, F2)
+		b.Fadd(F0, F0, F2)
+		b.Fld(F4, asm.MemIdx(R4, R8, 1, 32, 8)) // fx
+		b.Fmovi(F5, 0.0625)
+		b.Fmul(F0, F0, F5)
+		b.Fadd(F4, F4, F0)
+		b.Fst(asm.MemIdx(R4, R8, 1, 32, 8), F4)
+		b.Addi(R5, R5, 1)
+		b.Movi(R2, N)
+		b.Br(CondLT, R5, R2, atoms)
+	})
+
+	// checksum over fx fields
+	b.Fmovi(F5, 0)
+	b.Movi(R5, 0)
+	c.Loop(R6, N, func() {
+		b.Muli(R8, R5, stride)
+		b.Fld(F0, asm.MemIdx(R4, R8, 1, 32, 8))
+		b.Fadd(F5, F5, F0)
+		b.Addi(R5, R5, 1)
+	})
+	b.F2i(R1, F5)
+	b.Sys(SysPutInt, R1)
+	b.Mov(R1, R4)
+	b.Call("free")
+	b.Ret()
+}
+
+// emitFPChecksum sums n FP words at base (clobbers R5, R6, R8, F0,
+// F5, R1) and emits the truncated integer sum.
+func emitFPChecksum(c *Ctx, base Reg, n int64) {
+	b := c.B
+	b.Fmovi(F5, 0)
+	b.Movi(R5, 0)
+	c.Loop(R6, n, func() {
+		b.Fld(F0, asm.MemIdx(base, R5, 8, 0, 8))
+		b.Fadd(F5, F5, F0)
+		b.Addi(R5, R5, 1)
+	})
+	b.F2i(R1, F5)
+	b.Sys(SysPutInt, R1)
+	b.Ret()
+}

@@ -1,0 +1,278 @@
+package workload
+
+import "watchdog/internal/asm"
+
+// Game-playing kernels: go (board playouts), sjeng (deep recursion —
+// stack-frame identifier churn and spill-heavy code), gobmk (flood
+// fill over a grid of neighbor pointers).
+
+func init() {
+	register(Workload{
+		Name:     "go",
+		Kernel:   "board playouts with move-candidate lists",
+		PtrHeavy: "medium",
+		Build:    buildGo,
+	})
+	register(Workload{
+		Name:     "sjeng",
+		Kernel:   "recursive negamax search (call/return dominated)",
+		PtrHeavy: "medium",
+		Build:    buildSjeng,
+	})
+	register(Workload{
+		Name:     "gobmk",
+		Kernel:   "flood-fill liberty counting over neighbor pointers",
+		PtrHeavy: "high",
+		Build:    buildGobmk,
+	})
+}
+
+func buildGo(c *Ctx) {
+	b := c.B
+	const B = 19 // board edge
+	const cells = B * B
+	b.Global("go_board", cells)
+	b.Global("go_moves", cells*8) // candidate move list (8-byte entries)
+
+	// move list: pseudo-random permutation-ish sequence
+	b.MoviGlobal(R10, "go_moves", 0)
+	b.Movi(R5, 0)
+	c.Loop(R6, cells, func() {
+		b.Muli(R8, R5, 163)
+		b.Addi(R8, R8, 17)
+		b.Movi(R9, cells)
+		b.Rem(R8, R8, R9)
+		b.St(asm.MemIdx(R10, R5, 8, 0, 8), R8)
+		b.Addi(R5, R5, 1)
+	})
+
+	b.Movi(R4, 0) // checksum
+	c.Loop(R6, int64(8*c.Scale), func() {
+		// clear board
+		b.MoviGlobal(R11, "go_board", 0)
+		b.Movi(R5, 0)
+		b.Movi(R2, 0)
+		c.Loop(R7, cells, func() {
+			b.St(asm.MemIdx(R11, R5, 1, 0, 1), R2)
+			b.Addi(R5, R5, 1)
+		})
+		// playout: place alternating stones from the move list, count
+		// occupied orthogonal neighbors (capture-ish score)
+		b.MoviGlobal(R10, "go_moves", 0)
+		b.Movi(R5, 0) // move number
+		play := c.L("go.play")
+		b.Label(play)
+		b.Ld(R8, asm.MemIdx(R10, R5, 8, 0, 8)) // position
+		b.Ld(R9, asm.MemIdx(R11, R8, 1, 0, 1)) // occupied?
+		occupied := c.L("go.occ")
+		b.Brnz(R9, occupied)
+		// color = 1 + (move & 1)
+		b.Andi(R9, R5, 1)
+		b.Addi(R9, R9, 1)
+		b.St(asm.MemIdx(R11, R8, 1, 0, 1), R9)
+		// neighbor scan (guard the edges by index range)
+		for _, d := range []int64{-1, 1, -B, B} {
+			skip := c.L("go.skip")
+			b.Addi(R12, R8, d)
+			b.Movi(R2, cells)
+			b.Br(CondAE, R12, R2, skip) // unsigned: also catches negative
+			b.Ld(R13, asm.MemIdx(R11, R12, 1, 0, 1))
+			b.Brz(R13, skip)
+			b.Addi(R4, R4, 1)
+			b.Label(skip)
+		}
+		b.Label(occupied)
+		b.Addi(R5, R5, 1)
+		b.Movi(R2, cells)
+		b.Br(CondLT, R5, R2, play)
+	})
+	b.Mov(R1, R4)
+	b.Sys(SysPutInt, R1)
+	b.Ret()
+}
+
+func buildSjeng(c *Ctx) {
+	b := c.B
+	b.GlobalWords("sj_state", []uint64{0x123456789abcdef})
+	b.GlobalWords("sj_z", []uint64{
+		0x9e3779b97f4a7c15, 0xc2b2ae3d27d4eb4f, 0x165667b19e3779f9, 0x27d4eb2f165667c5,
+	})
+
+	b.Movi(R4, 0) // checksum
+	c.Loop(R6, int64(2*c.Scale), func() {
+		b.Movi(R1, 5) // search depth
+		b.Call("sj_negamax")
+		b.Add(R4, R4, R1)
+		// perturb the root state between searches
+		b.MoviGlobal(R10, "sj_state", 0)
+		b.Ld(R8, asm.Mem(R10, 0, 8))
+		b.Addi(R8, R8, 0x1234567)
+		b.St(asm.Mem(R10, 0, 8), R8)
+	})
+	// fold to positive
+	b.Sari(R2, R4, 63)
+	b.Xor(R4, R4, R2)
+	b.Sub(R4, R4, R2)
+	b.Addi(R4, R4, 1)
+	b.Mov(R1, R4)
+	b.Sys(SysPutInt, R1)
+	b.Ret()
+
+	// sj_negamax: depth in R1, score out R1. Saves state in the frame
+	// (spill-heavy, like real search code).
+	b.Label("sj_negamax")
+	leaf := c.L("sj.leaf")
+	rec := c.L("sj.rec")
+	b.Brnz(R1, rec)
+	b.Jmp(leaf)
+	b.Label(rec)
+	b.Push(R4)
+	b.Push(R5)
+	b.Push(R6)
+	b.Mov(R4, R1)      // depth
+	b.Movi(R5, 0)      // move index
+	b.Movi(R6, -1<<30) // best
+	loop := c.L("sj.moves")
+	b.Label(loop)
+	// apply move: state ^= z[move]
+	b.MoviGlobal(R10, "sj_z", 0)
+	b.Ld(R8, asm.MemIdx(R10, R5, 8, 0, 8))
+	b.MoviGlobal(R11, "sj_state", 0)
+	b.Ld(R9, asm.Mem(R11, 0, 8))
+	b.Xor(R9, R9, R8)
+	b.St(asm.Mem(R11, 0, 8), R9)
+	// recurse
+	b.Subi(R1, R4, 1)
+	b.Call("sj_negamax")
+	// negamax: score = -child
+	b.Movi(R2, 0)
+	b.Sub(R1, R2, R1)
+	keep := c.L("sj.keep")
+	b.Br(CondLE, R1, R6, keep)
+	b.Mov(R6, R1)
+	b.Label(keep)
+	// undo move
+	b.MoviGlobal(R10, "sj_z", 0)
+	b.Ld(R8, asm.MemIdx(R10, R5, 8, 0, 8))
+	b.MoviGlobal(R11, "sj_state", 0)
+	b.Ld(R9, asm.Mem(R11, 0, 8))
+	b.Xor(R9, R9, R8)
+	b.St(asm.Mem(R11, 0, 8), R9)
+	b.Addi(R5, R5, 1)
+	b.Movi(R2, 4)
+	b.Br(CondLT, R5, R2, loop)
+	b.Mov(R1, R6)
+	b.Pop(R6)
+	b.Pop(R5)
+	b.Pop(R4)
+	b.Ret()
+	// leaf: score = folded state hash
+	b.Label(leaf)
+	b.MoviGlobal(R11, "sj_state", 0)
+	b.Ld(R9, asm.Mem(R11, 0, 8))
+	b.Muli(R9, R9, 2654435761)
+	b.Shri(R9, R9, 40)
+	b.Andi(R1, R9, 0xff)
+	b.Ret()
+}
+
+func buildGobmk(c *Ctx) {
+	b := c.B
+	const G = 24 // grid edge
+	const cells = G * G
+	const stride = 48 // 4 neighbor pointers + color + visited
+	// grid = malloc(cells*stride); stack = malloc(cells*8)
+	b.Movi(R1, cells*stride)
+	b.Call("malloc")
+	b.Mov(R4, R1)
+	// Worklist sized for the worst case: every visited cell pushes up
+	// to four neighbors.
+	b.Movi(R1, cells*4*8+64)
+	b.Call("malloc")
+	b.Mov(R7, R1) // worklist stack base
+
+	// wire the neighbor pointers (null at the edges)
+	b.Movi(R5, 0)
+	c.Loop(R6, cells, func() {
+		b.Muli(R14, R5, stride)
+		for di, d := range []int64{-1, 1, -G, G} {
+			skip := c.L("gb.null")
+			done := c.L("gb.wired")
+			b.Addi(R8, R5, d)
+			b.Movi(R2, cells)
+			b.Br(CondAE, R8, R2, skip)
+			b.Muli(R8, R8, stride)
+			b.Lea(R9, asm.MemIdx(R4, R8, 1, 0, 8))
+			b.StP(asm.MemIdx(R4, R14, 1, int64(di)*8, 8), R9)
+			b.Jmp(done)
+			b.Label(skip)
+			b.Movi(R9, 0)
+			b.St(asm.MemIdx(R4, R14, 1, int64(di)*8, 8), R9)
+			b.Label(done)
+		}
+		// color: blobby pattern
+		b.Muli(R8, R5, 73)
+		b.Shri(R9, R8, 5)
+		b.Xor(R8, R8, R9)
+		b.Andi(R8, R8, 1)
+		b.St(asm.MemIdx(R4, R14, 1, 32, 8), R8) // color
+		b.Movi(R8, 0)
+		b.St(asm.MemIdx(R4, R14, 1, 40, 8), R8) // visited
+		b.Addi(R5, R5, 1)
+	})
+
+	b.Movi(R14, 0) // checksum (R14 survives: no runtime calls below)
+	c.Loop(R6, int64(6*c.Scale), func() {
+		// reset visited flags
+		b.Movi(R5, 0)
+		b.Movi(R2, 0)
+		c.Loop(R3, cells, func() {
+			b.Muli(R8, R5, stride)
+			b.St(asm.MemIdx(R4, R8, 1, 40, 8), R2)
+			b.Addi(R5, R5, 1)
+		})
+		// flood fill from a seed derived from the iteration
+		b.Muli(R5, R6, 97)
+		b.Movi(R2, cells)
+		b.Rem(R5, R5, R2)
+		b.Muli(R5, R5, stride)
+		b.Lea(R8, asm.MemIdx(R4, R5, 1, 0, 8)) // seed cell pointer
+		b.StP(asm.Mem(R7, 0, 8), R8)           // push the seed at slot 0
+		b.Movi(R5, 1)                          // stack depth
+		// seed color
+		b.Ld(R13, asm.Mem(R8, 32, 8))
+		pop := c.L("gb.pop")
+		doneFill := c.L("gb.done")
+		b.Label(pop)
+		b.Brz(R5, doneFill)
+		b.Subi(R5, R5, 1)
+		b.LdP(R8, asm.MemIdx(R7, R5, 8, 0, 8)) // pop cell
+		// visited?
+		b.Ld(R9, asm.Mem(R8, 40, 8))
+		b.Brnz(R9, pop)
+		// same color?
+		b.Ld(R9, asm.Mem(R8, 32, 8))
+		b.Br(CondNE, R9, R13, pop)
+		b.Movi(R9, 1)
+		b.St(asm.Mem(R8, 40, 8), R9) // mark
+		b.Addi(R14, R14, 1)          // count region size
+		// push the four neighbors
+		for di := int64(0); di < 4; di++ {
+			skip := c.L("gb.nskip")
+			b.LdP(R9, asm.Mem(R8, di*8, 8))
+			b.Brz(R9, skip)
+			b.StP(asm.MemIdx(R7, R5, 8, 0, 8), R9)
+			b.Addi(R5, R5, 1)
+			b.Label(skip)
+		}
+		b.Jmp(pop)
+		b.Label(doneFill)
+	})
+	b.Mov(R1, R14)
+	b.Sys(SysPutInt, R1)
+	b.Mov(R1, R7)
+	b.Call("free")
+	b.Mov(R1, R4)
+	b.Call("free")
+	b.Ret()
+}

@@ -1,0 +1,419 @@
+package workload
+
+import "watchdog/internal/asm"
+
+// Integer and byte-processing kernels: compress, gzip, bzip2, h264,
+// ijpeg, hmmer. Sub-word accesses are never pointer operations, so
+// these sit low in Figure 5 under conservative identification —
+// except hmmer, whose dynamic-programming bands are 8-byte integers:
+// conservative identification classifies them all as potential
+// pointers while ISA-assisted identification classifies none, giving
+// the large conservative/ISA gap the paper shows for hmmer.
+
+func init() {
+	register(Workload{
+		Name:     "compress",
+		Kernel:   "LZW-style dictionary compression over a byte stream",
+		PtrHeavy: "low",
+		Build:    buildCompress,
+	})
+	register(Workload{
+		Name:     "gzip",
+		Kernel:   "sliding-window longest-match search",
+		PtrHeavy: "low",
+		Build:    buildGzip,
+	})
+	register(Workload{
+		Name:     "bzip2",
+		Kernel:   "move-to-front transform with run-length counting",
+		PtrHeavy: "low",
+		Build:    buildBzip2,
+	})
+	register(Workload{
+		Name:     "h264",
+		Kernel:   "sum-of-absolute-differences motion estimation",
+		PtrHeavy: "low",
+		Build:    buildH264,
+	})
+	register(Workload{
+		Name:     "ijpeg",
+		Kernel:   "integer DCT butterflies with quantization",
+		PtrHeavy: "low",
+		Build:    buildIjpeg,
+	})
+	register(Workload{
+		Name:     "hmmer",
+		Kernel:   "Viterbi dynamic programming over 8-byte integer bands",
+		PtrHeavy: "conservative-heavy",
+		Build:    buildHmmer,
+	})
+}
+
+// emitFillBytes fills n bytes at the named global with a deterministic
+// pseudo-random pattern (clobbers R5, R6, R8, R9, R10).
+func emitFillBytes(c *Ctx, global string, n int64) {
+	b := c.B
+	b.MoviGlobal(R10, global, 0)
+	b.Movi(R5, 0)
+	c.Loop(R6, n, func() {
+		b.Muli(R8, R5, 131)
+		b.Shri(R9, R5, 3)
+		b.Xor(R8, R8, R9)
+		b.Andi(R8, R8, 0xff)
+		b.St(asm.MemIdx(R10, R5, 1, 0, 1), R8)
+		b.Addi(R5, R5, 1)
+	})
+}
+
+func buildCompress(c *Ctx) {
+	b := c.B
+	const N = 8 << 10
+	const dict = 4096
+	b.Global("cmp_in", N)
+	b.Global("cmp_dict", dict*4)
+	emitFillBytes(c, "cmp_in", N)
+
+	// r4 = checksum, r7 = prev code
+	b.Movi(R4, 0)
+	b.Movi(R7, 0)
+	c.Loop(R6, int64(c.Scale), func() {
+		b.MoviGlobal(R10, "cmp_in", 0)
+		b.MoviGlobal(R11, "cmp_dict", 0)
+		b.Movi(R5, 0)
+		inner := c.L("cmp.byte")
+		b.Label(inner)
+		b.Ld(R8, asm.MemIdx(R10, R5, 1, 0, 1)) // cur byte
+		// h = (prev<<4 ^ cur) & (dict-1)
+		b.Shli(R9, R7, 4)
+		b.Xor(R9, R9, R8)
+		b.Andi(R9, R9, dict-1)
+		// code = dict[h] (4-byte entry)
+		b.Ld(R12, asm.MemIdx(R11, R9, 4, 0, 4))
+		b.Shli(R13, R7, 8)
+		b.Or(R13, R13, R8) // candidate code
+		hit := c.L("cmp.hit")
+		b.Br(CondEQ, R12, R13, hit)
+		b.St(asm.MemIdx(R11, R9, 4, 0, 4), R13) // insert
+		b.Addi(R4, R4, 1)                       // emitted a literal
+		b.Label(hit)
+		b.Add(R4, R4, R9) // roll the hash into the checksum
+		b.Mov(R7, R8)
+		b.Addi(R5, R5, 1)
+		b.Movi(R2, N)
+		b.Br(CondLT, R5, R2, inner)
+	})
+	b.Mov(R1, R4)
+	b.Sys(SysPutInt, R1)
+	b.Ret()
+}
+
+func buildGzip(c *Ctx) {
+	b := c.B
+	const N = 8 << 10
+	const window = 1024
+	b.Global("gz_in", N)
+	b.Global("gz_head", 256*8) // last position of each byte value
+	emitFillBytes(c, "gz_in", N)
+
+	b.Movi(R4, 0) // checksum: total matched length
+	c.Loop(R6, int64(c.Scale), func() {
+		b.MoviGlobal(R10, "gz_in", 0)
+		b.MoviGlobal(R11, "gz_head", 0)
+		b.Movi(R5, window) // position
+		outer := c.L("gz.pos")
+		b.Label(outer)
+		b.Ld(R8, asm.MemIdx(R10, R5, 1, 0, 1)) // cur byte
+		b.Ld(R9, asm.MemIdx(R11, R8, 8, 0, 8)) // candidate position
+		b.St(asm.MemIdx(R11, R8, 8, 0, 8), R5) // update head
+		// match length between pos and candidate, up to 8 bytes
+		b.Movi(R12, 0) // len
+		mloop := c.L("gz.match")
+		mdone := c.L("gz.mdone")
+		b.Label(mloop)
+		b.Movi(R2, 8)
+		b.Br(CondAE, R12, R2, mdone)
+		b.Add(R13, R5, R12)
+		b.Ld(R3, asm.MemIdx(R10, R13, 1, 0, 1))
+		b.Add(R13, R9, R12)
+		b.Ld(R2, asm.MemIdx(R10, R13, 1, 0, 1))
+		b.Br(CondNE, R3, R2, mdone)
+		b.Addi(R12, R12, 1)
+		b.Jmp(mloop)
+		b.Label(mdone)
+		b.Add(R4, R4, R12)
+		b.Addi(R5, R5, 1)
+		b.Movi(R2, N-8)
+		b.Br(CondLT, R5, R2, outer)
+	})
+	b.Mov(R1, R4)
+	b.Sys(SysPutInt, R1)
+	b.Ret()
+}
+
+func buildBzip2(c *Ctx) {
+	b := c.B
+	const N = 4 << 10
+	b.Global("bz_in", N)
+	b.Global("bz_mtf", 256)
+	emitFillBytes(c, "bz_in", N)
+
+	b.Movi(R4, 0) // checksum
+	c.Loop(R6, int64(c.Scale), func() {
+		// reset the MTF table to identity
+		b.MoviGlobal(R11, "bz_mtf", 0)
+		b.Movi(R5, 0)
+		c.Loop(R7, 256, func() {
+			b.St(asm.MemIdx(R11, R5, 1, 0, 1), R5)
+			b.Addi(R5, R5, 1)
+		})
+		b.MoviGlobal(R10, "bz_in", 0)
+		b.Movi(R5, 0)
+		outer := c.L("bz.byte")
+		b.Label(outer)
+		b.Ld(R8, asm.MemIdx(R10, R5, 1, 0, 1)) // cur
+		b.Andi(R8, R8, 63)                     // narrow the alphabet so scans stay short
+		// find index of cur in the MTF table (linear scan)
+		b.Movi(R9, 0)
+		scan := c.L("bz.scan")
+		found := c.L("bz.found")
+		b.Label(scan)
+		b.Ld(R12, asm.MemIdx(R11, R9, 1, 0, 1))
+		b.Br(CondEQ, R12, R8, found)
+		b.Addi(R9, R9, 1)
+		b.Jmp(scan)
+		b.Label(found)
+		b.Add(R4, R4, R9)
+		// move to front: shift [0, idx) up by one
+		shift := c.L("bz.shift")
+		sdone := c.L("bz.sdone")
+		b.Label(shift)
+		b.Brz(R9, sdone)
+		b.Subi(R9, R9, 1)
+		b.Ld(R12, asm.MemIdx(R11, R9, 1, 0, 1))
+		b.St(asm.MemIdx(R11, R9, 1, 1, 1), R12)
+		b.Jmp(shift)
+		b.Label(sdone)
+		b.Movi(R12, 0)
+		b.St(asm.MemIdx(R11, R12, 1, 0, 1), R8)
+		b.Addi(R5, R5, 1)
+		b.Movi(R2, N)
+		b.Br(CondLT, R5, R2, outer)
+	})
+	b.Mov(R1, R4)
+	b.Sys(SysPutInt, R1)
+	b.Ret()
+}
+
+func buildH264(c *Ctx) {
+	b := c.B
+	const W, H = 64, 64 // frame is W*H bytes
+	b.Global("h264_cur", W*H)
+	b.Global("h264_ref", W*H)
+	emitFillBytes(c, "h264_cur", W*H)
+	// reference frame: shifted copy of current
+	b.MoviGlobal(R10, "h264_cur", 0)
+	b.MoviGlobal(R11, "h264_ref", 0)
+	b.Movi(R5, 0)
+	c.Loop(R6, W*H-4, func() {
+		b.Ld(R8, asm.MemIdx(R10, R5, 1, 4, 1))
+		b.St(asm.MemIdx(R11, R5, 1, 0, 1), R8)
+		b.Addi(R5, R5, 1)
+	})
+
+	b.Movi(R4, 0) // checksum: sum of best SADs
+	c.Loop(R6, int64(4*c.Scale), func() {
+		// for each 16x16 block (3x3 of them fit with search margin)
+		blocks := c.L("h264.blk")
+		b.Movi(R7, 0) // block index 0..8
+		b.Label(blocks)
+		// block top-left: bx = (blk%3)*16, by = (blk/3)*16
+		b.Movi(R2, 3)
+		b.Rem(R8, R7, R2)
+		b.Muli(R8, R8, 16)
+		b.Div(R9, R7, R2)
+		b.Muli(R9, R9, 16)
+		b.Muli(R9, R9, W)
+		b.Add(R14, R8, R9) // block offset in frame
+		// try 4 candidate displacements, keep min SAD
+		b.Movi(R13, 1<<30) // best
+		for _, disp := range []int64{0, 1, int64(W), int64(W) + 1} {
+			sad := c.L("h264.sad")
+			b.Movi(R12, 0) // SAD accumulator
+			b.Movi(R5, 0)  // row
+			b.Label(sad)
+			// sum |cur[off+r*W+k] - ref[off+disp+r*W+k]| for k in 0..15
+			for k := int64(0); k < 16; k += 4 {
+				b.Muli(R9, R5, W)
+				b.Add(R9, R9, R14)
+				b.MoviGlobal(R10, "h264_cur", 0)
+				b.MoviGlobal(R11, "h264_ref", 0)
+				for kk := k; kk < k+4; kk++ {
+					b.Ld(R2, asm.MemIdx(R10, R9, 1, kk, 1))
+					b.Ld(R3, asm.MemIdx(R11, R9, 1, kk+disp, 1))
+					b.Sub(R2, R2, R3)
+					b.Sari(R3, R2, 63)
+					b.Xor(R2, R2, R3)
+					b.Sub(R2, R2, R3) // abs
+					b.Add(R12, R12, R2)
+				}
+			}
+			b.Addi(R5, R5, 1)
+			b.Movi(R2, 16)
+			b.Br(CondLT, R5, R2, sad)
+			keep := c.L("h264.keep")
+			b.Br(CondLE, R13, R12, keep)
+			b.Mov(R13, R12)
+			b.Label(keep)
+		}
+		b.Add(R4, R4, R13)
+		b.Addi(R7, R7, 1)
+		b.Movi(R2, 9)
+		b.Br(CondLT, R7, R2, blocks)
+	})
+	b.Mov(R1, R4)
+	b.Sys(SysPutInt, R1)
+	b.Ret()
+}
+
+func buildIjpeg(c *Ctx) {
+	b := c.B
+	const blocks = 64 // 8x8 blocks of 4-byte coefficients
+	b.Global("jp_data", blocks*64*4)
+	b.Global("jp_quant", 64*4)
+
+	// quant table: 1 + (i&7) + (i>>3)
+	b.MoviGlobal(R10, "jp_quant", 0)
+	b.Movi(R5, 0)
+	c.Loop(R6, 64, func() {
+		b.Andi(R8, R5, 7)
+		b.Shri(R9, R5, 3)
+		b.Add(R8, R8, R9)
+		b.Addi(R8, R8, 1)
+		b.St(asm.MemIdx(R10, R5, 4, 0, 4), R8)
+		b.Addi(R5, R5, 1)
+	})
+	// data init
+	b.MoviGlobal(R10, "jp_data", 0)
+	b.Movi(R5, 0)
+	c.Loop(R6, blocks*64, func() {
+		b.Muli(R8, R5, 7)
+		b.Andi(R8, R8, 255)
+		b.Subi(R8, R8, 128)
+		b.St(asm.MemIdx(R10, R5, 4, 0, 4), R8)
+		b.Addi(R5, R5, 1)
+	})
+
+	b.Movi(R4, 0) // checksum
+	c.Loop(R6, int64(4*c.Scale), func() {
+		blkLoop := c.L("jp.blk")
+		b.Movi(R7, 0) // block
+		b.Label(blkLoop)
+		b.Muli(R14, R7, 64) // block base (in coefficients)
+		// butterfly pass over each row of 8
+		for row := int64(0); row < 8; row++ {
+			b.MoviGlobal(R10, "jp_data", 0)
+			base := row * 8
+			for k := int64(0); k < 4; k++ {
+				// a = d[base+k], b = d[base+7-k]; d[base+k]=a+b; d[base+7-k]=a-b
+				b.Lds(R8, asm.MemIdx(R10, R14, 4, (base+k)*4, 4))
+				b.Lds(R9, asm.MemIdx(R10, R14, 4, (base+7-k)*4, 4))
+				b.Add(R12, R8, R9)
+				b.Sub(R13, R8, R9)
+				b.Sari(R12, R12, 1) // keep magnitudes bounded
+				b.Sari(R13, R13, 1)
+				b.St(asm.MemIdx(R10, R14, 4, (base+k)*4, 4), R12)
+				b.St(asm.MemIdx(R10, R14, 4, (base+7-k)*4, 4), R13)
+			}
+		}
+		// quantization of the whole block
+		b.Movi(R5, 0)
+		c.Loop(R3, 64, func() {
+			b.MoviGlobal(R10, "jp_data", 0)
+			b.Add(R9, R14, R5)
+			b.Lds(R8, asm.MemIdx(R10, R9, 4, 0, 4))
+			b.MoviGlobal(R11, "jp_quant", 0)
+			b.Lds(R12, asm.MemIdx(R11, R5, 4, 0, 4))
+			b.Div(R8, R8, R12)
+			b.Add(R4, R4, R8)
+			b.Addi(R5, R5, 1)
+		})
+		b.Addi(R7, R7, 1)
+		b.Movi(R2, blocks)
+		b.Br(CondLT, R7, R2, blkLoop)
+	})
+	// fold to a stable positive checksum
+	b.Sari(R2, R4, 63)
+	b.Xor(R4, R4, R2)
+	b.Sub(R4, R4, R2)
+	b.Addi(R4, R4, 1)
+	b.Mov(R1, R4)
+	b.Sys(SysPutInt, R1)
+	b.Ret()
+}
+
+func buildHmmer(c *Ctx) {
+	b := c.B
+	const M = 128 // model length; bands are 8-byte integers
+	// Heap-allocated DP bands: match, insert, delete, emission scores.
+	b.Movi(R1, M*8*4)
+	b.Call("calloc_words")
+	b.Mov(R4, R1) // band base: [match | insert | delete | escore]
+
+	// emission scores
+	b.Movi(R5, 0)
+	c.Loop(R6, M, func() {
+		b.Muli(R8, R5, 89)
+		b.Andi(R8, R8, 31)
+		b.Subi(R8, R8, 11)
+		b.St(asm.MemIdx(R4, R5, 8, M*8*3, 8), R8)
+		b.Addi(R5, R5, 1)
+	})
+
+	b.Movi(R7, 0) // checksum
+	c.Loop(R6, int64(24*c.Scale), func() {
+		cols := c.L("hmm.col")
+		b.Movi(R5, 1)
+		b.Label(cols)
+		// m[i] = max(m[i-1], i[i-1], d[i-1]) + e[i]
+		b.Ld(R8, asm.MemIdx(R4, R5, 8, -8, 8))       // m[i-1]
+		b.Ld(R9, asm.MemIdx(R4, R5, 8, M*8-8, 8))    // i[i-1]
+		b.Ld(R10, asm.MemIdx(R4, R5, 8, 2*M*8-8, 8)) // d[i-1]
+		mx1 := c.L("hmm.mx1")
+		b.Br(CondGE, R8, R9, mx1)
+		b.Mov(R8, R9)
+		b.Label(mx1)
+		mx2 := c.L("hmm.mx2")
+		b.Br(CondGE, R8, R10, mx2)
+		b.Mov(R8, R10)
+		b.Label(mx2)
+		b.Ld(R11, asm.MemIdx(R4, R5, 8, 3*M*8, 8)) // e[i]
+		b.Add(R8, R8, R11)
+		// clamp to avoid runaway growth
+		b.Movi(R2, 1<<20)
+		cl := c.L("hmm.cl")
+		b.Br(CondLE, R8, R2, cl)
+		b.Sari(R8, R8, 1)
+		b.Label(cl)
+		b.St(asm.MemIdx(R4, R5, 8, 0, 8), R8) // m[i]
+		// i[i] = m[i-1] - 3; d[i] = m[i] - 5
+		b.Ld(R9, asm.MemIdx(R4, R5, 8, -8, 8))
+		b.Subi(R9, R9, 3)
+		b.St(asm.MemIdx(R4, R5, 8, M*8, 8), R9)
+		b.Subi(R9, R8, 5)
+		b.St(asm.MemIdx(R4, R5, 8, 2*M*8, 8), R9)
+		b.Add(R7, R7, R8)
+		b.Addi(R5, R5, 1)
+		b.Movi(R2, M)
+		b.Br(CondLT, R5, R2, cols)
+	})
+	// positive checksum
+	b.Sari(R2, R7, 63)
+	b.Xor(R7, R7, R2)
+	b.Sub(R7, R7, R2)
+	b.Addi(R7, R7, 1)
+	b.Mov(R1, R7)
+	b.Sys(SysPutInt, R1)
+	b.Mov(R1, R4)
+	b.Call("free")
+	b.Ret()
+}

@@ -1,0 +1,470 @@
+package workload
+
+import "watchdog/internal/asm"
+
+// Pointer-dominated kernels: twolf (doubly-linked placement lists),
+// vpr (adjacency-pointer graph walks), mcf (long pointer-chasing
+// chains), gcc (malloc-heavy tree building), perl (hash-table churn
+// with frequent malloc/free). These populate the high end of
+// Figure 5's pointer-operation fractions.
+
+func init() {
+	register(Workload{
+		Name:     "twolf",
+		Kernel:   "doubly-linked list relinking (cell placement moves)",
+		PtrHeavy: "high",
+		Build:    buildTwolf,
+	})
+	register(Workload{
+		Name:     "vpr",
+		Kernel:   "graph walks over per-node edge pointers",
+		PtrHeavy: "high",
+		Build:    buildVpr,
+	})
+	register(Workload{
+		Name:     "mcf",
+		Kernel:   "pointer chasing around a shuffled circular chain",
+		PtrHeavy: "very high",
+		Build:    buildMcf,
+	})
+	register(Workload{
+		Name:     "gcc",
+		Kernel:   "binary-tree build/search/teardown churn",
+		PtrHeavy: "very high",
+		Build:    buildGcc,
+	})
+	register(Workload{
+		Name:     "perl",
+		Kernel:   "chained hash table with insert/lookup/delete churn",
+		PtrHeavy: "very high",
+		Build:    buildPerl,
+	})
+}
+
+func buildTwolf(c *Ctx) {
+	b := c.B
+	const N = 256 // cells
+	const K = 16  // rows
+	const stride = 32
+	// next(0) prev(8) row(16) gain(24)
+
+	// R4 = cell pointer table, R7 = row-head pointer table.
+	b.Movi(R1, N*8)
+	b.Call("calloc_words")
+	b.Mov(R4, R1)
+	b.Movi(R1, K*8)
+	b.Call("calloc_words")
+	b.Mov(R7, R1)
+
+	// Allocate cells and push each onto its row list.
+	b.Movi(R5, 0) // i (R5 survives malloc)
+	alloc := c.L("tw.alloc")
+	b.Label(alloc)
+	b.Movi(R1, stride)
+	b.Call("malloc")
+	b.StP(asm.MemIdx(R4, R5, 8, 0, 8), R1)
+	// row = i % K; gain = i*13 & 255
+	b.Andi(R8, R5, K-1)
+	b.St(asm.Mem(R1, 16, 8), R8)
+	b.Muli(R9, R5, 13)
+	b.Andi(R9, R9, 255)
+	b.St(asm.Mem(R1, 24, 8), R9)
+	// push at head of row list
+	b.LdP(R10, asm.MemIdx(R7, R8, 8, 0, 8)) // old head
+	b.StP(asm.Mem(R1, 0, 8), R10)           // cell->next = head
+	b.Movi(R11, 0)
+	b.St(asm.Mem(R1, 8, 8), R11) // cell->prev = null
+	hEmpty := c.L("tw.hempty")
+	b.Brz(R10, hEmpty)
+	b.StP(asm.Mem(R10, 8, 8), R1) // head->prev = cell
+	b.Label(hEmpty)
+	b.StP(asm.MemIdx(R7, R8, 8, 0, 8), R1) // rowhead = cell
+	b.Addi(R5, R5, 1)
+	b.Movi(R2, N)
+	b.Br(CondLT, R5, R2, alloc)
+
+	// Placement moves: unlink each cell and relink it one row over.
+	b.Movi(R14, 0) // checksum
+	c.Loop(R6, int64(4*c.Scale), func() {
+		moves := c.L("tw.moves")
+		b.Movi(R5, 0)
+		b.Label(moves)
+		b.LdP(R1, asm.MemIdx(R4, R5, 8, 0, 8)) // p
+		b.LdP(R9, asm.Mem(R1, 0, 8))           // n = p->next
+		b.LdP(R10, asm.Mem(R1, 8, 8))          // pr = p->prev
+		b.Ld(R11, asm.Mem(R1, 16, 8))          // row
+		// unlink
+		fromHead := c.L("tw.fromhead")
+		unlinked := c.L("tw.unlinked")
+		b.Brz(R10, fromHead)
+		b.StP(asm.Mem(R10, 0, 8), R9) // pr->next = n
+		b.Jmp(unlinked)
+		b.Label(fromHead)
+		b.StP(asm.MemIdx(R7, R11, 8, 0, 8), R9) // rowhead[row] = n
+		b.Label(unlinked)
+		nNull := c.L("tw.nnull")
+		b.Brz(R9, nNull)
+		b.StP(asm.Mem(R9, 8, 8), R10) // n->prev = pr
+		b.Label(nNull)
+		// newrow = (row + 1) % K; relink at head
+		b.Addi(R11, R11, 1)
+		b.Andi(R11, R11, K-1)
+		b.St(asm.Mem(R1, 16, 8), R11)
+		b.LdP(R12, asm.MemIdx(R7, R11, 8, 0, 8)) // h
+		b.StP(asm.Mem(R1, 0, 8), R12)            // p->next = h
+		b.Movi(R13, 0)
+		b.St(asm.Mem(R1, 8, 8), R13) // p->prev = null
+		hNull := c.L("tw.hnull")
+		b.Brz(R12, hNull)
+		b.StP(asm.Mem(R12, 8, 8), R1) // h->prev = p
+		b.Label(hNull)
+		b.StP(asm.MemIdx(R7, R11, 8, 0, 8), R1)
+		// gain bookkeeping
+		b.Ld(R13, asm.Mem(R1, 24, 8))
+		b.Add(R14, R14, R13)
+		b.Addi(R5, R5, 1)
+		b.Movi(R2, N)
+		b.Br(CondLT, R5, R2, moves)
+	})
+	// count cells reachable through the row lists (verifies list
+	// integrity) into the checksum
+	b.Movi(R5, 0)
+	rows := c.L("tw.rows")
+	b.Label(rows)
+	b.LdP(R1, asm.MemIdx(R7, R5, 8, 0, 8))
+	walk := c.L("tw.walk")
+	wdone := c.L("tw.wdone")
+	b.Label(walk)
+	b.Brz(R1, wdone)
+	b.Addi(R14, R14, 1)
+	b.LdP(R1, asm.Mem(R1, 0, 8))
+	b.Jmp(walk)
+	b.Label(wdone)
+	b.Addi(R5, R5, 1)
+	b.Movi(R2, K)
+	b.Br(CondLT, R5, R2, rows)
+
+	b.Mov(R1, R14)
+	b.Sys(SysPutInt, R1)
+	b.Ret()
+}
+
+func buildVpr(c *Ctx) {
+	b := c.B
+	const N = 256
+	const stride = 48 // e0 e1 e2 e3 cost acc
+
+	b.Movi(R1, N*stride)
+	b.Call("malloc")
+	b.Mov(R4, R1) // node array
+
+	// wire edges: e_k(i) = &node[(i*(k+3) + 2k + 1) % N]
+	b.Movi(R5, 0)
+	c.Loop(R6, N, func() {
+		b.Muli(R14, R5, stride)
+		for k := int64(0); k < 4; k++ {
+			b.Muli(R8, R5, k+3)
+			b.Addi(R8, R8, 2*k+1)
+			b.Movi(R9, N)
+			b.Rem(R8, R8, R9)
+			b.Muli(R8, R8, stride)
+			b.Lea(R9, asm.MemIdx(R4, R8, 1, 0, 8))
+			b.StP(asm.MemIdx(R4, R14, 1, k*8, 8), R9)
+		}
+		b.Andi(R8, R5, 31)
+		b.Addi(R8, R8, 1)
+		b.St(asm.MemIdx(R4, R14, 1, 32, 8), R8) // cost
+		b.Movi(R8, 0)
+		b.St(asm.MemIdx(R4, R14, 1, 40, 8), R8) // acc
+		b.Addi(R5, R5, 1)
+	})
+
+	// routing walks
+	b.Movi(R14, 0) // checksum
+	c.Loop(R6, int64(24*c.Scale), func() {
+		// start node = (iter*37) % N
+		b.Muli(R8, R6, 37)
+		b.Movi(R9, N)
+		b.Rem(R8, R8, R9)
+		b.Muli(R8, R8, stride)
+		b.Lea(R1, asm.MemIdx(R4, R8, 1, 0, 8)) // current
+		b.Movi(R5, 0)                          // step
+		steps := c.L("vpr.step")
+		b.Label(steps)
+		b.Ld(R9, asm.Mem(R1, 32, 8)) // cost
+		b.Add(R14, R14, R9)
+		b.Ld(R10, asm.Mem(R1, 40, 8)) // congestion bump
+		b.Addi(R10, R10, 1)
+		b.St(asm.Mem(R1, 40, 8), R10)
+		// next = edge[(step ^ iter) & 3]
+		b.Xor(R9, R5, R6)
+		b.Andi(R9, R9, 3)
+		b.LdP(R1, asm.MemIdx(R1, R9, 8, 0, 8))
+		b.Addi(R5, R5, 1)
+		b.Movi(R2, 64)
+		b.Br(CondLT, R5, R2, steps)
+	})
+	b.Mov(R1, R14)
+	b.Sys(SysPutInt, R1)
+	b.Mov(R1, R4)
+	b.Call("free")
+	b.Ret()
+}
+
+func buildMcf(c *Ctx) {
+	b := c.B
+	// N is sized so the live lock locations (8 B per allocation) fit
+	// comfortably in the 4 KB lock location cache, as they do for the
+	// paper's benchmarks (lock footprint small relative to object
+	// working set).
+	const N = 256
+	const stride = 24 // next cost flow
+
+	// node pointer table
+	b.Movi(R1, N*8)
+	b.Call("calloc_words")
+	b.Mov(R4, R1)
+	// allocate nodes individually (they land scattered after churn in
+	// real mcf; here the allocator keeps them dense, but the shuffled
+	// linking below still defeats the prefetcher)
+	b.Movi(R5, 0)
+	alloc := c.L("mcf.alloc")
+	b.Label(alloc)
+	b.Movi(R1, stride)
+	b.Call("malloc")
+	b.StP(asm.MemIdx(R4, R5, 8, 0, 8), R1)
+	b.Andi(R8, R5, 63)
+	b.Addi(R8, R8, 1)
+	b.St(asm.Mem(R1, 8, 8), R8) // cost
+	b.Movi(R8, 0)
+	b.St(asm.Mem(R1, 16, 8), R8) // flow
+	b.Addi(R5, R5, 1)
+	b.Movi(R2, N)
+	b.Br(CondLT, R5, R2, alloc)
+
+	// link in shuffled order: perm(i) = (i*181 + 7) % N (181 is odd, so
+	// coprime with the power-of-two N) — node[perm(i)].next = &node[perm(i+1)]
+	b.Movi(R5, 0)
+	c.Loop(R6, N, func() {
+		b.Muli(R8, R5, 181)
+		b.Addi(R8, R8, 7)
+		b.Andi(R8, R8, N-1)
+		b.Addi(R9, R5, 1)
+		b.Muli(R9, R9, 181)
+		b.Addi(R9, R9, 7)
+		b.Andi(R9, R9, N-1)
+		b.LdP(R10, asm.MemIdx(R4, R8, 8, 0, 8))
+		b.LdP(R11, asm.MemIdx(R4, R9, 8, 0, 8))
+		b.StP(asm.Mem(R10, 0, 8), R11)
+		b.Addi(R5, R5, 1)
+	})
+
+	// simplex-ish sweeps: chase the whole cycle, pricing arcs
+	b.Movi(R14, 0)
+	c.Loop(R6, int64(24*c.Scale), func() {
+		b.LdP(R1, asm.Mem(R4, 0, 8)) // head = table[0]
+		b.Movi(R5, 0)
+		chase := c.L("mcf.chase")
+		b.Label(chase)
+		b.Ld(R9, asm.Mem(R1, 8, 8)) // cost
+		b.Add(R14, R14, R9)
+		b.Ld(R10, asm.Mem(R1, 16, 8)) // flow++
+		b.Addi(R10, R10, 1)
+		b.St(asm.Mem(R1, 16, 8), R10)
+		b.LdP(R1, asm.Mem(R1, 0, 8)) // p = p->next
+		b.Addi(R5, R5, 1)
+		b.Movi(R2, N)
+		b.Br(CondLT, R5, R2, chase)
+	})
+	b.Mov(R1, R14)
+	b.Sys(SysPutInt, R1)
+	b.Ret()
+}
+
+func buildGcc(c *Ctx) {
+	b := c.B
+	const M = 96 // keys per tree
+	// node: left(0) right(8) key(16), stride 24
+	// R4 = node table (for teardown), R7 = root pointer slot (heap)
+	b.Movi(R1, M*8)
+	b.Call("calloc_words")
+	b.Mov(R4, R1)
+	b.Movi(R1, 8)
+	b.Call("calloc_words")
+	b.Mov(R7, R1) // *R7 = root
+
+	b.Movi(R14, 0) // checksum
+	c.Loop(R6, int64(2*c.Scale), func() {
+		// --- build: insert M keys ---
+		b.Movi(R5, 0) // i
+		ins := c.L("gcc.ins")
+		b.Label(ins)
+		b.Movi(R1, 24)
+		b.Call("malloc")
+		b.StP(asm.MemIdx(R4, R5, 8, 0, 8), R1)
+		// key = (i*2654435761) & 1023
+		b.Muli(R8, R5, 2654435761)
+		b.Shri(R8, R8, 8)
+		b.Andi(R8, R8, 1023)
+		b.St(asm.Mem(R1, 16, 8), R8)
+		b.Movi(R9, 0)
+		b.St(asm.Mem(R1, 0, 8), R9)
+		b.St(asm.Mem(R1, 8, 8), R9)
+		// insert into tree rooted at *R7
+		b.LdP(R10, asm.Mem(R7, 0, 8)) // cur
+		empty := c.L("gcc.empty")
+		b.Brz(R10, empty)
+		walk := c.L("gcc.walk")
+		right := c.L("gcc.right")
+		leftIns := c.L("gcc.leftins")
+		rightIns := c.L("gcc.rightins")
+		done := c.L("gcc.done")
+		b.Label(walk)
+		b.Ld(R11, asm.Mem(R10, 16, 8)) // cur->key
+		b.Br(CondGE, R8, R11, right)
+		b.LdP(R12, asm.Mem(R10, 0, 8)) // left
+		b.Brz(R12, leftIns)
+		b.Mov(R10, R12)
+		b.Jmp(walk)
+		b.Label(right)
+		b.LdP(R12, asm.Mem(R10, 8, 8))
+		b.Brz(R12, rightIns)
+		b.Mov(R10, R12)
+		b.Jmp(walk)
+		b.Label(leftIns)
+		b.StP(asm.Mem(R10, 0, 8), R1)
+		b.Jmp(done)
+		b.Label(rightIns)
+		b.StP(asm.Mem(R10, 8, 8), R1)
+		b.Jmp(done)
+		b.Label(empty)
+		b.StP(asm.Mem(R7, 0, 8), R1)
+		b.Label(done)
+		b.Addi(R5, R5, 1)
+		b.Movi(R2, M)
+		b.Br(CondLT, R5, R2, ins)
+
+		// --- search: probe 2M keys, count hits ---
+		b.Movi(R5, 0)
+		probe := c.L("gcc.probe")
+		b.Label(probe)
+		b.Muli(R8, R5, 2654435761)
+		b.Shri(R8, R8, 9)
+		b.Andi(R8, R8, 1023)
+		b.LdP(R10, asm.Mem(R7, 0, 8))
+		srch := c.L("gcc.srch")
+		miss := c.L("gcc.miss")
+		hit := c.L("gcc.hit")
+		b.Label(srch)
+		b.Brz(R10, miss)
+		b.Ld(R11, asm.Mem(R10, 16, 8))
+		b.Br(CondEQ, R8, R11, hit)
+		gt := c.L("gcc.gt")
+		b.Br(CondGE, R8, R11, gt)
+		b.LdP(R10, asm.Mem(R10, 0, 8))
+		b.Jmp(srch)
+		b.Label(gt)
+		b.LdP(R10, asm.Mem(R10, 8, 8))
+		b.Jmp(srch)
+		b.Label(hit)
+		b.Addi(R14, R14, 1)
+		b.Label(miss)
+		b.Addi(R5, R5, 1)
+		b.Movi(R2, 2*M)
+		b.Br(CondLT, R5, R2, probe)
+
+		// --- teardown: free every node via the table ---
+		b.Movi(R5, 0)
+		tear := c.L("gcc.tear")
+		b.Label(tear)
+		b.LdP(R1, asm.MemIdx(R4, R5, 8, 0, 8))
+		b.Call("free")
+		b.Addi(R5, R5, 1)
+		b.Movi(R2, M)
+		b.Br(CondLT, R5, R2, tear)
+		b.Movi(R9, 0)
+		b.St(asm.Mem(R7, 0, 8), R9) // root = null
+	})
+	b.Mov(R1, R14)
+	b.Sys(SysPutInt, R1)
+	b.Ret()
+}
+
+func buildPerl(c *Ctx) {
+	b := c.B
+	const B2 = 64 // buckets
+	const N = 384 // operations per pass
+	// node: next(0) key(8) val(16), stride 24
+	b.Movi(R1, B2*8)
+	b.Call("calloc_words")
+	b.Mov(R4, R1) // bucket array
+
+	b.Movi(R14, 0) // checksum
+	c.Loop(R6, int64(2*c.Scale), func() {
+		ops := c.L("pl.ops")
+		cont := c.L("pl.cont")
+		b.Movi(R5, 0)
+		b.Label(ops)
+		// key = (i*40503) & 511; bucket = key & 63
+		b.Muli(R8, R5, 40503)
+		b.Shri(R8, R8, 4)
+		b.Andi(R8, R8, 511)
+		b.Andi(R9, R8, B2-1)
+		// every 4th op: delete the bucket head
+		b.Andi(R10, R5, 3)
+		b.Movi(R2, 3)
+		doDel := c.L("pl.del")
+		noDel := c.L("pl.nodel")
+		b.Br(CondEQ, R10, R2, doDel)
+		b.Jmp(noDel)
+		b.Label(doDel)
+		b.LdP(R1, asm.MemIdx(R4, R9, 8, 0, 8))
+		delEmpty := c.L("pl.delempty")
+		b.Brz(R1, delEmpty)
+		b.LdP(R11, asm.Mem(R1, 0, 8)) // head->next
+		b.StP(asm.MemIdx(R4, R9, 8, 0, 8), R11)
+		b.Call("free")
+		b.Addi(R14, R14, 1)
+		b.Label(delEmpty)
+		b.Jmp(cont)
+		b.Label(noDel)
+		// lookup
+		b.LdP(R10, asm.MemIdx(R4, R9, 8, 0, 8))
+		look := c.L("pl.look")
+		found := c.L("pl.found")
+		notfound := c.L("pl.notfound")
+		b.Label(look)
+		b.Brz(R10, notfound)
+		b.Ld(R11, asm.Mem(R10, 8, 8))
+		b.Br(CondEQ, R11, R8, found)
+		b.LdP(R10, asm.Mem(R10, 0, 8))
+		b.Jmp(look)
+		b.Label(found)
+		b.Ld(R11, asm.Mem(R10, 16, 8))
+		b.Addi(R11, R11, 1)
+		b.St(asm.Mem(R10, 16, 8), R11)
+		b.Add(R14, R14, R11)
+		b.Jmp(cont)
+		b.Label(notfound)
+		// insert at head (R8 key, R9 bucket survive malloc? NO — R8/R9
+		// are clobbered by malloc; stash them in callee-safe regs)
+		b.Mov(R7, R8) // key survives malloc in a callee-safe register
+		b.Push(R9)    // bucket on the stack
+		b.Movi(R1, 24)
+		b.Call("malloc")
+		b.Pop(R9)
+		b.St(asm.Mem(R1, 8, 8), R7) // key
+		b.Movi(R11, 1)
+		b.St(asm.Mem(R1, 16, 8), R11) // val
+		b.LdP(R10, asm.MemIdx(R4, R9, 8, 0, 8))
+		b.StP(asm.Mem(R1, 0, 8), R10)
+		b.StP(asm.MemIdx(R4, R9, 8, 0, 8), R1)
+		b.Label(cont)
+		b.Addi(R5, R5, 1)
+		b.Movi(R2, N)
+		b.Br(CondLT, R5, R2, ops)
+	})
+	b.Mov(R1, R14)
+	b.Sys(SysPutInt, R1)
+	b.Ret()
+}

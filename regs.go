@@ -1,0 +1,58 @@
+package watchdog
+
+import "watchdog/internal/isa"
+
+// Architectural register names for programs built against the public
+// API. R15 is the stack pointer (SP); the simulated runtime clobbers
+// R1-R3 and R8-R13 across calls, so long-lived workload state belongs
+// in R4-R7, the FP file, or memory.
+const (
+	R0  = isa.R0
+	R1  = isa.R1
+	R2  = isa.R2
+	R3  = isa.R3
+	R4  = isa.R4
+	R5  = isa.R5
+	R6  = isa.R6
+	R7  = isa.R7
+	R8  = isa.R8
+	R9  = isa.R9
+	R10 = isa.R10
+	R11 = isa.R11
+	R12 = isa.R12
+	R13 = isa.R13
+	R14 = isa.R14
+	R15 = isa.R15
+	SP  = isa.SP
+
+	F0 = isa.F0
+	F1 = isa.F1
+	F2 = isa.F2
+	F3 = isa.F3
+	F4 = isa.F4
+	F5 = isa.F5
+	F6 = isa.F6
+	F7 = isa.F7
+)
+
+// Branch conditions.
+const (
+	CondEQ = isa.CondEQ
+	CondNE = isa.CondNE
+	CondLT = isa.CondLT
+	CondLE = isa.CondLE
+	CondGT = isa.CondGT
+	CondGE = isa.CondGE
+	CondB  = isa.CondB
+	CondBE = isa.CondBE
+	CondA  = isa.CondA
+	CondAE = isa.CondAE
+)
+
+// System-call numbers for Builder.Sys.
+const (
+	SysExit   = isa.SysExit
+	SysPutInt = isa.SysPutInt
+	SysPutChr = isa.SysPutChr
+	SysAbort  = isa.SysAbort
+)

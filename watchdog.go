@@ -1,0 +1,211 @@
+// Package watchdog is a full-system reproduction of "Watchdog:
+// Hardware for Safe and Secure Manual Memory Management and Full
+// Memory Safety" (Nagarakatte, Martin, Zdancewic — ISCA 2012).
+//
+// The package exposes the complete stack built for the reproduction:
+//
+//   - a WD64 macro/µop ISA and assembler (an x86-64 stand-in),
+//   - a Sandy-Bridge-class out-of-order timing model with the Table 2
+//     memory hierarchy, PPM branch predictor and lock location cache,
+//   - the Watchdog engine itself: lock-and-key allocation identifiers,
+//     disjoint shadow-space pointer metadata, µop injection,
+//     conservative and ISA-assisted pointer identification, decoupled
+//     register metadata with rename copy elimination, and the bounds
+//     extension for full memory safety,
+//   - a simulated C runtime whose allocator performs the identifier
+//     protocol of Figure 3,
+//   - twenty SPEC-stand-in workloads, the Juliet-style CWE-416/562
+//     security suite, and a harness regenerating every table and
+//     figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	rt := watchdog.NewRuntime(watchdog.RuntimeOptions{Policy: watchdog.PolicyWatchdog})
+//	rt.B.Label("main")
+//	// ... emit WD64 code using the builder ...
+//	prog, _ := rt.Finish()
+//	res, _ := watchdog.Run(prog, watchdog.SimConfig{
+//		Core:       watchdog.DefaultCoreConfig(),
+//		RuntimeEnd: rt.RuntimeEnd(),
+//	})
+//	if res.MemErr != nil { /* a use-after-free was caught */ }
+package watchdog
+
+import (
+	"watchdog/internal/asm"
+	"watchdog/internal/core"
+	"watchdog/internal/experiments"
+	"watchdog/internal/isa"
+	"watchdog/internal/machine"
+	"watchdog/internal/mem"
+	"watchdog/internal/rt"
+	"watchdog/internal/security"
+	"watchdog/internal/sim"
+	"watchdog/internal/stats"
+	"watchdog/internal/workload"
+)
+
+// Core Watchdog types.
+type (
+	// CoreConfig selects the checking scheme, pointer-identification
+	// policy, bounds mode and microarchitectural options.
+	CoreConfig = core.Config
+	// Policy is the checking scheme (baseline, watchdog, location,
+	// software).
+	Policy = core.Policy
+	// PtrPolicy selects conservative or ISA-assisted pointer
+	// identification.
+	PtrPolicy = core.PtrPolicy
+	// BoundsMode selects the bounds-checking extension.
+	BoundsMode = core.BoundsMode
+	// MemoryError is the exception a failed check raises.
+	MemoryError = core.MemoryError
+	// ErrorKind classifies violations.
+	ErrorKind = core.ErrorKind
+	// Ident is a lock-and-key allocation identifier.
+	Ident = core.Ident
+	// Profile is the static pointer-operation set recorded by the
+	// profiling pass (ISA-assisted identification).
+	Profile = core.Profile
+)
+
+// Program construction.
+type (
+	// Builder assembles WD64 programs.
+	Builder = asm.Builder
+	// Program is an assembled program ready to run.
+	Program = asm.Program
+	// MemRef is a memory operand.
+	MemRef = isa.MemRef
+	// Reg names an architectural register.
+	Reg = isa.Reg
+	// RuntimeOptions selects the simulated C runtime variant.
+	RuntimeOptions = rt.Options
+	// RuntimeBuild is a program under construction on top of the
+	// runtime (use .B for the builder, "main" as the entry label).
+	RuntimeBuild = rt.Build
+)
+
+// Simulation.
+type (
+	// SimConfig configures a run (engine, pipeline, hierarchy).
+	SimConfig = sim.Config
+	// Result is the outcome of a run: checksum output, violations,
+	// timing statistics, memory footprint.
+	Result = machine.Result
+	// BenchRunner executes (workload, configuration) sweeps and
+	// regenerates the paper's figures.
+	BenchRunner = experiments.Runner
+	// ConfigName names a predefined evaluation configuration.
+	ConfigName = experiments.ConfigName
+	// SecuritySummary aggregates a security-suite run.
+	SecuritySummary = security.Summary
+	// Table is a rendered result table.
+	Table = stats.Table
+)
+
+// Policies.
+const (
+	PolicyBaseline = core.PolicyBaseline
+	PolicyWatchdog = core.PolicyWatchdog
+	PolicyLocation = core.PolicyLocation
+	PolicySoftware = core.PolicySoftware
+
+	PtrConservative = core.PtrConservative
+	PtrISAAssisted  = core.PtrISAAssisted
+
+	BoundsOff      = core.BoundsOff
+	BoundsFused    = core.BoundsFused
+	BoundsSeparate = core.BoundsSeparate
+
+	ErrUseAfterFree = core.ErrUseAfterFree
+	ErrOutOfBounds  = core.ErrOutOfBounds
+	ErrNoMetadata   = core.ErrNoMetadata
+	ErrUnallocated  = core.ErrUnallocated
+)
+
+// Evaluation configuration names (see cmd/watchdog-bench).
+const (
+	CfgBaseline     = experiments.CfgBaseline
+	CfgConservative = experiments.CfgConservative
+	CfgISA          = experiments.CfgISA
+	CfgISANoLock    = experiments.CfgISANoLock
+	CfgBounds1      = experiments.CfgBounds1
+	CfgBounds2      = experiments.CfgBounds2
+	CfgLocation     = experiments.CfgLocation
+	CfgSoftware     = experiments.CfgSoftware
+)
+
+// NewBuilder returns an empty WD64 program builder (no runtime).
+func NewBuilder() *Builder { return asm.NewBuilder() }
+
+// NewRuntime returns a program builder with the simulated C runtime
+// (malloc/free/calloc_words/rand and program startup) already emitted;
+// append a "main" function and call Finish.
+func NewRuntime(opts RuntimeOptions) *RuntimeBuild { return rt.NewBuild(opts) }
+
+// ParseAsm assembles WD64 text (see internal/asm.Parse for the
+// syntax) into the builder.
+func ParseAsm(b *Builder, src string) error { return asm.Parse(b, src) }
+
+// Mem builds a base+displacement memory operand of the given width.
+func Mem(base Reg, disp int64, width uint8) MemRef { return asm.Mem(base, disp, width) }
+
+// MemIdx builds a base+index*scale+displacement memory operand.
+func MemIdx(base, index Reg, scale uint8, disp int64, width uint8) MemRef {
+	return asm.MemIdx(base, index, scale, disp, width)
+}
+
+// DefaultCoreConfig returns the paper's primary configuration:
+// Watchdog with ISA-assisted identification, lock location cache and
+// rename copy elimination.
+func DefaultCoreConfig() CoreConfig { return core.DefaultConfig() }
+
+// DefaultSimConfig returns the Table 2 machine with timing enabled and
+// the default core configuration.
+func DefaultSimConfig() SimConfig { return sim.Default() }
+
+// Run executes a program.
+func Run(prog *Program, cfg SimConfig) (*Result, error) { return sim.Run(prog, cfg) }
+
+// MTMachine interleaves several hardware contexts over shared memory
+// (Section 7's multithreading model: partitioned identifier spaces,
+// atomic macro instructions). Build the program with
+// RuntimeOptions{MT: true}, emit per-context entries with
+// RuntimeBuild.EmitMTStart, and define thread0..thread<n-1>.
+type MTMachine = machine.MT
+
+// NewMTMachine builds an n-context machine for the program.
+func NewMTMachine(prog *Program, coreCfg CoreConfig, n int) (*MTMachine, error) {
+	return machine.NewMT(prog, mem.New(), coreCfg, n)
+}
+
+// FirstViolation scans multi-context results for the first
+// memory-safety exception.
+func FirstViolation(results []*Result) (int, *MemoryError) {
+	return machine.FirstViolation(results)
+}
+
+// ProfileProgram performs the Section 5.2 profiling pass and returns
+// the static pointer-operation profile for ISA-assisted runs.
+func ProfileProgram(prog *Program, base CoreConfig, runtimeEnd int) (*Profile, error) {
+	return sim.Profile(prog, base, runtimeEnd)
+}
+
+// Workloads lists the twenty SPEC-stand-in benchmark names in the
+// paper's figure order.
+func Workloads() []string { return workload.Names() }
+
+// NewBenchRunner builds a figure-regeneration runner over all
+// workloads (or the given subset).
+func NewBenchRunner(scale int, names ...string) (*BenchRunner, error) {
+	return experiments.NewRunner(scale, names...)
+}
+
+// RunSecuritySuite runs the Juliet-style CWE-416/562 suite (291 bad
+// cases plus good twins) under the paper's primary configuration.
+func RunSecuritySuite() SecuritySummary { return experiments.Juliet() }
+
+// ProcessorConfig renders the simulated processor configuration
+// (Table 2).
+func ProcessorConfig() string { return experiments.Table2() }
