@@ -13,30 +13,37 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"watchdog/internal/experiments"
 	"watchdog/internal/stats"
+	"watchdog/internal/workload"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: all|table1|table2|fig5|fig7|fig8|fig9|fig10|fig11|ideal|ablations|locksweep|juliet")
-		scale = flag.Int("scale", 1, "problem-size multiplier")
-		wls   = flag.String("workloads", "", "comma-separated workload subset (default: all twenty)")
-		bars  = flag.Bool("bars", false, "render overhead figures as bar charts too")
-		csv   = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		exp    = flag.String("exp", "all", "experiment: all|table1|table2|fig5|fig7|fig8|fig9|fig10|fig11|ideal|ablations|locksweep|juliet")
+		scale  = flag.Int("scale", 1, "problem-size multiplier")
+		wls    = flag.String("workloads", "", "comma-separated workload subset (default: all twenty)")
+		bars   = flag.Bool("bars", false, "render overhead figures as bar charts too")
+		csv    = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		jobs   = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers (1 = serial; output is identical either way)")
+		timing = flag.Bool("stats", false, "print harness timing counters to stderr when done")
 	)
 	flag.Parse()
 
-	var names []string
-	if *wls != "" {
-		names = strings.Split(*wls, ",")
+	names, err := workloadSubset(*wls)
+	if err != nil {
+		fatal(err)
 	}
 	r, err := experiments.NewRunner(*scale, names...)
 	if err != nil {
 		fatal(err)
 	}
+	r.Jobs = *jobs
+	start := time.Now()
 
 	type tableFn struct {
 		name string
@@ -94,13 +101,47 @@ func main() {
 	}
 	if *exp == "all" || *exp == "juliet" {
 		fmt.Println("Section 9.2: security evaluation")
-		fmt.Println(" ", experiments.Juliet())
+		fmt.Println(" ", experiments.JulietParallel(*jobs))
 		fmt.Println()
 		ran = true
 	}
 	if !ran {
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
 	}
+	if *timing {
+		r.Timing.SetWall(time.Since(start))
+		fmt.Fprintf(os.Stderr, "watchdog-bench: %s (-j %d)\n", r.Timing.String(), *jobs)
+	}
+}
+
+// workloadSubset parses the -workloads flag and validates every name
+// eagerly, reporting the full list of unknown names (instead of
+// silently running an empty or partial subset).
+func workloadSubset(list string) ([]string, error) {
+	if strings.TrimSpace(list) == "" {
+		return nil, nil
+	}
+	var names, unknown []string
+	for _, n := range strings.Split(list, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if _, ok := workload.ByName(n); !ok {
+			unknown = append(unknown, fmt.Sprintf("%q", n))
+			continue
+		}
+		names = append(names, n)
+	}
+	if len(unknown) > 0 {
+		return nil, fmt.Errorf("unknown workloads: %s (known: %s)",
+			strings.Join(unknown, ", "), strings.Join(workload.Names(), ", "))
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("-workloads %q selects no workloads (known: %s)",
+			list, strings.Join(workload.Names(), ", "))
+	}
+	return names, nil
 }
 
 func fatal(err error) {

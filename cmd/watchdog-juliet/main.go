@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"watchdog/internal/core"
 	"watchdog/internal/rt"
@@ -23,6 +24,7 @@ func main() {
 	var (
 		policy  = flag.String("policy", "watchdog", "checking policy: watchdog|location|software|conservative")
 		verbose = flag.Bool("v", false, "print each case outcome")
+		jobs    = flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers over the 582 cases (1 = serial; output is identical either way)")
 	)
 	flag.Parse()
 
@@ -47,19 +49,21 @@ func main() {
 		os.Exit(1)
 	}
 
+	// The cases fan out over -j workers; outcomes are merged in case
+	// order, so the printed report is identical at any worker count.
 	cases := security.Suite()
+	outs := security.RunCases(cases, cfg, opts, *jobs)
 	if *verbose {
-		for _, c := range cases {
-			o := security.RunCase(c, cfg, opts)
+		for i, c := range cases {
 			status := "PASS"
-			if !o.Pass() {
+			if !outs[i].Pass() {
 				status = "FAIL"
 			}
 			fmt.Printf("%-4s CWE-%d %-60s bad=%-5v detected=%-5v\n",
-				status, c.CWE, c.Variant, c.Bad, o.Detected)
+				status, c.CWE, c.Variant, c.Bad, outs[i].Detected)
 		}
 	}
-	s := security.RunSuite(cases, cfg, opts)
+	s := security.Summarize(cases, outs)
 	fmt.Println(s)
 	if len(s.Failures) > 0 && *policy == "watchdog" {
 		os.Exit(1)

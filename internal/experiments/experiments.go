@@ -9,6 +9,9 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
+	"sync"
+	"time"
 
 	"watchdog/internal/asm"
 	"watchdog/internal/core"
@@ -39,34 +42,69 @@ const (
 
 // Runner executes (workload, configuration) pairs with caching of
 // programs, profiles and results, so figures sharing runs (e.g. the
-// baseline) pay for them once.
+// baseline) pay for them once. All methods are safe for concurrent
+// use: the caches give per-key once-semantics, so even when many
+// goroutines request the same cell (or the same ISA-assisted profile)
+// it is computed exactly once and everyone else blocks on that
+// computation instead of repeating it.
 type Runner struct {
 	Scale     int
 	Workloads []workload.Workload
+	// Jobs is the worker count for the parallel execution paths
+	// (RunAll, Sweep, the figure methods); <= 0 means GOMAXPROCS.
+	Jobs int
 
-	profiles map[string]*core.Profile
-	results  map[string]*machine.Result
+	// Timing counts executed simulations, profiling passes and cache
+	// hits (observability for the parallel harness).
+	Timing stats.Timing
+
+	mu       sync.Mutex
+	profiles map[string]*profileEntry
+	results  map[string]*resultEntry
+}
+
+// resultEntry is one result-cache slot: the Once guarantees the cell
+// is simulated exactly once even under concurrent requests.
+type resultEntry struct {
+	once sync.Once
+	res  *machine.Result
+	err  error
+}
+
+// profileEntry is one profiling-pass cache slot with the same
+// once-semantics.
+type profileEntry struct {
+	once sync.Once
+	prof *core.Profile
+	err  error
 }
 
 // NewRunner builds a runner over all workloads (or the given subset).
+// Unknown names are all reported, not just the first.
 func NewRunner(scale int, names ...string) (*Runner, error) {
 	var ws []workload.Workload
 	if len(names) == 0 {
 		ws = workload.All()
 	} else {
+		var unknown []string
 		for _, n := range names {
 			w, ok := workload.ByName(n)
 			if !ok {
-				return nil, fmt.Errorf("unknown workload %q", n)
+				unknown = append(unknown, fmt.Sprintf("%q", n))
+				continue
 			}
 			ws = append(ws, w)
+		}
+		if len(unknown) > 0 {
+			return nil, fmt.Errorf("unknown workloads: %s (known: %v)",
+				strings.Join(unknown, ", "), workload.Names())
 		}
 	}
 	return &Runner{
 		Scale:     scale,
 		Workloads: ws,
-		profiles:  make(map[string]*core.Profile),
-		results:   make(map[string]*machine.Result),
+		profiles:  make(map[string]*profileEntry),
+		results:   make(map[string]*resultEntry),
 	}, nil
 }
 
@@ -133,12 +171,40 @@ func needsProfile(name ConfigName) bool {
 	return false
 }
 
-// Run executes one workload under one configuration (cached).
+// Run executes one workload under one configuration (cached; safe for
+// concurrent use).
 func (r *Runner) Run(w workload.Workload, name ConfigName) (*machine.Result, error) {
 	key := w.Name + "/" + string(name)
-	if res, ok := r.results[key]; ok {
-		return res, nil
+	return r.cachedResult(key, func() (*machine.Result, error) {
+		return r.runUncached(w, name)
+	})
+}
+
+// cachedResult serves key from the result cache, computing it exactly
+// once under concurrent requests (per-key once-semantics).
+func (r *Runner) cachedResult(key string, compute func() (*machine.Result, error)) (*machine.Result, error) {
+	r.mu.Lock()
+	e, ok := r.results[key]
+	if !ok {
+		e = &resultEntry{}
+		r.results[key] = e
 	}
+	r.mu.Unlock()
+	hit := true
+	e.once.Do(func() {
+		hit = false
+		start := time.Now()
+		e.res, e.err = compute()
+		r.Timing.AddSim(time.Since(start))
+	})
+	if hit {
+		r.Timing.AddHit()
+	}
+	return e.res, e.err
+}
+
+// runUncached is the uncached simulation of one cell.
+func (r *Runner) runUncached(w workload.Workload, name ConfigName) (*machine.Result, error) {
 	opts := rtOptions(name)
 	prog, rtEnd, err := workload.BuildProgram(w, opts, r.Scale)
 	if err != nil {
@@ -164,24 +230,36 @@ func (r *Runner) Run(w workload.Workload, name ConfigName) (*machine.Result, err
 	if res.Aborted {
 		return nil, fmt.Errorf("%s under %s: runtime abort %d", w.Name, name, res.AbortCode)
 	}
-	r.results[key] = res
 	return res, nil
 }
 
+// profileFor returns the ISA-assisted profile for key, running the
+// profiling pass exactly once even when many configurations request
+// the same workload's profile concurrently. Workload programs build
+// deterministically, so whichever caller wins the race profiles an
+// identical program.
 func (r *Runner) profileFor(key string, prog *asm.Program, rtEnd int, opts rt.Options) (*core.Profile, error) {
-	if p, ok := r.profiles[key]; ok {
-		return p, nil
+	r.mu.Lock()
+	e, ok := r.profiles[key]
+	if !ok {
+		e = &profileEntry{}
+		r.profiles[key] = e
 	}
-	base := core.DefaultConfig()
-	if opts.Bounds {
-		base.Bounds = core.BoundsFused
-	}
-	p, err := sim.Profile(prog, base, rtEnd)
-	if err != nil {
-		return nil, fmt.Errorf("profiling %s: %w", key, err)
-	}
-	r.profiles[key] = p
-	return p, nil
+	r.mu.Unlock()
+	e.once.Do(func() {
+		start := time.Now()
+		base := core.DefaultConfig()
+		if opts.Bounds {
+			base.Bounds = core.BoundsFused
+		}
+		p, err := sim.Profile(prog, base, rtEnd)
+		if err != nil {
+			err = fmt.Errorf("profiling %s: %w", key, err)
+		}
+		e.prof, e.err = p, err
+		r.Timing.AddProfile(time.Since(start))
+	})
+	return e.prof, e.err
 }
 
 // Overhead computes the slowdown ratio of cfg over the baseline for
@@ -200,9 +278,14 @@ func (r *Runner) Overhead(w workload.Workload, name ConfigName) (float64, error)
 
 // Sweep runs every workload under the configuration, returning the
 // per-benchmark slowdown ratios in figure order plus the geometric
-// mean overhead percentage.
+// mean overhead percentage. The cells execute in parallel over the
+// runner's workers; the series is assembled serially in workload
+// order afterwards, so the output is identical to a serial sweep.
 func (r *Runner) Sweep(name ConfigName) (stats.Series, float64, error) {
 	s := stats.Series{Name: string(name)}
+	if err := r.RunAll(CfgBaseline, name); err != nil {
+		return s, 0, err
+	}
 	var ratios []float64
 	for _, w := range r.Workloads {
 		ratio, err := r.Overhead(w, name)

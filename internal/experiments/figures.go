@@ -18,6 +18,9 @@ import (
 // classified as pointer loads/stores under conservative vs
 // ISA-assisted identification, per benchmark and on average.
 func (r *Runner) Fig5() (*stats.Table, error) {
+	if err := r.RunAll(CfgConservative, CfgISA); err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Figure 5: % of memory accesses carrying pointer metadata",
 		"bench", "conservative", "isa-assisted")
 	var cons, ia []float64
@@ -51,6 +54,9 @@ func (r *Runner) Fig7() (*stats.Table, error) {
 // Fig8 reproduces Figure 8: µop overhead breakdown under ISA-assisted
 // identification (paper: 44% total on average; checks dominate).
 func (r *Runner) Fig8() (*stats.Table, error) {
+	if err := r.RunAll(CfgBaseline, CfgISA); err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Figure 8: µop overhead breakdown, ISA-assisted (% extra µops over baseline)",
 		"bench", "checks", "ptr-loads", "ptr-stores", "other", "total")
 	var chk, pl, ps, ot, tot []float64
@@ -87,6 +93,9 @@ func (r *Runner) Fig9() (*stats.Table, error) {
 // Fig10 reproduces Figure 10: memory overhead measured in words
 // touched and in 4 KB pages touched (paper: 32% and 56% average).
 func (r *Runner) Fig10() (*stats.Table, error) {
+	if err := r.RunAll(CfgISA); err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Figure 10: memory overhead of the metadata spaces",
 		"bench", "words", "pages")
 	var wordsOv, pagesOv []float64
@@ -158,6 +167,9 @@ func (r *Runner) Table1() (*stats.Table, error) {
 		{"Watchdog + ISA assist", CfgISA, "identifier", "disjoint", "Y",
 			"Y", core.PolicyWatchdog, core.PtrISAAssisted},
 	}
+	if err := r.RunAll(CfgBaseline, CfgLocation, CfgSoftware, CfgConservative, CfgISA); err != nil {
+		return nil, err
+	}
 	cases := security.Suite()
 	for _, row := range rows {
 		_, ov, err := r.Sweep(row.cfg)
@@ -165,7 +177,7 @@ func (r *Runner) Table1() (*stats.Table, error) {
 			return nil, err
 		}
 		cc := core.Config{Policy: row.policy, PtrPolicy: row.ptr, LockCache: true, CopyElim: true}
-		sum := security.RunSuite(cases, cc, rtOptions(row.cfg))
+		sum := security.RunSuiteParallel(cases, cc, rtOptions(row.cfg), r.jobs())
 		t.Row(row.name, row.class, row.meta, row.casts, row.compr,
 			fmt.Sprintf("%.2fx", 1+ov/100),
 			fmt.Sprintf("%d/%d", sum.BadDetected, sum.BadTotal))
@@ -199,14 +211,22 @@ func Table2() string {
 
 // Juliet runs the Section 9.2 security suite under Watchdog and
 // returns the summary (paper: 291/291 detected, no false positives).
-func Juliet() security.Summary {
-	return security.RunSuite(security.Suite(), core.DefaultConfig(),
-		rt.Options{Policy: core.PolicyWatchdog})
+// The 582 cases run in parallel over all CPUs.
+func Juliet() security.Summary { return JulietParallel(0) }
+
+// JulietParallel is Juliet with an explicit worker count (<= 0 means
+// GOMAXPROCS).
+func JulietParallel(jobs int) security.Summary {
+	return security.RunSuiteParallel(security.Suite(), core.DefaultConfig(),
+		rt.Options{Policy: core.PolicyWatchdog}, jobs)
 }
 
 // Bars renders one of the overhead comparisons as grouped horizontal
 // bar charts (the terminal rendition of the paper's figures).
 func (r *Runner) Bars(title string, cfgs ...ConfigName) (string, error) {
+	if err := r.RunAll(append([]ConfigName{CfgBaseline}, cfgs...)...); err != nil {
+		return "", err
+	}
 	series := make([]stats.Series, len(cfgs))
 	for i, cfg := range cfgs {
 		s, geo, err := r.Sweep(cfg)
@@ -222,6 +242,11 @@ func (r *Runner) Bars(title string, cfgs ...ConfigName) (string, error) {
 // overheadTable renders per-benchmark % slowdowns for the given
 // configurations plus the geometric-mean row.
 func (r *Runner) overheadTable(title string, cfgs ...ConfigName) (*stats.Table, error) {
+	// Warm every cell of the table in one parallel fan-out (the
+	// per-config Sweeps below then only read the cache).
+	if err := r.RunAll(append([]ConfigName{CfgBaseline}, cfgs...)...); err != nil {
+		return nil, err
+	}
 	headers := append([]string{"bench"}, configHeaders(cfgs)...)
 	t := stats.NewTable(title, headers...)
 	series := make([]stats.Series, len(cfgs))

@@ -26,6 +26,28 @@ func (r *Runner) LockSweep(sizes []int) (*stats.Table, error) {
 	headers = append(headers, "miss/1k-inst@4KB")
 	t := stats.NewTable("Lock location cache sensitivity (% slowdown; miss rate at 4 KB)", headers...)
 
+	// Warm the baseline and every (workload, size) cell in parallel;
+	// the table below assembles from the cache in workload order.
+	if err := r.RunAll(CfgBaseline); err != nil {
+		return nil, err
+	}
+	type cell struct {
+		w    workload.Workload
+		size int
+	}
+	cells := make([]cell, 0, len(r.Workloads)*len(sizes))
+	for _, w := range r.Workloads {
+		for _, sz := range sizes {
+			cells = append(cells, cell{w, sz})
+		}
+	}
+	if err := r.parallelDo(len(cells), func(i int) error {
+		_, err := r.runLockSize(cells[i].w, cells[i].size)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
 	perSize := make([][]float64, len(sizes))
 	var missRates []float64
 	for _, w := range r.Workloads {
@@ -61,32 +83,31 @@ func (r *Runner) LockSweep(sizes []int) (*stats.Table, error) {
 }
 
 // runLockSize executes one workload under the ISA-assisted
-// configuration with a given lock-location-cache size.
+// configuration with a given lock-location-cache size (cached; safe
+// for concurrent use).
 func (r *Runner) runLockSize(w workload.Workload, size int) (*machine.Result, error) {
 	key := fmt.Sprintf("%s/lock%d", w.Name, size)
-	if res, ok := r.results[key]; ok {
+	return r.cachedResult(key, func() (*machine.Result, error) {
+		opts := rtOptions(CfgISA)
+		prog, rtEnd, err := workload.BuildProgram(w, opts, r.Scale)
+		if err != nil {
+			return nil, err
+		}
+		pkey := fmt.Sprintf("%s/%s/%v", w.Name, opts.Policy, opts.Bounds)
+		prof, err := r.profileFor(pkey, prog, rtEnd, opts)
+		if err != nil {
+			return nil, err
+		}
+		cfg := simConfig(CfgISA, prof)
+		cfg.Hier.Lock.SizeBytes = size
+		cfg.RuntimeEnd = rtEnd
+		res, err := sim.Run(prog, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if res.MemErr != nil || res.Aborted {
+			return nil, fmt.Errorf("%s at lock size %d: violation/abort", w.Name, size)
+		}
 		return res, nil
-	}
-	opts := rtOptions(CfgISA)
-	prog, rtEnd, err := workload.BuildProgram(w, opts, r.Scale)
-	if err != nil {
-		return nil, err
-	}
-	pkey := fmt.Sprintf("%s/%s/%v", w.Name, opts.Policy, opts.Bounds)
-	prof, err := r.profileFor(pkey, prog, rtEnd, opts)
-	if err != nil {
-		return nil, err
-	}
-	cfg := simConfig(CfgISA, prof)
-	cfg.Hier.Lock.SizeBytes = size
-	cfg.RuntimeEnd = rtEnd
-	res, err := sim.Run(prog, cfg)
-	if err != nil {
-		return nil, err
-	}
-	if res.MemErr != nil || res.Aborted {
-		return nil, fmt.Errorf("%s at lock size %d: violation/abort", w.Name, size)
-	}
-	r.results[key] = res
-	return res, nil
+	})
 }

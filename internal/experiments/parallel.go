@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"watchdog/internal/workload"
+)
+
+// jobs returns the worker count for the parallel execution paths.
+func (r *Runner) jobs() int {
+	if r.Jobs > 0 {
+		return r.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelDo runs fn(i) for every i in [0, n) across the runner's
+// worker pool. Every index runs even when some fail; the returned
+// error is the lowest-index one, so what a caller sees is independent
+// of scheduling order (the same error a serial loop would hit first).
+func (r *Runner) parallelDo(n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	j := r.jobs()
+	if j > n {
+		j = n
+	}
+	if j <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < j; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunAll warms the result cache for every (workload, configuration)
+// pair by fanning the cells out over the worker pool. Each cell is an
+// independent simulation; the per-key once-semantics of the caches
+// dedupe concurrent requests (including the shared ISA-assisted
+// profiles), and figure assembly afterwards reads the warmed cache in
+// workload order, so output is byte-identical to a serial run.
+func (r *Runner) RunAll(cfgs ...ConfigName) error {
+	type pair struct {
+		w workload.Workload
+		c ConfigName
+	}
+	pairs := make([]pair, 0, len(r.Workloads)*len(cfgs))
+	for _, c := range cfgs {
+		for _, w := range r.Workloads {
+			pairs = append(pairs, pair{w, c})
+		}
+	}
+	return r.parallelDo(len(pairs), func(i int) error {
+		_, err := r.Run(pairs[i].w, pairs[i].c)
+		return err
+	})
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"watchdog/internal/workload"
+)
+
+// detSet is deliberately tiny: the determinism tests rebuild fresh
+// runners (no shared cache), so every extra workload multiplies the
+// number of full simulations.
+var detSet = []string{"mcf", "lbm"}
+
+func runnerJ(t *testing.T, jobs int) *Runner {
+	t.Helper()
+	r, err := NewRunner(1, detSet...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Jobs = jobs
+	return r
+}
+
+// figures renders every table the bench harness prints for the small
+// subset, concatenated — the golden unit for the determinism tests.
+func figures(t *testing.T, r *Runner) string {
+	t.Helper()
+	out := ""
+	tab, err := r.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out += tab.String()
+	tab, err = r.LockSweep([]int{2 << 10, 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out += tab.String()
+	return out
+}
+
+// TestFiguresDeterministic: the parallel path must produce
+// byte-identical figure output run-to-run and against the serial
+// path, so parallelism can never silently reorder or drop a cell.
+func TestFiguresDeterministic(t *testing.T) {
+	parA := figures(t, runnerJ(t, 8))
+	parB := figures(t, runnerJ(t, 8))
+	serial := figures(t, runnerJ(t, 1))
+	if parA != parB {
+		t.Errorf("parallel output not reproducible:\n--- run A ---\n%s\n--- run B ---\n%s", parA, parB)
+	}
+	if parA != serial {
+		t.Errorf("parallel output differs from serial:\n--- parallel ---\n%s\n--- serial ---\n%s", parA, serial)
+	}
+}
+
+// TestSweepParallelMatchesSerial: the numeric series from a parallel
+// sweep must be exactly equal (not just close) to the serial sweep —
+// the simulations are deterministic, so any difference is a merge bug.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	ps, pg, err := runnerJ(t, 8).Sweep(CfgConservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, sg, err := runnerJ(t, 1).Sweep(CfgConservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg != sg {
+		t.Errorf("geomean differs: parallel %v vs serial %v", pg, sg)
+	}
+	if len(ps.Values) != len(ss.Values) {
+		t.Fatalf("series length differs: %d vs %d", len(ps.Values), len(ss.Values))
+	}
+	for i := range ps.Values {
+		if ps.Labels[i] != ss.Labels[i] || ps.Values[i] != ss.Values[i] {
+			t.Errorf("cell %d differs: parallel %s=%v vs serial %s=%v",
+				i, ps.Labels[i], ps.Values[i], ss.Labels[i], ss.Values[i])
+		}
+	}
+}
+
+// TestProfileComputedOnce: many configurations requesting the same
+// workload's ISA-assisted profile concurrently must trigger exactly
+// one profiling pass per (workload, bounds-variant) key.
+func TestProfileComputedOnce(t *testing.T) {
+	r := runnerJ(t, 8)
+	cfgs := []ConfigName{CfgISA, CfgISANoLock, CfgISAIdeal, CfgBounds1, CfgBounds2}
+	if err := r.RunAll(cfgs...); err != nil {
+		t.Fatal(err)
+	}
+	// Two workloads x two profile keys each (bounds off / bounds on).
+	if got, want := r.Timing.Profiles(), uint64(2*len(detSet)); got != want {
+		t.Errorf("profiling passes: got %d, want %d (once per key)", got, want)
+	}
+	if got, want := r.Timing.Sims(), uint64(len(cfgs)*len(detSet)); got != want {
+		t.Errorf("simulations: got %d, want %d", got, want)
+	}
+	// A second fan-out over the same cells must be all cache hits.
+	sims := r.Timing.Sims()
+	if err := r.RunAll(cfgs...); err != nil {
+		t.Fatal(err)
+	}
+	if r.Timing.Sims() != sims {
+		t.Errorf("re-running warmed cells simulated again: %d -> %d sims", sims, r.Timing.Sims())
+	}
+	if r.Timing.Hits() == 0 {
+		t.Error("cache hits not counted")
+	}
+}
+
+// TestRunConcurrentSameCell: hammering one cell from many goroutines
+// must return the identical cached result from a single simulation.
+func TestRunConcurrentSameCell(t *testing.T) {
+	r := runnerJ(t, 8)
+	w, _ := workload.ByName("mcf")
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([]any, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := r.Run(w, CfgISA)
+			if err != nil {
+				results[i] = err
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("goroutine %d got a different result: %v vs %v", i, results[i], results[0])
+		}
+	}
+	if got := r.Timing.Sims(); got != 1 {
+		t.Errorf("one cell hammered concurrently ran %d simulations, want 1", got)
+	}
+}
+
+// TestParallelDoFirstErrorByIndex: the error surfaced by a parallel
+// fan-out must be the lowest-index one regardless of which worker
+// fails first, so error reporting is deterministic.
+func TestParallelDoFirstErrorByIndex(t *testing.T) {
+	r := runnerJ(t, 8)
+	want := errors.New("boom-3")
+	err := r.parallelDo(10, func(i int) error {
+		if i == 3 {
+			return want
+		}
+		if i == 7 {
+			return fmt.Errorf("boom-7")
+		}
+		return nil
+	})
+	if err != want {
+		t.Fatalf("got %v, want the lowest-index error %v", err, want)
+	}
+}
+
+// TestNewRunnerReportsAllUnknown: every unknown workload name is
+// listed, not just the first.
+func TestNewRunnerReportsAllUnknown(t *testing.T) {
+	_, err := NewRunner(1, "mcf", "nope1", "nope2")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	for _, miss := range []string{"nope1", "nope2"} {
+		if !strings.Contains(err.Error(), miss) {
+			t.Errorf("error %q does not name %q", err, miss)
+		}
+	}
+}

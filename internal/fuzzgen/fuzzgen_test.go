@@ -1,6 +1,7 @@
 package fuzzgen
 
 import (
+	"fmt"
 	"testing"
 
 	"watchdog/internal/core"
@@ -154,6 +155,57 @@ func TestInjectedOOBDetectedOnlyWithBounds(t *testing.T) {
 		if res.MemErr.PC != bugPC {
 			t.Fatalf("seed %d: fault at pc %d, planted at %d", seed, res.MemErr.PC, bugPC)
 		}
+	}
+}
+
+// TestFuzzDifferential is the differential fuzzer promoted into the
+// regular test suite: N seeded programs run under *every* checking
+// policy — baseline, conservative Watchdog, ISA-assisted, the
+// location-based and software comparators, and both bounds variants —
+// and every configuration must produce the baseline checksum with
+// zero violations. Seeds are fixed, so the corpus is identical on
+// every PR; subtests run in parallel, which also exercises the
+// concurrent-simulation paths under -race.
+func TestFuzzDifferential(t *testing.T) {
+	cons := core.DefaultConfig()
+	cons.PtrPolicy = core.PtrConservative
+	boundsFused := core.DefaultConfig()
+	boundsFused.Bounds = core.BoundsFused
+	boundsSep := core.DefaultConfig()
+	boundsSep.Bounds = core.BoundsSeparate
+	configs := []struct {
+		name   string
+		cc     core.Config
+		bounds bool
+	}{
+		{"conservative", cons, false},
+		{"isa", core.DefaultConfig(), false},
+		{"location", core.Config{Policy: core.PolicyLocation}, false},
+		{"software", core.Config{Policy: core.PolicySoftware, PtrPolicy: core.PtrConservative}, false},
+		{"bounds-fused", boundsFused, true},
+		{"bounds-separate", boundsSep, true},
+	}
+	for seed := int64(400); seed < 400+seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			o := Options{Seed: seed, Policy: core.PolicyWatchdog}
+			base, v := runCfg(t, o, core.Config{Policy: core.PolicyBaseline})
+			if v != nil {
+				t.Fatalf("baseline cannot fault: %v", v)
+			}
+			for _, c := range configs {
+				oc := o
+				oc.Bounds = c.bounds
+				got, v := runCfg(t, oc, c.cc)
+				if v != nil {
+					t.Fatalf("%s: false positive: %v", c.name, v)
+				}
+				if got != base {
+					t.Fatalf("%s: checksum %d != baseline %d", c.name, got, base)
+				}
+			}
+		})
 	}
 }
 

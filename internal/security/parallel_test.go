@@ -1,0 +1,62 @@
+package security
+
+import (
+	"testing"
+
+	"watchdog/internal/core"
+	"watchdog/internal/rt"
+)
+
+// sameSummary compares every field except the Outcome.Case closures
+// (func values are not comparable).
+func sameSummary(t *testing.T, serial, parallel Summary) {
+	t.Helper()
+	if serial.BadTotal != parallel.BadTotal || serial.BadDetected != parallel.BadDetected ||
+		serial.GoodTotal != parallel.GoodTotal || serial.GoodClean != parallel.GoodClean {
+		t.Fatalf("counts differ: serial %+v vs parallel %+v", serial, parallel)
+	}
+	for _, cwe := range []int{416, 562} {
+		if serial.ByCWEDetected[cwe] != parallel.ByCWEDetected[cwe] ||
+			serial.ByCWETotal[cwe] != parallel.ByCWETotal[cwe] {
+			t.Fatalf("CWE-%d counts differ: serial %d/%d vs parallel %d/%d", cwe,
+				serial.ByCWEDetected[cwe], serial.ByCWETotal[cwe],
+				parallel.ByCWEDetected[cwe], parallel.ByCWETotal[cwe])
+		}
+	}
+	if len(serial.Failures) != len(parallel.Failures) {
+		t.Fatalf("failure counts differ: %d vs %d", len(serial.Failures), len(parallel.Failures))
+	}
+	for i := range serial.Failures {
+		if serial.Failures[i].Case.ID != parallel.Failures[i].Case.ID {
+			t.Fatalf("failure %d differs: %s vs %s (order must be case order, not completion order)",
+				i, serial.Failures[i].Case.ID, parallel.Failures[i].Case.ID)
+		}
+	}
+	if serial.String() != parallel.String() {
+		t.Fatalf("summaries render differently:\n%s\n%s", serial, parallel)
+	}
+}
+
+// TestParallelSuiteMatchesSerial: the parallel suite must aggregate to
+// the exact serial summary under Watchdog (no failures)...
+func TestParallelSuiteMatchesSerial(t *testing.T) {
+	cases := Suite()
+	cfg := core.DefaultConfig()
+	opts := rt.Options{Policy: core.PolicyWatchdog}
+	sameSummary(t, RunSuite(cases, cfg, opts), RunSuiteParallel(cases, cfg, opts, 8))
+}
+
+// ...and under the location policy, which fails many cases — proving
+// the Failures list keeps deterministic case order regardless of
+// which worker finishes first.
+func TestParallelFailureOrderDeterministic(t *testing.T) {
+	cases := Suite()
+	cfg := core.Config{Policy: core.PolicyLocation}
+	opts := rt.Options{Policy: core.PolicyLocation}
+	serial := RunSuite(cases, cfg, opts)
+	if len(serial.Failures) == 0 {
+		t.Fatal("location policy should fail some cases; the ordering test needs failures")
+	}
+	sameSummary(t, serial, RunSuiteParallel(cases, cfg, opts, 8))
+	sameSummary(t, serial, RunSuiteParallel(cases, cfg, opts, 3))
+}

@@ -17,6 +17,9 @@ package security
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"watchdog/internal/asm"
 	"watchdog/internal/core"
@@ -113,11 +116,61 @@ type Summary struct {
 	ByCWETotal    map[int]int
 }
 
-// RunSuite runs every case and aggregates.
+// RunSuite runs every case serially and aggregates.
 func RunSuite(cases []Case, cfg core.Config, opts rt.Options) Summary {
+	return RunSuiteParallel(cases, cfg, opts, 1)
+}
+
+// RunSuiteParallel runs the cases over jobs workers (<= 0 means
+// GOMAXPROCS). Each case is an independent program on its own
+// simulated machine, so the fan-out is embarrassingly parallel; the
+// outcomes are merged in case order, making the summary (including
+// the Failures list) identical to the serial RunSuite.
+func RunSuiteParallel(cases []Case, cfg core.Config, opts rt.Options, jobs int) Summary {
+	return Summarize(cases, RunCases(cases, cfg, opts, jobs))
+}
+
+// RunCases executes every case over jobs workers and returns the
+// outcomes indexed like cases (deterministic order regardless of
+// completion order).
+func RunCases(cases []Case, cfg core.Config, opts rt.Options, jobs int) []Outcome {
+	outs := make([]Outcome, len(cases))
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(cases) {
+		jobs = len(cases)
+	}
+	if jobs <= 1 {
+		for i, c := range cases {
+			outs[i] = RunCase(c, cfg, opts)
+		}
+		return outs
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cases) {
+					return
+				}
+				outs[i] = RunCase(cases[i], cfg, opts)
+			}
+		}()
+	}
+	wg.Wait()
+	return outs
+}
+
+// Summarize aggregates outcomes (indexed like cases) into a Summary.
+func Summarize(cases []Case, outs []Outcome) Summary {
 	s := Summary{ByCWEDetected: map[int]int{}, ByCWETotal: map[int]int{}}
-	for _, c := range cases {
-		o := RunCase(c, cfg, opts)
+	for i, c := range cases {
+		o := outs[i]
 		if c.Bad {
 			s.BadTotal++
 			s.ByCWETotal[c.CWE]++

@@ -52,6 +52,106 @@ func TestSamplingApproximatesFullSimulation(t *testing.T) {
 	}
 }
 
+// TestSamplingZeroSampleWindow: a zero-length sample window measures
+// nothing; the run must still complete correctly and EstimatedCycles
+// must fall back to the directly measured cycle count instead of
+// dividing by zero.
+func TestSamplingZeroSampleWindow(t *testing.T) {
+	w, _ := workload.ByName("hmmer")
+	prog, rtEnd, err := workload.BuildProgram(w, rt.Options{Policy: core.PolicyWatchdog}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Default()
+	cfg.RuntimeEnd = rtEnd
+	cfg.Sampling = &machine.Sampling{FastForward: 10_000, Warmup: 1_000, Sample: 0}
+	res, err := Run(prog, cfg)
+	if err != nil || res.MemErr != nil {
+		t.Fatalf("run: %v %v", err, res.MemErr)
+	}
+	if res.SampledInsts != 0 {
+		t.Fatalf("zero-length windows measured %d instructions", res.SampledInsts)
+	}
+	if got := res.EstimatedCycles(); got != res.Timing.Cycles {
+		t.Fatalf("EstimatedCycles with no samples = %d, want the measured %d", got, res.Timing.Cycles)
+	}
+	if len(res.Output) != 1 {
+		t.Fatalf("program output lost under degenerate sampling: %v", res.Output)
+	}
+}
+
+// TestSamplingFastForwardPastProgramEnd: a fast-forward period longer
+// than the whole program means no window ever opens — the run is
+// purely functional, the checksum is still exact, and the estimate
+// falls back to the (empty) measured timing.
+func TestSamplingFastForwardPastProgramEnd(t *testing.T) {
+	w, _ := workload.ByName("hmmer")
+	prog, rtEnd, err := workload.BuildProgram(w, rt.Options{Policy: core.PolicyWatchdog}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := Default()
+	full.RuntimeEnd = rtEnd
+	fres, err := Run(prog, full)
+	if err != nil || fres.MemErr != nil {
+		t.Fatalf("full run: %v %v", err, fres.MemErr)
+	}
+
+	cfg := Default()
+	cfg.RuntimeEnd = rtEnd
+	cfg.Sampling = &machine.Sampling{FastForward: 1 << 40, Warmup: 1_000, Sample: 1_000}
+	res, err := Run(prog, cfg)
+	if err != nil || res.MemErr != nil {
+		t.Fatalf("sampled run: %v %v", err, res.MemErr)
+	}
+	if res.SampledInsts != 0 || res.SampledCycles != 0 {
+		t.Fatalf("fast-forward past program end still sampled: %d insts, %d cycles",
+			res.SampledInsts, res.SampledCycles)
+	}
+	if got := res.EstimatedCycles(); got != res.Timing.Cycles {
+		t.Fatalf("EstimatedCycles = %d, want fallback to %d", got, res.Timing.Cycles)
+	}
+	// Functional execution is exact regardless of the timing gating.
+	if len(res.Output) != len(fres.Output) || res.Output[0] != fres.Output[0] {
+		t.Fatalf("fast-forward changed program output: %v vs %v", res.Output, fres.Output)
+	}
+	if res.Insts != fres.Insts {
+		t.Fatalf("instruction count differs: %d vs %d", res.Insts, fres.Insts)
+	}
+}
+
+// TestSamplingZeroFastForward: FastForward 0 (with zero warmup) starts
+// measuring immediately and must cover essentially the whole program,
+// so the extrapolation lands on the measured cycle count.
+func TestSamplingZeroFastForward(t *testing.T) {
+	w, _ := workload.ByName("hmmer")
+	prog, rtEnd, err := workload.BuildProgram(w, rt.Options{Policy: core.PolicyWatchdog}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Default()
+	cfg.RuntimeEnd = rtEnd
+	cfg.Sampling = &machine.Sampling{FastForward: 0, Warmup: 0, Sample: 10_000}
+	res, err := Run(prog, cfg)
+	if err != nil || res.MemErr != nil {
+		t.Fatalf("run: %v %v", err, res.MemErr)
+	}
+	if res.SampledInsts == 0 {
+		t.Fatal("no instructions measured with sampling on from the start")
+	}
+	// Each period loses two instructions to the (empty) fast-forward
+	// and warmup phase transitions, so coverage is near-total, not exact.
+	if float64(res.SampledInsts) < 0.99*float64(res.Insts) {
+		t.Fatalf("measured only %d of %d instructions with zero fast-forward",
+			res.SampledInsts, res.Insts)
+	}
+	ratio := float64(res.EstimatedCycles()) / float64(res.Timing.Cycles)
+	if math.Abs(ratio-1) > 0.05 {
+		t.Fatalf("whole-program sample estimate %d vs measured %d (ratio %.3f)",
+			res.EstimatedCycles(), res.Timing.Cycles, ratio)
+	}
+}
+
 // TestSamplingStillDetectsViolations: detection is functional, so a
 // violation inside a fast-forward window is still caught.
 func TestSamplingStillDetectsViolations(t *testing.T) {

@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Timing aggregates the harness execution counters the parallel runner
+// reports: how many simulations and profiling passes actually executed,
+// how many requests were served from the cache, and how much simulator
+// wall time was spent summed across workers. Comparing the summed
+// worker time against the elapsed wall time makes the parallel speedup
+// directly observable. All counters are atomic, so workers update them
+// concurrently without coordination.
+type Timing struct {
+	sims      atomic.Uint64
+	hits      atomic.Uint64
+	profiles  atomic.Uint64
+	simNanos  atomic.Int64
+	profNanos atomic.Int64
+	wallNanos atomic.Int64
+}
+
+// AddSim records one executed simulation and its duration.
+func (t *Timing) AddSim(d time.Duration) {
+	t.sims.Add(1)
+	t.simNanos.Add(int64(d))
+}
+
+// AddProfile records one executed profiling pass and its duration.
+func (t *Timing) AddProfile(d time.Duration) {
+	t.profiles.Add(1)
+	t.profNanos.Add(int64(d))
+}
+
+// AddHit records one cache hit (a request served without simulating).
+func (t *Timing) AddHit() { t.hits.Add(1) }
+
+// SetWall records the elapsed wall-clock time of the whole harness run.
+func (t *Timing) SetWall(d time.Duration) { t.wallNanos.Store(int64(d)) }
+
+// Sims returns the number of simulations executed.
+func (t *Timing) Sims() uint64 { return t.sims.Load() }
+
+// Hits returns the number of cache hits.
+func (t *Timing) Hits() uint64 { return t.hits.Load() }
+
+// Profiles returns the number of profiling passes executed.
+func (t *Timing) Profiles() uint64 { return t.profiles.Load() }
+
+// BusyTime returns the simulator time summed across workers
+// (simulations plus profiling passes).
+func (t *Timing) BusyTime() time.Duration {
+	return time.Duration(t.simNanos.Load() + t.profNanos.Load())
+}
+
+// Wall returns the recorded wall-clock time (zero if never set).
+func (t *Timing) Wall() time.Duration { return time.Duration(t.wallNanos.Load()) }
+
+// String renders the counters, including the effective parallelism
+// (busy time / wall time) when a wall time has been recorded.
+func (t *Timing) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "harness: %d sims + %d profiles (%d cache hits), %s busy",
+		t.Sims(), t.Profiles(), t.Hits(), t.BusyTime().Round(time.Millisecond))
+	if w := t.Wall(); w > 0 {
+		fmt.Fprintf(&b, ", %s wall (%.1fx parallel)",
+			w.Round(time.Millisecond), float64(t.BusyTime())/float64(w))
+	}
+	return b.String()
+}

@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTimingCounters(t *testing.T) {
+	var tm Timing
+	tm.AddSim(2 * time.Second)
+	tm.AddSim(1 * time.Second)
+	tm.AddProfile(500 * time.Millisecond)
+	tm.AddHit()
+	tm.AddHit()
+	if tm.Sims() != 2 || tm.Profiles() != 1 || tm.Hits() != 2 {
+		t.Fatalf("counters: sims=%d profiles=%d hits=%d", tm.Sims(), tm.Profiles(), tm.Hits())
+	}
+	if got, want := tm.BusyTime(), 3500*time.Millisecond; got != want {
+		t.Fatalf("busy time %v, want %v", got, want)
+	}
+	s := tm.String()
+	for _, piece := range []string{"2 sims", "1 profiles", "2 cache hits", "3.5s busy"} {
+		if !strings.Contains(s, piece) {
+			t.Errorf("String() = %q, missing %q", s, piece)
+		}
+	}
+	// Wall time enables the observed-parallelism figure.
+	tm.SetWall(1750 * time.Millisecond)
+	if !strings.Contains(tm.String(), "2.0x parallel") {
+		t.Errorf("String() = %q, missing the parallel speedup", tm.String())
+	}
+}
+
+// TestTimingConcurrent: counters must tolerate concurrent workers
+// (this is the -race guard for the type).
+func TestTimingConcurrent(t *testing.T) {
+	var tm Timing
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tm.AddSim(time.Microsecond)
+				tm.AddHit()
+				tm.AddProfile(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if tm.Sims() != 8000 || tm.Hits() != 8000 || tm.Profiles() != 8000 {
+		t.Fatalf("lost updates: sims=%d hits=%d profiles=%d", tm.Sims(), tm.Hits(), tm.Profiles())
+	}
+	if got, want := tm.BusyTime(), 16*time.Millisecond; got != want {
+		t.Fatalf("busy time %v, want %v", got, want)
+	}
+}
