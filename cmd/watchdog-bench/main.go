@@ -7,40 +7,72 @@
 //	watchdog-bench -exp fig7           # one experiment
 //	watchdog-bench -exp fig9 -scale 2
 //	watchdog-bench -workloads mcf,perl -exp fig5
+//	watchdog-bench -json out.json      # machine-readable metrics report
+//	watchdog-bench -baseline old.json  # diff against a previous report
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
 	"time"
 
 	"watchdog/internal/experiments"
+	"watchdog/internal/report"
+	"watchdog/internal/security"
 	"watchdog/internal/stats"
 	"watchdog/internal/workload"
 )
 
-func main() {
-	var (
-		exp    = flag.String("exp", "all", "experiment: all|table1|table2|fig5|fig7|fig8|fig9|fig10|fig11|ideal|ablations|locksweep|juliet")
-		scale  = flag.Int("scale", 1, "problem-size multiplier")
-		wls    = flag.String("workloads", "", "comma-separated workload subset (default: all twenty)")
-		bars   = flag.Bool("bars", false, "render overhead figures as bar charts too")
-		csv    = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
-		jobs   = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers (1 = serial; output is identical either way)")
-		timing = flag.Bool("stats", false, "print harness timing counters to stderr when done")
-	)
-	flag.Parse()
+// knownExps is the -exp vocabulary, validated before anything runs so
+// a typo cannot silently select nothing (or be masked by -bars).
+var knownExps = []string{
+	"all", "table1", "table2", "fig5", "fig7", "fig8", "fig9", "fig10",
+	"fig11", "ideal", "ablations", "locksweep", "juliet",
+}
 
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: parses args, executes, and returns
+// the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("watchdog-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exp       = fs.String("exp", "all", "experiment: "+strings.Join(knownExps, "|"))
+		scale     = fs.Int("scale", 1, "problem-size multiplier")
+		wls       = fs.String("workloads", "", "comma-separated workload subset (default: all twenty)")
+		bars      = fs.Bool("bars", false, "render overhead figures as bar charts too")
+		csv       = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		jobs      = fs.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers (1 = serial; output is identical either way)")
+		timing    = fs.Bool("stats", false, "print harness timing counters to stderr when done")
+		jsonOut   = fs.String("json", "", "write the machine-readable metrics report (schema v1 JSON) to this path")
+		baseline  = fs.String("baseline", "", "compare this run against a previous -json report; exit non-zero on regression")
+		threshold = fs.Float64("threshold", 1.0, "regression threshold for -baseline: percentage points on figure geomeans, percent on per-cell cycles")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "watchdog-bench:", err)
+		return 1
+	}
+
+	if !knownExp(*exp) {
+		return fail(fmt.Errorf("unknown experiment %q (known: %s)", *exp, strings.Join(knownExps, ", ")))
+	}
 	names, err := workloadSubset(*wls)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	r, err := experiments.NewRunner(*scale, names...)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	r.Jobs = *jobs
 	start := time.Now()
@@ -62,10 +94,23 @@ func main() {
 		{"locksweep", func() (*stats.Table, error) { return r.LockSweep(nil) }},
 	}
 
-	ran := false
+	// ranFigures collects the overhead figures this invocation swept,
+	// for the report's geomean summaries (order-preserving, deduped).
+	var ranFigures []string
+	addFigure := func(name string) {
+		if !experiments.IsOverheadFigure(name) {
+			return
+		}
+		for _, n := range ranFigures {
+			if n == name {
+				return
+			}
+		}
+		ranFigures = append(ranFigures, name)
+	}
+
 	if *exp == "all" || *exp == "table2" {
-		fmt.Println(experiments.Table2())
-		ran = true
+		fmt.Fprintln(stdout, experiments.Table2())
 	}
 	for _, f := range figures {
 		if *exp != "all" && *exp != f.name {
@@ -73,45 +118,81 @@ func main() {
 		}
 		t, err := f.fn()
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if *csv {
-			fmt.Printf("# %s\n%s\n", f.name, t.CSV())
+			fmt.Fprintf(stdout, "# %s\n%s\n", f.name, t.CSV())
 		} else {
-			fmt.Println(t)
+			fmt.Fprintln(stdout, t)
 		}
-		ran = true
+		addFigure(f.name)
 	}
 	if *bars {
 		for _, bc := range []struct {
 			name string
+			fig  string
 			cfgs []experiments.ConfigName
 		}{
-			{"Figure 7 (bars): % slowdown", []experiments.ConfigName{experiments.CfgConservative, experiments.CfgISA}},
-			{"Figure 9 (bars): % slowdown", []experiments.ConfigName{experiments.CfgISA, experiments.CfgISANoLock}},
-			{"Figure 11 (bars): % slowdown", []experiments.ConfigName{experiments.CfgISA, experiments.CfgBounds1, experiments.CfgBounds2}},
+			{"Figure 7 (bars): % slowdown", "fig7", []experiments.ConfigName{experiments.CfgConservative, experiments.CfgISA}},
+			{"Figure 9 (bars): % slowdown", "fig9", []experiments.ConfigName{experiments.CfgISA, experiments.CfgISANoLock}},
+			{"Figure 11 (bars): % slowdown", "fig11", []experiments.ConfigName{experiments.CfgISA, experiments.CfgBounds1, experiments.CfgBounds2}},
 		} {
 			out, err := r.Bars(bc.name, bc.cfgs...)
 			if err != nil {
-				fatal(err)
+				return fail(err)
 			}
-			fmt.Println(out)
+			fmt.Fprintln(stdout, out)
+			addFigure(bc.fig)
 		}
-		ran = true
 	}
+	var julietSum *security.Summary
 	if *exp == "all" || *exp == "juliet" {
-		fmt.Println("Section 9.2: security evaluation")
-		fmt.Println(" ", experiments.JulietParallel(*jobs))
-		fmt.Println()
-		ran = true
+		s := r.Juliet()
+		fmt.Fprintln(stdout, "Section 9.2: security evaluation")
+		fmt.Fprintln(stdout, " ", s)
+		fmt.Fprintln(stdout)
+		julietSum = &s
 	}
-	if !ran {
-		fatal(fmt.Errorf("unknown experiment %q", *exp))
+
+	if *jsonOut != "" || *baseline != "" {
+		rep, err := r.Report(ranFigures, julietSum)
+		if err != nil {
+			return fail(err)
+		}
+		if *jsonOut != "" {
+			if err := report.WriteFile(*jsonOut, rep); err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(stderr, "watchdog-bench: wrote %s (%d cells, %d figures)\n",
+				*jsonOut, len(rep.Cells), len(rep.Figures))
+		}
+		if *baseline != "" {
+			base, err := report.ReadFile(*baseline)
+			if err != nil {
+				return fail(err)
+			}
+			cmp := report.Compare(base, rep, *threshold)
+			fmt.Fprint(stdout, cmp)
+			if cmp.Regressed() {
+				fmt.Fprintln(stderr, "watchdog-bench: performance regressed past threshold against", *baseline)
+				return 1
+			}
+		}
 	}
 	if *timing {
 		r.Timing.SetWall(time.Since(start))
-		fmt.Fprintf(os.Stderr, "watchdog-bench: %s (-j %d)\n", r.Timing.String(), *jobs)
+		fmt.Fprintf(stderr, "watchdog-bench: %s (-j %d)\n", r.Timing.String(), *jobs)
 	}
+	return 0
+}
+
+func knownExp(name string) bool {
+	for _, k := range knownExps {
+		if k == name {
+			return true
+		}
+	}
+	return false
 }
 
 // workloadSubset parses the -workloads flag and validates every name
@@ -142,9 +223,4 @@ func workloadSubset(list string) ([]string, error) {
 			list, strings.Join(workload.Names(), ", "))
 	}
 	return names, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "watchdog-bench:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"watchdog/internal/report"
+)
+
+// TestUnknownExpRejected: a bad -exp must exit non-zero and name the
+// experiment — with and without -bars, which used to mask the error
+// by setting ran=true unconditionally.
+func TestUnknownExpRejected(t *testing.T) {
+	for _, args := range [][]string{
+		{"-exp", "bogus"},
+		{"-exp", "bogus", "-bars"},
+		{"-exp", "fig99", "-bars", "-workloads", "mcf"},
+	} {
+		var stdout, stderr bytes.Buffer
+		code := run(args, &stdout, &stderr)
+		if code == 0 {
+			t.Errorf("run(%v) = 0, want non-zero", args)
+		}
+		if !strings.Contains(stderr.String(), "unknown experiment") ||
+			!strings.Contains(stderr.String(), args[1]) {
+			t.Errorf("run(%v) stderr %q must name the bad experiment", args, stderr.String())
+		}
+		if strings.Contains(stdout.String(), "bars") || stdout.Len() > 0 {
+			t.Errorf("run(%v) printed output before failing: %q", args, stdout.String())
+		}
+	}
+}
+
+func TestUnknownWorkloadsRejected(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-workloads", "mcf,nope"}, &stdout, &stderr); code == 0 {
+		t.Fatal("unknown workload must exit non-zero")
+	}
+	if !strings.Contains(stderr.String(), `"nope"`) {
+		t.Fatalf("stderr %q must name the unknown workload", stderr.String())
+	}
+}
+
+// TestJSONReportContract: -json writes a schema-versioned document
+// whose cells cover every (workload, config) pair of the experiment,
+// with breakdown fields that sum to total cycles, and the document
+// round-trips through ReadFile unchanged.
+func TestJSONReportContract(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	var stderr bytes.Buffer
+	code := run([]string{"-exp", "fig7", "-workloads", "mcf,perl", "-json", path}, io.Discard, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	rep, err := report.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != report.Schema || rep.Version != report.Version {
+		t.Fatalf("unversioned document: schema=%q version=%d", rep.Schema, rep.Version)
+	}
+	// fig7 simulates baseline, conservative and isa for each workload.
+	want := map[string]bool{}
+	for _, w := range []string{"mcf", "perl"} {
+		for _, c := range []string{"baseline", "conservative", "isa"} {
+			want[w+"/"+c] = true
+		}
+	}
+	for _, c := range rep.Cells {
+		delete(want, c.Workload+"/"+c.Config)
+		if sum := c.BaseCycles + c.CheckCycles + c.LockMissCycles + c.MetaCycles; sum != c.Cycles {
+			t.Errorf("%s/%s: breakdown sum %d != cycles %d", c.Workload, c.Config, sum, c.Cycles)
+		}
+	}
+	if len(want) != 0 {
+		t.Fatalf("cells missing from report: %v", want)
+	}
+	if len(rep.Figures) != 1 || rep.Figures[0].Name != "fig7" || len(rep.Figures[0].Geomeans) != 2 {
+		t.Fatalf("figure summaries wrong: %+v", rep.Figures)
+	}
+}
+
+// TestBaselineCompareExitCodes: comparing an unchanged tree against
+// its own report exits 0 with zero deltas; a seeded regression in the
+// baseline makes the same run exit non-zero.
+func TestBaselineCompareExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.json")
+	args := []string{"-exp", "fig7", "-workloads", "mcf", "-json", path}
+	if code := run(args, io.Discard, io.Discard); code != 0 {
+		t.Fatalf("report generation failed: %d", code)
+	}
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-exp", "fig7", "-workloads", "mcf", "-baseline", path}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("unchanged tree vs own report: exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "0 changed, 0 regressed") ||
+		!strings.Contains(stdout.String(), "RESULT: ok") {
+		t.Fatalf("expected zero-delta comparison, got:\n%s", stdout.String())
+	}
+
+	// Seed a regression: pretend the baseline was faster and its
+	// geomeans lower, so the identical re-run reads as a slowdown.
+	rep, err := report.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Cells {
+		rep.Cells[i].Cycles = rep.Cells[i].Cycles * 8 / 10
+	}
+	for i := range rep.Figures {
+		for j := range rep.Figures[i].Geomeans {
+			rep.Figures[i].Geomeans[j].OverheadPct -= 20
+		}
+	}
+	seeded := filepath.Join(dir, "seeded.json")
+	if err := report.WriteFile(seeded, rep); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	code = run([]string{"-exp", "fig7", "-workloads", "mcf", "-baseline", seeded}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatalf("seeded regression must exit non-zero; output:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "RESULT: REGRESSED") {
+		t.Fatalf("expected REGRESSED verdict, got:\n%s", stdout.String())
+	}
+
+	// A generous threshold waves the same delta through.
+	code = run([]string{"-exp", "fig7", "-workloads", "mcf", "-baseline", seeded, "-threshold", "50"},
+		io.Discard, io.Discard)
+	if code != 0 {
+		t.Fatal("threshold 50 must accept a ~25% delta")
+	}
+}
+
+// TestBaselineMissingFile: an unreadable baseline is an error, not a
+// silent pass.
+func TestBaselineMissingFile(t *testing.T) {
+	var stderr bytes.Buffer
+	code := run([]string{"-exp", "fig7", "-workloads", "mcf", "-baseline",
+		filepath.Join(t.TempDir(), "nope.json")}, io.Discard, &stderr)
+	if code == 0 {
+		t.Fatal("missing baseline file must exit non-zero")
+	}
+}
+
+// TestJulietStats: -exp juliet -stats must report one sim per case,
+// not "0 sims" (the Timing plumbing bug).
+func TestJulietStats(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-exp", "juliet", "-stats", "-workloads", "mcf"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "582 sims") {
+		t.Fatalf("stderr %q must report 582 sims", stderr.String())
+	}
+	if strings.Contains(stderr.String(), "0.0x parallel") {
+		t.Fatalf("stderr %q reports a bogus parallelism ratio", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "291/291") {
+		t.Fatalf("stdout %q must report the detection matrix", stdout.String())
+	}
+}

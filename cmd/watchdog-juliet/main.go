@@ -16,6 +16,7 @@ import (
 	"runtime"
 
 	"watchdog/internal/core"
+	"watchdog/internal/report"
 	"watchdog/internal/rt"
 	"watchdog/internal/security"
 )
@@ -25,6 +26,7 @@ func main() {
 		policy  = flag.String("policy", "watchdog", "checking policy: watchdog|location|software|conservative")
 		verbose = flag.Bool("v", false, "print each case outcome")
 		jobs    = flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers over the 582 cases (1 = serial; output is identical either way)")
+		jsonOut = flag.String("json", "", "write the summary as machine-readable JSON (schema v1) to this path")
 	)
 	flag.Parse()
 
@@ -65,6 +67,12 @@ func main() {
 	}
 	s := security.Summarize(cases, outs)
 	fmt.Println(s)
+	if *jsonOut != "" {
+		if err := report.WriteJulietFile(*jsonOut, s.ReportRecord(*policy)); err != nil {
+			fmt.Fprintln(os.Stderr, "watchdog-juliet:", err)
+			os.Exit(1)
+		}
+	}
 	if len(s.Failures) > 0 && *policy == "watchdog" {
 		os.Exit(1)
 	}

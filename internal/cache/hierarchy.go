@@ -76,6 +76,48 @@ func NewHierarchy(cfg HierConfig) *Hierarchy {
 // LockCacheEnabled reports whether the dedicated lock cache exists.
 func (h *Hierarchy) LockCacheEnabled() bool { return h.Lock != nil }
 
+// Stats is one cache level's counter snapshot.
+type Stats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// MissRate returns misses/accesses (0 when never accessed).
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Stats snapshots the level's counters.
+func (c *Cache) Stats() Stats { return Stats{Accesses: c.Accesses, Misses: c.Misses} }
+
+// HierStats snapshots the counters of every level of the hierarchy —
+// the cache side of the per-simulation metrics record.
+type HierStats struct {
+	L1I, L1D, L2, L3 Stats
+	// Lock is the dedicated lock location cache; zero-valued (and
+	// LockEnabled false) in configurations without it.
+	Lock        Stats
+	LockEnabled bool
+}
+
+// Stats snapshots every level's counters.
+func (h *Hierarchy) Stats() HierStats {
+	s := HierStats{
+		L1I: h.L1I.Stats(),
+		L1D: h.L1D.Stats(),
+		L2:  h.L2.Stats(),
+		L3:  h.L3.Stats(),
+	}
+	if h.Lock != nil {
+		s.Lock = h.Lock.Stats()
+		s.LockEnabled = true
+	}
+	return s
+}
+
 // Data performs a data-side access (loads, stores, shadow-space
 // metadata accesses) and returns its latency.
 func (h *Hierarchy) Data(addr uint64, write bool) int {

@@ -13,6 +13,10 @@ type Stats struct {
 	// PtrOps counts memory accesses classified as pointer loads or
 	// stores (and thus carrying metadata µops).
 	PtrOps uint64
+	// PtrLoads and PtrStores split PtrOps by direction (the per-kind
+	// injected-µop accounting of the metrics record).
+	PtrLoads  uint64
+	PtrStores uint64
 	// Checks counts injected check µops.
 	Checks uint64
 	// Violations counts raised exceptions (the run stops at the first).
@@ -302,6 +306,7 @@ func (e *Engine) evalCheck(pc int, meta Meta, addr uint64, width uint8, isWrite 
 // classified load into dst and returns the injected shadow_load µop.
 func (e *Engine) PtrLoad(pc int, dst isa.Reg, addr uint64) []isa.Uop {
 	e.stats.PtrOps++
+	e.stats.PtrLoads++
 	if e.cfg.Policy == PolicySoftware {
 		return e.softwarePtrLoad(pc, dst, addr)
 	}
@@ -325,6 +330,7 @@ func (e *Engine) PtrLoad(pc int, dst isa.Reg, addr uint64) []isa.Uop {
 // pointer-classified store of src and returns the shadow_store µop.
 func (e *Engine) PtrStore(pc int, src isa.Reg, addr uint64) []isa.Uop {
 	e.stats.PtrOps++
+	e.stats.PtrStores++
 	if e.cfg.Policy == PolicySoftware {
 		return e.softwarePtrStore(pc, src, addr)
 	}

@@ -295,5 +295,11 @@ func (r *Runner) Sweep(name ConfigName) (stats.Series, float64, error) {
 		s.Add(w.Name, (ratio-1)*100)
 		ratios = append(ratios, ratio)
 	}
-	return s, stats.GeomeanOverhead(ratios), nil
+	// A non-positive ratio means a simulation produced a nonsensical
+	// cycle count; fail loudly instead of rendering NaN cells.
+	geo, err := stats.GeomeanOverheadErr(ratios)
+	if err != nil {
+		return s, 0, fmt.Errorf("sweep %s: %w", name, err)
+	}
+	return s, geo, nil
 }

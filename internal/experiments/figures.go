@@ -177,7 +177,8 @@ func (r *Runner) Table1() (*stats.Table, error) {
 			return nil, err
 		}
 		cc := core.Config{Policy: row.policy, PtrPolicy: row.ptr, LockCache: true, CopyElim: true}
-		sum := security.RunSuiteParallel(cases, cc, rtOptions(row.cfg), r.jobs())
+		sum := security.Summarize(cases,
+			security.RunCasesTimed(cases, cc, rtOptions(row.cfg), r.jobs(), &r.Timing))
 		t.Row(row.name, row.class, row.meta, row.casts, row.compr,
 			fmt.Sprintf("%.2fx", 1+ov/100),
 			fmt.Sprintf("%d/%d", sum.BadDetected, sum.BadTotal))

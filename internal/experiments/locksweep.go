@@ -66,7 +66,7 @@ func (r *Runner) LockSweep(sizes []int) (*stats.Table, error) {
 			perSize[si] = append(perSize[si], ov)
 			cells = append(cells, ov)
 			if sz == 4<<10 {
-				missPer1k = 1000 * float64(res.Timing.LockCacheMisses) / float64(res.Insts)
+				missPer1k = 1000 * float64(res.Timing.Cache.Lock.Misses) / float64(res.Insts)
 			}
 		}
 		missRates = append(missRates, missPer1k)

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"watchdog/internal/core"
+	"watchdog/internal/isa"
+	"watchdog/internal/machine"
+	"watchdog/internal/report"
+	"watchdog/internal/rt"
+	"watchdog/internal/security"
+)
+
+// overheadFigures maps the overhead-figure experiments to the
+// configurations they sweep — the geomean summaries of the report and
+// the per-figure series of the baseline comparison.
+var overheadFigures = []struct {
+	name string
+	cfgs []ConfigName
+}{
+	{"fig7", []ConfigName{CfgConservative, CfgISA}},
+	{"fig9", []ConfigName{CfgISA, CfgISANoLock}},
+	{"fig11", []ConfigName{CfgISA, CfgBounds1, CfgBounds2}},
+	{"ideal", []ConfigName{CfgISA, CfgISAIdeal}},
+	{"ablations", []ConfigName{CfgConservative, CfgNoCopyElim, CfgISA, CfgMonolithic}},
+}
+
+// IsOverheadFigure reports whether the experiment name has a geomean
+// summary in the report.
+func IsOverheadFigure(name string) bool {
+	for _, f := range overheadFigures {
+		if f.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Juliet runs the Section 9.2 security suite over the runner's worker
+// pool, recording every case into r.Timing (so -stats reports real
+// sim counts for the Juliet path, not "0 sims").
+func (r *Runner) Juliet() security.Summary {
+	cases := security.Suite()
+	outs := security.RunCasesTimed(cases, core.DefaultConfig(),
+		rt.Options{Policy: core.PolicyWatchdog}, r.jobs(), &r.Timing)
+	return security.Summarize(cases, outs)
+}
+
+// Report assembles the machine-readable metrics report: one Cell per
+// (workload, configuration) pair simulated so far, the geomean
+// summaries for the named overhead figures, and the security summary
+// when one is supplied. Figure names must come from the overhead set
+// (fig7, fig9, fig11, ideal, ablations); their sweeps read the warmed
+// result cache, so calling Report after the figures ran adds no
+// simulations.
+func (r *Runner) Report(figures []string, juliet *security.Summary) (*report.Report, error) {
+	rep := &report.Report{Scale: r.Scale}
+	for _, w := range r.Workloads {
+		rep.Workloads = append(rep.Workloads, w.Name)
+	}
+
+	// Geomean summaries, in the fixed figure order (input order and
+	// duplicates do not affect the document).
+	want := make(map[string]bool, len(figures))
+	for _, name := range figures {
+		if !IsOverheadFigure(name) {
+			return nil, fmt.Errorf("report: %q is not an overhead figure", name)
+		}
+		want[name] = true
+	}
+	for _, f := range overheadFigures {
+		if !want[f.name] {
+			continue
+		}
+		fig := report.Figure{Name: f.name}
+		for _, cfg := range f.cfgs {
+			_, geo, err := r.Sweep(cfg)
+			if err != nil {
+				return nil, err
+			}
+			fig.Geomeans = append(fig.Geomeans, report.Geomean{
+				Config: string(cfg), OverheadPct: geo,
+			})
+		}
+		rep.Figures = append(rep.Figures, fig)
+	}
+
+	// Snapshot the result cache; every entry's once has completed by
+	// the time a caller assembles the report (the parallel fan-outs
+	// join before returning).
+	r.mu.Lock()
+	cells := make(map[string]*machine.Result, len(r.results))
+	for key, e := range r.results {
+		if e.err == nil && e.res != nil {
+			cells[key] = e.res
+		}
+	}
+	r.mu.Unlock()
+
+	keys := make([]string, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		wname, cname, ok := strings.Cut(key, "/")
+		if !ok {
+			continue
+		}
+		var base *machine.Result
+		if b, ok := cells[wname+"/"+string(CfgBaseline)]; ok && cname != string(CfgBaseline) {
+			base = b
+		}
+		rep.Cells = append(rep.Cells, buildCell(wname, cname, cells[key], base))
+	}
+
+	if juliet != nil {
+		j := juliet.ReportRecord(core.PolicyWatchdog.String())
+		rep.Juliet = &j
+	}
+	return rep, nil
+}
+
+// buildCell flattens one simulation result into the report schema.
+func buildCell(wname, cname string, res, base *machine.Result) report.Cell {
+	t := &res.Timing
+	c := report.Cell{
+		Workload: wname,
+		Config:   cname,
+
+		Cycles:         t.Cycles,
+		BaseCycles:     t.BaseCycles,
+		CheckCycles:    t.CheckCycles,
+		LockMissCycles: t.LockMissCycles,
+		MetaCycles:     t.MetaCycles,
+
+		Insts:        res.Insts,
+		Uops:         t.Uops,
+		InjectedUops: t.InjectedUops(),
+		IPC:          t.IPC(),
+
+		MemAccesses: res.Engine.MemAccesses,
+		PtrLoads:    res.Engine.PtrLoads,
+		PtrStores:   res.Engine.PtrStores,
+		Checks:      res.Engine.Checks,
+
+		LockCacheAccesses: t.Cache.Lock.Accesses,
+		LockCacheMisses:   t.Cache.Lock.Misses,
+		L1DAccesses:       t.Cache.L1D.Accesses,
+		L1DMisses:         t.Cache.L1D.Misses,
+		L2Misses:          t.Cache.L2.Misses,
+		L3Misses:          t.Cache.L3.Misses,
+	}
+	for m := isa.MetaClass(0); m < isa.NumMetaClasses; m++ {
+		if n := t.UopsByMeta[m]; n > 0 {
+			if c.UopsByMeta == nil {
+				c.UopsByMeta = make(map[string]uint64)
+			}
+			c.UopsByMeta[m.String()] = n
+		}
+	}
+	for op := isa.UopOp(0); op < isa.NumUopOps; op++ {
+		if n := t.UopsByOp[op]; n > 0 {
+			if c.UopsByOp == nil {
+				c.UopsByOp = make(map[string]uint64)
+			}
+			c.UopsByOp[op.String()] = n
+		}
+	}
+	if base != nil && base.Timing.Cycles > 0 {
+		c.Overhead = float64(t.Cycles) / float64(base.Timing.Cycles)
+	}
+	return c
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"watchdog/internal/report"
+)
+
+// TestReportCells: every simulated cell appears in the report, the
+// cycle-breakdown buckets sum to the total cycle count, and overhead
+// ratios line up with the Sweep values.
+func TestReportCells(t *testing.T) {
+	r := runner(t)
+	if err := r.RunAll(CfgBaseline, CfgConservative, CfgISA); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Report([]string{"fig7"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(testSet) * 3; len(rep.Cells) != want {
+		t.Fatalf("%d cells, want %d", len(rep.Cells), want)
+	}
+	if len(rep.Workloads) != len(testSet) {
+		t.Fatalf("workloads %v", rep.Workloads)
+	}
+	base := make(map[string]int64)
+	for _, c := range rep.Cells {
+		if c.Cycles <= 0 {
+			t.Fatalf("%s/%s: non-positive cycles %d", c.Workload, c.Config, c.Cycles)
+		}
+		if sum := c.BaseCycles + c.CheckCycles + c.LockMissCycles + c.MetaCycles; sum != c.Cycles {
+			t.Errorf("%s/%s: breakdown sums to %d, want %d", c.Workload, c.Config, sum, c.Cycles)
+		}
+		if c.Config == string(CfgBaseline) {
+			base[c.Workload] = c.Cycles
+			if c.Overhead != 0 {
+				t.Errorf("%s baseline cell has overhead %v", c.Workload, c.Overhead)
+			}
+		}
+		if c.Uops == 0 || c.Insts == 0 {
+			t.Errorf("%s/%s: zero instruction counts", c.Workload, c.Config)
+		}
+	}
+	for _, c := range rep.Cells {
+		if c.Config == string(CfgBaseline) {
+			continue
+		}
+		want := float64(c.Cycles) / float64(base[c.Workload])
+		if math.Abs(c.Overhead-want) > 1e-12 {
+			t.Errorf("%s/%s: overhead %v, want %v", c.Workload, c.Config, c.Overhead, want)
+		}
+		if c.Checks == 0 || c.InjectedUops == 0 {
+			t.Errorf("%s/%s: instrumented run with no injected work", c.Workload, c.Config)
+		}
+	}
+
+	// Figure geomeans must match a direct Sweep.
+	if len(rep.Figures) != 1 || rep.Figures[0].Name != "fig7" {
+		t.Fatalf("figures: %+v", rep.Figures)
+	}
+	for _, g := range rep.Figures[0].Geomeans {
+		_, geo, err := r.Sweep(ConfigName(g.Config))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.OverheadPct != geo {
+			t.Errorf("%s geomean %v, want %v", g.Config, g.OverheadPct, geo)
+		}
+	}
+}
+
+// TestReportDeterministic: two reports over the same runner state are
+// identical (the byte-stability contract behind baseline comparison).
+func TestReportDeterministic(t *testing.T) {
+	r := runner(t)
+	if err := r.RunAll(CfgBaseline, CfgISA); err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.Report(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Report(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca := report.Compare(a, b, 0)
+	if ca.Regressed() || len(ca.Notes) != 0 {
+		t.Fatalf("self-comparison not clean: %s", ca)
+	}
+}
+
+// TestReportRejectsNonOverheadFigure: only the overhead figures have
+// geomean summaries.
+func TestReportRejectsNonOverheadFigure(t *testing.T) {
+	r := runner(t)
+	if _, err := r.Report([]string{"fig8"}, nil); err == nil {
+		t.Fatal("fig8 has no geomean summary; Report must reject it")
+	}
+}
+
+// TestJulietRecordsTiming: the Juliet path must feed the harness
+// -stats counters (the "0 sims ... 0.0x parallel" bug).
+func TestJulietRecordsTiming(t *testing.T) {
+	r := runner(t)
+	r.Jobs = 4
+	sum := r.Juliet()
+	if sum.BadDetected != sum.BadTotal || sum.BadTotal == 0 {
+		t.Fatalf("juliet summary wrong: %s", sum.String())
+	}
+	if got := r.Timing.Sims(); got != uint64(sum.BadTotal+sum.GoodTotal) {
+		t.Fatalf("Timing.Sims() = %d, want one per case (%d)", got, sum.BadTotal+sum.GoodTotal)
+	}
+	if r.Timing.BusyTime() <= 0 {
+		t.Fatal("juliet cases recorded no busy time")
+	}
+}

@@ -42,10 +42,12 @@ const (
 	UopSys
 	UopHalt
 
-	numUopOps
+	// NumUopOps is the number of µop opcodes (array-sized accounting,
+	// e.g. the per-kind µop counts in pipeline.Stats).
+	NumUopOps
 )
 
-var uopNames = [numUopOps]string{
+var uopNames = [NumUopOps]string{
 	"nop", "alu", "mul", "div", "falu", "fmul", "fdiv",
 	"load", "store", "fload", "fstore", "branch", "jump",
 	"check", "boundcheck", "checkfull", "shadowload", "shadowstore",

@@ -13,19 +13,28 @@ type Stats struct {
 	Uops       uint64
 	// UopsByMeta buckets µops for the Figure 8 breakdown.
 	UopsByMeta [isa.NumMetaClasses]uint64
+	// UopsByOp counts every retired µop by opcode; the injected
+	// opcodes (check, checkfull, boundcheck, shadowload, shadowstore,
+	// selectid, ...) give the per-kind injection counts.
+	UopsByOp [isa.NumUopOps]uint64
+
+	// CPI-stack cycle breakdown: every cycle of forward progress at
+	// retirement is attributed to the µop whose retirement advanced
+	// the clock, bucketed by what kind of work that µop is. The four
+	// buckets sum exactly to Cycles.
+	BaseCycles     int64 // program µops (the baseline CPI stack)
+	CheckCycles    int64 // injected check µops whose lock access hit (or needed none)
+	LockMissCycles int64 // injected check µops whose lock-location access missed
+	MetaCycles     int64 // injected metadata movement / propagation µops
+
 	// ShadowAccesses counts metadata-space memory µops.
 	ShadowAccesses uint64
 	LockReads      uint64
 	Mispredicts    uint64
 
-	// Cache statistics, pulled from the hierarchy at the end of the
-	// run.
-	LockCacheAccesses uint64
-	LockCacheMisses   uint64
-	L1DAccesses       uint64
-	L1DMisses         uint64
-	L2Misses          uint64
-	L3Misses          uint64
+	// Cache is the per-level access/miss snapshot, pulled from the
+	// hierarchy at the end of the run.
+	Cache cache.HierStats
 }
 
 // IPC returns retired µops per cycle.
@@ -34,6 +43,19 @@ func (s *Stats) IPC() float64 {
 		return 0
 	}
 	return float64(s.Uops) / float64(s.Cycles)
+}
+
+// InjectedUops returns the count of Watchdog-injected µops (everything
+// outside the MetaNone bucket).
+func (s *Stats) InjectedUops() uint64 {
+	return s.Uops - s.UopsByMeta[isa.MetaNone]
+}
+
+// CheckedCycleSum returns the sum of the cycle-breakdown buckets; it
+// equals Cycles by construction (asserted by tests and exported so
+// report consumers can re-verify).
+func (s *Stats) CheckedCycleSum() int64 {
+	return s.BaseCycles + s.CheckCycles + s.LockMissCycles + s.MetaCycles
 }
 
 // pendingStore records an in-flight store for store-to-load forwarding.
@@ -113,14 +135,7 @@ func New(cfg Config, hier *cache.Hierarchy, bp *bpred.Predictor) *Model {
 func (m *Model) Stats() Stats {
 	s := m.stats
 	s.Cycles = m.lastRetire
-	s.L1DAccesses = m.hier.L1D.Accesses
-	s.L1DMisses = m.hier.L1D.Misses
-	s.L2Misses = m.hier.L2.Misses
-	s.L3Misses = m.hier.L3.Misses
-	if m.hier.Lock != nil {
-		s.LockCacheAccesses = m.hier.Lock.Accesses
-		s.LockCacheMisses = m.hier.Lock.Misses
-	}
+	s.Cache = m.hier.Stats()
 	return s
 }
 
@@ -159,6 +174,12 @@ func (m *Model) redirectFetch(at int64) {
 func (m *Model) OnUop(u *isa.Uop) {
 	m.stats.Uops++
 	m.stats.UopsByMeta[u.Meta]++
+	m.stats.UopsByOp[u.Op]++
+	if u.Shadow && u.IsMem {
+		m.stats.ShadowAccesses++
+	}
+	prevRetire := m.lastRetire
+	lockMissed := false
 
 	// --- dispatch (front end + window allocation) ---
 	dispMin := m.fetchTime + int64(m.cfg.FrontEndDepth)
@@ -241,7 +262,9 @@ func (m *Model) OnUop(u *isa.Uop) {
 		if m.IdealShadow && !m.hier.LockCacheEnabled() {
 			lat = 3
 		} else {
+			missBefore := m.lockMisses()
 			lat = int64(m.hier.LockRead(u.Addr))
+			lockMissed = m.lockMisses() > missBefore
 		}
 		complete = issueAt + lat + 1
 	case isa.UopStore, isa.UopFStore, isa.UopShadowStore:
@@ -260,6 +283,21 @@ func (m *Model) OnUop(u *isa.Uop) {
 		ret = m.lastRetire
 	}
 	m.lastRetire = ret
+
+	// CPI-stack attribution: retirement is in order and monotonic, so
+	// the per-µop retire deltas partition the cycle count exactly.
+	if delta := m.lastRetire - prevRetire; delta > 0 {
+		switch {
+		case u.Meta == isa.MetaNone:
+			m.stats.BaseCycles += delta
+		case u.Meta == isa.MetaCheck && lockMissed:
+			m.stats.LockMissCycles += delta
+		case u.Meta == isa.MetaCheck:
+			m.stats.CheckCycles += delta
+		default:
+			m.stats.MetaCycles += delta
+		}
+	}
 
 	// --- bookkeeping ---
 	if u.Dst != isa.NoReg && int(u.Dst) < isa.NumTimingRegs && !u.IsWr {
@@ -315,6 +353,17 @@ func (m *Model) OnUop(u *isa.Uop) {
 			m.fetchGroup = m.cfg.FetchWidthMacro
 		}
 	}
+}
+
+// lockMisses returns the miss counter a check µop's lock-location
+// read lands on: the dedicated lock cache when enabled, else the L1D
+// (the Figure 9 configuration routes lock reads through the data
+// path). Sampling it around a LockRead detects a first-level miss.
+func (m *Model) lockMisses() uint64 {
+	if m.hier.Lock != nil {
+		return m.hier.Lock.Misses
+	}
+	return m.hier.L1D.Misses
 }
 
 // loadLatency computes a load µop's latency, checking store-to-load

@@ -276,6 +276,71 @@ func TestMonolithicSerializesShadowLoad(t *testing.T) {
 	}
 }
 
+// TestCycleBreakdownSums: the CPI-stack buckets partition the cycle
+// count exactly, and check work lands in the check (or lock-miss)
+// buckets rather than the base bucket.
+func TestCycleBreakdownSums(t *testing.T) {
+	m := newModel()
+	for i := 0; i < 400; i++ {
+		m.OnInst(mem.CodeAddr(i % 64))
+		ld := isa.NewUop(isa.UopLoad, isa.ExecLoad)
+		ld.Dst, ld.Src1 = isa.R1, isa.R1
+		ld.IsMem, ld.Width = true, 8
+		ld.Addr = mem.HeapBase + uint64(i*8)
+		m.OnUop(&ld)
+		chk := isa.NewUop(isa.UopCheck, isa.ExecLock)
+		chk.Addr = mem.LockBase + uint64(i%512)*64 // wander to force some lock misses
+		chk.Lock = true
+		chk.Meta = isa.MetaCheck
+		m.OnUop(&chk)
+		sh := isa.NewUop(isa.UopShadowLoad, isa.ExecLoad)
+		sh.MDst = isa.MetaReg(isa.R1)
+		sh.IsMem, sh.Width, sh.Shadow = true, 16, true
+		sh.Addr = mem.ShadowAddr(ld.Addr, 16)
+		sh.Meta = isa.MetaPtrLoad
+		m.OnUop(&sh)
+	}
+	s := m.Stats()
+	if s.Cycles == 0 {
+		t.Fatal("no cycles recorded")
+	}
+	if got := s.CheckedCycleSum(); got != s.Cycles {
+		t.Fatalf("breakdown sums to %d, want Cycles = %d (base %d, check %d, lockmiss %d, meta %d)",
+			got, s.Cycles, s.BaseCycles, s.CheckCycles, s.LockMissCycles, s.MetaCycles)
+	}
+	if s.BaseCycles == 0 {
+		t.Error("program µops must account some base cycles")
+	}
+	if s.CheckCycles+s.LockMissCycles == 0 {
+		t.Error("check µops must account some cycles")
+	}
+	if s.LockMissCycles == 0 {
+		t.Error("wandering lock addresses must produce lock-miss cycles")
+	}
+	if s.UopsByOp[isa.UopCheck] != 400 || s.UopsByOp[isa.UopShadowLoad] != 400 ||
+		s.UopsByOp[isa.UopLoad] != 400 {
+		t.Errorf("per-op counts wrong: check=%d shadowload=%d load=%d",
+			s.UopsByOp[isa.UopCheck], s.UopsByOp[isa.UopShadowLoad], s.UopsByOp[isa.UopLoad])
+	}
+	if s.ShadowAccesses != 400 {
+		t.Errorf("ShadowAccesses = %d, want 400", s.ShadowAccesses)
+	}
+	if !s.Cache.LockEnabled || s.Cache.Lock.Accesses == 0 {
+		t.Errorf("lock cache snapshot missing: %+v", s.Cache)
+	}
+}
+
+// TestCycleBreakdownBaselineOnly: with only program µops the whole
+// cycle count is base cycles.
+func TestCycleBreakdownBaselineOnly(t *testing.T) {
+	m := newModel()
+	feedALU(m, 500, true)
+	s := m.Stats()
+	if s.BaseCycles != s.Cycles || s.CheckCycles != 0 || s.LockMissCycles != 0 || s.MetaCycles != 0 {
+		t.Fatalf("baseline breakdown wrong: %+v", s)
+	}
+}
+
 func TestStatsBuckets(t *testing.T) {
 	m := newModel()
 	m.OnInst(mem.CodeAddr(0))

@@ -1,0 +1,166 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Comparison is the result of diffing a current report against a
+// baseline: per-figure geomean deltas (percentage points) and
+// per-cell cycle deltas (percent), with each entry flagged when it
+// exceeds the regression threshold.
+type Comparison struct {
+	// ThresholdPct is the regression threshold: percentage points on
+	// figure geomean overheads, percent on per-cell cycle counts.
+	ThresholdPct float64
+	Figures      []FigureDelta
+	Cells        []CellDelta
+	// Notes records structural mismatches (cells or figures present
+	// on only one side, scale differences). Notes never fail the
+	// comparison by themselves.
+	Notes []string
+}
+
+// FigureDelta is one (figure, configuration) geomean comparison.
+type FigureDelta struct {
+	Figure, Config string
+	Old, New       float64 // geomean overhead, percent
+	Delta          float64 // percentage points, New - Old
+	Regressed      bool
+}
+
+// CellDelta is one (workload, configuration) cycle-count comparison.
+type CellDelta struct {
+	Workload, Config     string
+	OldCycles, NewCycles int64
+	DeltaPct             float64 // percent, (New-Old)/Old
+	Regressed            bool
+}
+
+// Compare diffs current against baseline. Only entries present on
+// both sides are compared; one-sided entries become Notes.
+func Compare(baseline, current *Report, thresholdPct float64) *Comparison {
+	c := &Comparison{ThresholdPct: thresholdPct}
+	if baseline.Scale != current.Scale {
+		c.Notes = append(c.Notes, fmt.Sprintf(
+			"scale mismatch: baseline %d vs current %d (cycle deltas are not comparable)",
+			baseline.Scale, current.Scale))
+	}
+
+	type figKey struct{ fig, cfg string }
+	baseFigs := make(map[figKey]float64)
+	for _, f := range baseline.Figures {
+		for _, g := range f.Geomeans {
+			baseFigs[figKey{f.Name, g.Config}] = g.OverheadPct
+		}
+	}
+	seenFigs := make(map[figKey]bool)
+	for _, f := range current.Figures {
+		for _, g := range f.Geomeans {
+			k := figKey{f.Name, g.Config}
+			seenFigs[k] = true
+			old, ok := baseFigs[k]
+			if !ok {
+				c.Notes = append(c.Notes, fmt.Sprintf("figure %s/%s: not in baseline", f.Name, g.Config))
+				continue
+			}
+			d := g.OverheadPct - old
+			c.Figures = append(c.Figures, FigureDelta{
+				Figure: f.Name, Config: g.Config,
+				Old: old, New: g.OverheadPct, Delta: d,
+				Regressed: d > thresholdPct,
+			})
+		}
+	}
+	for _, f := range baseline.Figures {
+		for _, g := range f.Geomeans {
+			if !seenFigs[figKey{f.Name, g.Config}] {
+				c.Notes = append(c.Notes, fmt.Sprintf("figure %s/%s: in baseline but not in this run", f.Name, g.Config))
+			}
+		}
+	}
+
+	type cellKey struct{ w, cfg string }
+	baseCells := make(map[cellKey]Cell, len(baseline.Cells))
+	for _, cell := range baseline.Cells {
+		baseCells[cellKey{cell.Workload, cell.Config}] = cell
+	}
+	seenCells := make(map[cellKey]bool)
+	for _, cell := range current.Cells {
+		k := cellKey{cell.Workload, cell.Config}
+		seenCells[k] = true
+		old, ok := baseCells[k]
+		if !ok {
+			c.Notes = append(c.Notes, fmt.Sprintf("cell %s/%s: not in baseline", cell.Workload, cell.Config))
+			continue
+		}
+		var pct float64
+		if old.Cycles != 0 {
+			pct = 100 * float64(cell.Cycles-old.Cycles) / float64(old.Cycles)
+		}
+		c.Cells = append(c.Cells, CellDelta{
+			Workload: cell.Workload, Config: cell.Config,
+			OldCycles: old.Cycles, NewCycles: cell.Cycles,
+			DeltaPct:  pct,
+			Regressed: pct > thresholdPct,
+		})
+	}
+	for _, cell := range baseline.Cells {
+		if !seenCells[cellKey{cell.Workload, cell.Config}] {
+			c.Notes = append(c.Notes, fmt.Sprintf("cell %s/%s: in baseline but not in this run", cell.Workload, cell.Config))
+		}
+	}
+	return c
+}
+
+// Regressed reports whether any compared entry exceeded the threshold.
+func (c *Comparison) Regressed() bool {
+	for _, f := range c.Figures {
+		if f.Regressed {
+			return true
+		}
+	}
+	for _, cell := range c.Cells {
+		if cell.Regressed {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the comparison: every figure delta, the changed or
+// regressed cells, and a one-line cell summary.
+func (c *Comparison) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "baseline comparison (threshold %.2f):\n", c.ThresholdPct)
+	for _, f := range c.Figures {
+		mark := "  "
+		if f.Regressed {
+			mark = "!!"
+		}
+		fmt.Fprintf(&b, "%s %-10s %-14s %8.2f%% -> %8.2f%% (%+.2f pp)\n",
+			mark, f.Figure, f.Config, f.Old, f.New, f.Delta)
+	}
+	var changed, regressed int
+	for _, cell := range c.Cells {
+		if cell.DeltaPct != 0 {
+			changed++
+		}
+		if cell.Regressed {
+			regressed++
+			fmt.Fprintf(&b, "!! %s/%s: %d -> %d cycles (%+.2f%%)\n",
+				cell.Workload, cell.Config, cell.OldCycles, cell.NewCycles, cell.DeltaPct)
+		}
+	}
+	fmt.Fprintf(&b, "   cells: %d compared, %d changed, %d regressed\n",
+		len(c.Cells), changed, regressed)
+	for _, n := range c.Notes {
+		fmt.Fprintf(&b, "   note: %s\n", n)
+	}
+	if c.Regressed() {
+		fmt.Fprintf(&b, "   RESULT: REGRESSED\n")
+	} else {
+		fmt.Fprintf(&b, "   RESULT: ok\n")
+	}
+	return b.String()
+}

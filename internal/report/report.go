@@ -1,0 +1,158 @@
+// Package report defines the stable, versioned machine-readable
+// schema behind `watchdog-bench -json` / `watchdog-juliet -json` and
+// the baseline comparison behind `watchdog-bench -baseline`: every
+// (workload, configuration) cell the harness simulated — cycle
+// breakdown, µop counts, cache counters — plus the per-figure geomean
+// summaries, serialized so a later run can be diffed against it and
+// gated on a regression threshold.
+//
+// Schema stability rules: fields are only ever added, never renamed
+// or repurposed; Version bumps on any incompatible change; cells and
+// figures are emitted in a deterministic sort order so identical runs
+// produce byte-identical documents.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+const (
+	// Schema identifies a watchdog-bench report document.
+	Schema = "watchdog-bench"
+	// JulietSchema identifies a standalone watchdog-juliet document.
+	JulietSchema = "watchdog-juliet"
+	// Version is the current schema version.
+	Version = 1
+)
+
+// Report is the top-level document.
+type Report struct {
+	Schema    string   `json:"schema"`
+	Version   int      `json:"version"`
+	Scale     int      `json:"scale"`
+	Workloads []string `json:"workloads"`
+	// Cells holds one record per simulated (workload, configuration)
+	// pair, sorted by workload then configuration.
+	Cells []Cell `json:"cells"`
+	// Figures holds the geomean summaries of the overhead figures
+	// that ran, in the paper's figure order.
+	Figures []Figure `json:"figures,omitempty"`
+	// Juliet summarizes the Section 9.2 security suite when it ran.
+	Juliet *Juliet `json:"juliet,omitempty"`
+}
+
+// Cell is the per-simulation metrics record.
+type Cell struct {
+	Workload string `json:"workload"`
+	Config   string `json:"config"`
+
+	// Cycle counts. The four breakdown buckets sum to Cycles.
+	Cycles         int64 `json:"cycles"`
+	BaseCycles     int64 `json:"base_cycles"`
+	CheckCycles    int64 `json:"check_cycles"`
+	LockMissCycles int64 `json:"lock_miss_cycles"`
+	MetaCycles     int64 `json:"meta_cycles"`
+
+	Insts        uint64  `json:"insts"`
+	Uops         uint64  `json:"uops"`
+	InjectedUops uint64  `json:"injected_uops"`
+	IPC          float64 `json:"ipc"`
+
+	// UopsByMeta buckets µops by Figure 8 class ("prog", "check",
+	// "ptrload", "ptrstore", "other"); UopsByOp counts by opcode
+	// mnemonic. Zero counts are omitted.
+	UopsByMeta map[string]uint64 `json:"uops_by_meta,omitempty"`
+	UopsByOp   map[string]uint64 `json:"uops_by_op,omitempty"`
+
+	// Engine-side (functional) accounting.
+	MemAccesses uint64 `json:"mem_accesses"`
+	PtrLoads    uint64 `json:"ptr_loads"`
+	PtrStores   uint64 `json:"ptr_stores"`
+	Checks      uint64 `json:"checks"`
+
+	// Cache counters.
+	LockCacheAccesses uint64 `json:"lock_cache_accesses"`
+	LockCacheMisses   uint64 `json:"lock_cache_misses"`
+	L1DAccesses       uint64 `json:"l1d_accesses"`
+	L1DMisses         uint64 `json:"l1d_misses"`
+	L2Misses          uint64 `json:"l2_misses"`
+	L3Misses          uint64 `json:"l3_misses"`
+
+	// Overhead is the slowdown ratio over this workload's baseline
+	// cell (0 when the baseline was not simulated in this run).
+	Overhead float64 `json:"overhead,omitempty"`
+}
+
+// Figure is one overhead figure's geomean summary.
+type Figure struct {
+	Name     string    `json:"name"`
+	Geomeans []Geomean `json:"geomeans"`
+}
+
+// Geomean is one configuration's geometric-mean percentage overhead.
+type Geomean struct {
+	Config      string  `json:"config"`
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// Juliet is the security-suite summary record.
+type Juliet struct {
+	Policy        string      `json:"policy,omitempty"`
+	BadTotal      int         `json:"bad_total"`
+	BadDetected   int         `json:"bad_detected"`
+	GoodTotal     int         `json:"good_total"`
+	GoodClean     int         `json:"good_clean"`
+	ByCWEDetected map[int]int `json:"by_cwe_detected,omitempty"`
+	ByCWETotal    map[int]int `json:"by_cwe_total,omitempty"`
+}
+
+// JulietReport is the standalone watchdog-juliet -json document.
+type JulietReport struct {
+	Schema  string `json:"schema"`
+	Version int    `json:"version"`
+	Juliet  Juliet `json:"juliet"`
+}
+
+// WriteFile serializes the report to path (indented JSON, trailing
+// newline). The schema and version fields are stamped here so callers
+// cannot emit an unversioned document.
+func WriteFile(path string, r *Report) error {
+	r.Schema = Schema
+	r.Version = Version
+	return writeJSON(path, r)
+}
+
+// ReadFile loads and validates a report written by WriteFile.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, Schema)
+	}
+	if r.Version < 1 || r.Version > Version {
+		return nil, fmt.Errorf("%s: schema version %d not supported (this build understands 1..%d)",
+			path, r.Version, Version)
+	}
+	return &r, nil
+}
+
+// WriteJulietFile serializes the standalone security-suite document.
+func WriteJulietFile(path string, j Juliet) error {
+	return writeJSON(path, &JulietReport{Schema: JulietSchema, Version: Version, Juliet: j})
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -5,7 +5,44 @@ import (
 
 	"watchdog/internal/core"
 	"watchdog/internal/rt"
+	"watchdog/internal/stats"
 )
+
+// TestRunCasesTimed: each executed case records exactly one sim into
+// the timing counters, serially and in parallel, and a nil Timing is
+// accepted.
+func TestRunCasesTimed(t *testing.T) {
+	cases := Suite()[:8]
+	cfg := core.DefaultConfig()
+	opts := rt.Options{Policy: core.PolicyWatchdog}
+	for _, jobs := range []int{1, 4} {
+		var tm stats.Timing
+		outs := RunCasesTimed(cases, cfg, opts, jobs, &tm)
+		if len(outs) != len(cases) {
+			t.Fatalf("jobs=%d: %d outcomes, want %d", jobs, len(outs), len(cases))
+		}
+		if got := tm.Sims(); got != uint64(len(cases)) {
+			t.Fatalf("jobs=%d: Sims() = %d, want %d", jobs, got, len(cases))
+		}
+		if tm.BusyTime() <= 0 {
+			t.Fatalf("jobs=%d: no busy time recorded", jobs)
+		}
+	}
+	if outs := RunCasesTimed(cases, cfg, opts, 2, nil); len(outs) != len(cases) {
+		t.Fatal("nil timing must be accepted")
+	}
+}
+
+// TestReportRecord: the summary converts to the JSON-schema record.
+func TestReportRecord(t *testing.T) {
+	s := Summary{BadTotal: 291, BadDetected: 290, GoodTotal: 291, GoodClean: 291,
+		ByCWEDetected: map[int]int{416: 191}, ByCWETotal: map[int]int{416: 192}}
+	j := s.ReportRecord("watchdog")
+	if j.Policy != "watchdog" || j.BadTotal != 291 || j.BadDetected != 290 ||
+		j.GoodClean != 291 || j.ByCWEDetected[416] != 191 || j.ByCWETotal[416] != 192 {
+		t.Fatalf("record mismatch: %+v", j)
+	}
+}
 
 // sameSummary compares every field except the Outcome.Case closures
 // (func values are not comparable).

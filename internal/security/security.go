@@ -20,12 +20,15 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"watchdog/internal/asm"
 	"watchdog/internal/core"
 	"watchdog/internal/machine"
+	"watchdog/internal/report"
 	"watchdog/internal/rt"
 	"watchdog/internal/sim"
+	"watchdog/internal/stats"
 )
 
 // Case is one generated test program.
@@ -134,6 +137,23 @@ func RunSuiteParallel(cases []Case, cfg core.Config, opts rt.Options, jobs int) 
 // outcomes indexed like cases (deterministic order regardless of
 // completion order).
 func RunCases(cases []Case, cfg core.Config, opts rt.Options, jobs int) []Outcome {
+	return RunCasesTimed(cases, cfg, opts, jobs, nil)
+}
+
+// RunCasesTimed is RunCases, additionally recording each executed
+// case as one simulation in t — the harness -stats counters, so the
+// Juliet path reports real sim counts like the figure paths do. A nil
+// t disables recording.
+func RunCasesTimed(cases []Case, cfg core.Config, opts rt.Options, jobs int, t *stats.Timing) []Outcome {
+	run := func(c Case) Outcome {
+		if t == nil {
+			return RunCase(c, cfg, opts)
+		}
+		start := time.Now()
+		o := RunCase(c, cfg, opts)
+		t.AddSim(time.Since(start))
+		return o
+	}
 	outs := make([]Outcome, len(cases))
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
@@ -143,7 +163,7 @@ func RunCases(cases []Case, cfg core.Config, opts rt.Options, jobs int) []Outcom
 	}
 	if jobs <= 1 {
 		for i, c := range cases {
-			outs[i] = RunCase(c, cfg, opts)
+			outs[i] = run(c)
 		}
 		return outs
 	}
@@ -158,12 +178,26 @@ func RunCases(cases []Case, cfg core.Config, opts rt.Options, jobs int) []Outcom
 				if i >= len(cases) {
 					return
 				}
-				outs[i] = RunCase(cases[i], cfg, opts)
+				outs[i] = run(cases[i])
 			}
 		}()
 	}
 	wg.Wait()
 	return outs
+}
+
+// ReportRecord converts the summary to the report-schema security
+// record (the `juliet` block of a -json document).
+func (s Summary) ReportRecord(policy string) report.Juliet {
+	return report.Juliet{
+		Policy:        policy,
+		BadTotal:      s.BadTotal,
+		BadDetected:   s.BadDetected,
+		GoodTotal:     s.GoodTotal,
+		GoodClean:     s.GoodClean,
+		ByCWEDetected: s.ByCWEDetected,
+		ByCWETotal:    s.ByCWETotal,
+	}
 }
 
 // Summarize aggregates outcomes (indexed like cases) into a Summary.

@@ -32,6 +32,31 @@ func GeomeanOverhead(ratios []float64) float64 {
 	return (Geomean(ratios) - 1) * 100
 }
 
+// GeomeanErr is Geomean with the domain error surfaced: a
+// non-positive (or NaN) input reports its index and value instead of
+// silently producing NaN — which the tables would render as literal
+// "NaN" cells.
+func GeomeanErr(xs []float64) (float64, error) {
+	for i, x := range xs {
+		if math.IsNaN(x) || x <= 0 {
+			return 0, fmt.Errorf("geomean: non-positive value %v at index %d of %d", x, i, len(xs))
+		}
+	}
+	return Geomean(xs), nil
+}
+
+// GeomeanOverheadErr is GeomeanOverhead with non-positive ratios
+// surfaced as an error (a ratio <= 0 means a simulation reported a
+// nonsensical cycle count; the figure must fail loudly, not print
+// NaN).
+func GeomeanOverheadErr(ratios []float64) (float64, error) {
+	g, err := GeomeanErr(ratios)
+	if err != nil {
+		return 0, err
+	}
+	return (g - 1) * 100, nil
+}
+
 // Mean returns the arithmetic mean.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

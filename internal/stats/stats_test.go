@@ -19,6 +19,33 @@ func TestGeomean(t *testing.T) {
 	}
 }
 
+// TestGeomeanErr: the error-surfacing variant reports the offending
+// index and value instead of silently returning NaN.
+func TestGeomeanErr(t *testing.T) {
+	if g, err := GeomeanErr([]float64{2, 8}); err != nil || math.Abs(g-4) > 1e-12 {
+		t.Fatalf("GeomeanErr(2,8) = %v, %v", g, err)
+	}
+	for _, bad := range [][]float64{{1, -1}, {1, 0, 2}, {math.NaN()}} {
+		if _, err := GeomeanErr(bad); err == nil {
+			t.Errorf("GeomeanErr(%v): expected error", bad)
+		} else if !strings.Contains(err.Error(), "index") {
+			t.Errorf("GeomeanErr(%v) error %q should name the index", bad, err)
+		}
+	}
+	if g, err := GeomeanErr(nil); err != nil || g != 0 {
+		t.Fatalf("GeomeanErr(nil) = %v, %v", g, err)
+	}
+}
+
+func TestGeomeanOverheadErr(t *testing.T) {
+	if o, err := GeomeanOverheadErr([]float64{1.15, 1.15}); err != nil || math.Abs(o-15) > 1e-9 {
+		t.Fatalf("GeomeanOverheadErr = %v, %v", o, err)
+	}
+	if _, err := GeomeanOverheadErr([]float64{1.15, -0.5}); err == nil {
+		t.Fatal("non-positive ratio must error, not render NaN")
+	}
+}
+
 func TestGeomeanOverhead(t *testing.T) {
 	// 15% overhead on every benchmark -> 15% geomean overhead.
 	xs := []float64{1.15, 1.15, 1.15}

@@ -60,14 +60,20 @@ func (t *Timing) BusyTime() time.Duration {
 func (t *Timing) Wall() time.Duration { return time.Duration(t.wallNanos.Load()) }
 
 // String renders the counters, including the effective parallelism
-// (busy time / wall time) when a wall time has been recorded.
+// (busy time / wall time) when both a wall time and busy time have
+// been recorded. With zero busy time (no simulation ran, or none was
+// instrumented) the ratio is meaningless and is omitted rather than
+// printed as a bogus "0.0x parallel".
 func (t *Timing) String() string {
 	var b strings.Builder
+	busy := t.BusyTime()
 	fmt.Fprintf(&b, "harness: %d sims + %d profiles (%d cache hits), %s busy",
-		t.Sims(), t.Profiles(), t.Hits(), t.BusyTime().Round(time.Millisecond))
+		t.Sims(), t.Profiles(), t.Hits(), busy.Round(time.Millisecond))
 	if w := t.Wall(); w > 0 {
-		fmt.Fprintf(&b, ", %s wall (%.1fx parallel)",
-			w.Round(time.Millisecond), float64(t.BusyTime())/float64(w))
+		fmt.Fprintf(&b, ", %s wall", w.Round(time.Millisecond))
+		if busy > 0 {
+			fmt.Fprintf(&b, " (%.1fx parallel)", float64(busy)/float64(w))
+		}
 	}
 	return b.String()
 }

@@ -33,6 +33,22 @@ func TestTimingCounters(t *testing.T) {
 	}
 }
 
+// TestTimingZeroBusyOmitsParallelism: with a wall time but no busy
+// time (nothing simulated, or a path that never recorded) the
+// parallelism ratio is meaningless, so String must omit it instead of
+// printing "0.0x parallel".
+func TestTimingZeroBusyOmitsParallelism(t *testing.T) {
+	var tm Timing
+	tm.SetWall(time.Second)
+	s := tm.String()
+	if strings.Contains(s, "parallel") {
+		t.Fatalf("String() = %q: parallelism ratio must be omitted with zero busy time", s)
+	}
+	if !strings.Contains(s, "1s wall") {
+		t.Fatalf("String() = %q: wall time must still be reported", s)
+	}
+}
+
 // TestTimingConcurrent: counters must tolerate concurrent workers
 // (this is the -race guard for the type).
 func TestTimingConcurrent(t *testing.T) {
