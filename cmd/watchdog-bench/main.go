@@ -9,6 +9,8 @@
 //	watchdog-bench -workloads mcf,perl -exp fig5
 //	watchdog-bench -json out.json      # machine-readable metrics report
 //	watchdog-bench -baseline old.json  # diff against a previous report
+//	watchdog-bench -exp fig7 -bench-out BENCH_fig7.json   # harness timing record
+//	watchdog-bench -exp fig7 -cpuprofile cpu.pprof        # profile the harness
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -54,6 +57,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut   = fs.String("json", "", "write the machine-readable metrics report (schema v1 JSON) to this path")
 		baseline  = fs.String("baseline", "", "compare this run against a previous -json report; exit non-zero on regression")
 		threshold = fs.Float64("threshold", 1.0, "regression threshold for -baseline: percentage points on figure geomeans, percent on per-cell cycles")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile (go tool pprof) to this path")
+		memProf   = fs.String("memprofile", "", "write an allocation profile (go tool pprof) to this path when done")
+		benchOut  = fs.String("bench-out", "", "write the harness timing record (wall/busy time per experiment, schema v1 JSON) to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -66,9 +72,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if !knownExp(*exp) {
 		return fail(fmt.Errorf("unknown experiment %q (known: %s)", *exp, strings.Join(knownExps, ", ")))
 	}
+	if *scale < 1 {
+		return fail(fmt.Errorf("-scale %d: the problem-size multiplier must be >= 1", *scale))
+	}
 	names, err := workloadSubset(*wls)
 	if err != nil {
 		return fail(err)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 	r, err := experiments.NewRunner(*scale, names...)
 	if err != nil {
@@ -109,6 +132,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ranFigures = append(ranFigures, name)
 	}
 
+	// expTimes breaks the run's wall time down per experiment for the
+	// -bench-out timing record.
+	var expTimes []report.BenchExperiment
+	timed := func(name string, t0 time.Time) {
+		expTimes = append(expTimes, report.BenchExperiment{Name: name, WallNanos: int64(time.Since(t0))})
+	}
+
 	if *exp == "all" || *exp == "table2" {
 		fmt.Fprintln(stdout, experiments.Table2())
 	}
@@ -116,10 +146,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *exp != "all" && *exp != f.name {
 			continue
 		}
+		t0 := time.Now()
 		t, err := f.fn()
 		if err != nil {
 			return fail(err)
 		}
+		timed(f.name, t0)
 		if *csv {
 			fmt.Fprintf(stdout, "# %s\n%s\n", f.name, t.CSV())
 		} else {
@@ -147,7 +179,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	var julietSum *security.Summary
 	if *exp == "all" || *exp == "juliet" {
+		t0 := time.Now()
 		s := r.Juliet()
+		timed("juliet", t0)
 		fmt.Fprintln(stdout, "Section 9.2: security evaluation")
 		fmt.Fprintln(stdout, " ", s)
 		fmt.Fprintln(stdout)
@@ -179,11 +213,47 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}
+	r.Timing.SetWall(time.Since(start))
+	if *benchOut != "" {
+		rec := &report.BenchReport{
+			Exp:         *exp,
+			Scale:       *scale,
+			Jobs:        *jobs,
+			Workloads:   names,
+			WallNanos:   int64(r.Timing.Wall()),
+			BusyNanos:   int64(r.Timing.BusyTime()),
+			Sims:        r.Timing.Sims(),
+			Profiles:    r.Timing.Profiles(),
+			CacheHits:   r.Timing.Hits(),
+			Experiments: expTimes,
+		}
+		if err := report.WriteBenchFile(*benchOut, rec); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stderr, "watchdog-bench: wrote timing record %s (%s wall)\n",
+			*benchOut, r.Timing.Wall().Round(time.Millisecond))
+	}
+	if *memProf != "" {
+		if err := writeMemProfile(*memProf); err != nil {
+			return fail(err)
+		}
+	}
 	if *timing {
-		r.Timing.SetWall(time.Since(start))
 		fmt.Fprintf(stderr, "watchdog-bench: %s (-j %d)\n", r.Timing.String(), *jobs)
 	}
 	return 0
+}
+
+// writeMemProfile dumps the allocation profile after a final GC so the
+// heap numbers reflect live data, not garbage.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.Lookup("allocs").WriteTo(f, 0)
 }
 
 func knownExp(name string) bool {

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"io"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -167,5 +168,76 @@ func TestJulietStats(t *testing.T) {
 	}
 	if !strings.Contains(stdout.String(), "291/291") {
 		t.Fatalf("stdout %q must report the detection matrix", stdout.String())
+	}
+}
+
+// TestBadScaleRejected: a non-positive -scale must exit non-zero up
+// front. workload.BuildProgram silently clamps such scales to 1, so
+// without eager validation the run would succeed while reporting the
+// scale the user asked for instead of the one simulated.
+func TestBadScaleRejected(t *testing.T) {
+	for _, s := range []string{"0", "-2"} {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-exp", "fig7", "-workloads", "mcf", "-scale", s}, &stdout, &stderr)
+		if code == 0 {
+			t.Errorf("-scale %s must exit non-zero", s)
+		}
+		if !strings.Contains(stderr.String(), "-scale "+s) {
+			t.Errorf("-scale %s: stderr %q must name the bad value", s, stderr.String())
+		}
+		if stdout.Len() > 0 {
+			t.Errorf("-scale %s printed output before failing: %q", s, stdout.String())
+		}
+	}
+}
+
+// TestBenchOutRecord: -bench-out writes a schema-stamped timing
+// document that round-trips through ReadBenchFile, records the run
+// parameters, and breaks the wall time down per experiment.
+func TestBenchOutRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_fig7.json")
+	var stderr bytes.Buffer
+	code := run([]string{"-exp", "fig7", "-workloads", "mcf", "-j", "2", "-bench-out", path},
+		io.Discard, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	rec, err := report.ReadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Exp != "fig7" || rec.Scale != 1 || rec.Jobs != 2 {
+		t.Fatalf("record params = (%s, %d, %d), want (fig7, 1, 2)", rec.Exp, rec.Scale, rec.Jobs)
+	}
+	if rec.WallNanos <= 0 || rec.BusyNanos <= 0 {
+		t.Fatalf("wall %d / busy %d nanos must both be positive", rec.WallNanos, rec.BusyNanos)
+	}
+	if rec.Sims == 0 {
+		t.Fatal("record must count the executed simulations")
+	}
+	if len(rec.Experiments) != 1 || rec.Experiments[0].Name != "fig7" || rec.Experiments[0].WallNanos <= 0 {
+		t.Fatalf("experiments = %+v, want one timed fig7 entry", rec.Experiments)
+	}
+	if got := []string{"mcf"}; len(rec.Workloads) != 1 || rec.Workloads[0] != got[0] {
+		t.Fatalf("workloads = %v, want %v", rec.Workloads, got)
+	}
+}
+
+// TestCPUProfileFlag: -cpuprofile produces a non-empty pprof file.
+func TestCPUProfileFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpu.pprof")
+	var stderr bytes.Buffer
+	code := run([]string{"-exp", "fig7", "-workloads", "mcf", "-cpuprofile", path}, io.Discard, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	// The profile is finalized by the deferred StopCPUProfile inside
+	// run, so it is complete once run returns.
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() == 0 {
+		t.Fatal("CPU profile file is empty")
 	}
 }

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"watchdog/internal/asm"
 	"watchdog/internal/core"
@@ -33,8 +35,50 @@ func main() {
 		disasm  = flag.Bool("disasm", false, "print the assembled program listing and exit")
 		trace   = flag.Int("trace", 0, "trace the first N executed instructions to stderr")
 		asmFile = flag.String("asm", "", "run a WD64 assembly file (expects a \"main\" function) instead of a workload")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile (go tool pprof) to this path")
+		memProf = flag.String("memprofile", "", "write an allocation profile (go tool pprof) to this path when done")
 	)
 	flag.Parse()
+
+	// Reject a bogus scale up front: workload.BuildProgram clamps
+	// non-positive scales to 1, so without this check `-scale 0` would
+	// run fine while the banner below reports the scale that was asked
+	// for, not the one simulated.
+	if *scale < 1 {
+		fmt.Fprintf(os.Stderr, "watchdog-sim: -scale %d: the problem-size multiplier must be >= 1\n", *scale)
+		os.Exit(1)
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	if *asmFile != "" {
 		if err := runAsmFile(*asmFile, *cfg); err != nil {

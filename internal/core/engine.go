@@ -51,7 +51,12 @@ type Engine struct {
 
 	entrySize uint64
 	stats     Stats
-	buf       []isa.Uop
+	// buf backs every injected-µop slice the engine returns. The
+	// machine feeds each returned slice to the timing model before the
+	// next engine call, so a single reused buffer keeps the hot path
+	// allocation-free (TestStepZeroAlloc pins this). Callers must not
+	// retain returned slices across engine calls.
+	buf []isa.Uop
 }
 
 // NewEngine builds an engine over the given memory.
@@ -323,7 +328,8 @@ func (e *Engine) PtrLoad(pc int, dst isa.Reg, addr uint64) []isa.Uop {
 	u.Addr = mem.ShadowAddr(addr&^7, e.entrySize)
 	u.Shadow = true
 	u.Meta = isa.MetaPtrLoad
-	return []isa.Uop{u}
+	e.buf = append(e.buf[:0], u)
+	return e.buf
 }
 
 // PtrStore performs the functional shadow-metadata store for a
@@ -348,7 +354,8 @@ func (e *Engine) PtrStore(pc int, src isa.Reg, addr uint64) []isa.Uop {
 	u.Addr = mem.ShadowAddr(addr&^7, e.entrySize)
 	u.Shadow = true
 	u.Meta = isa.MetaPtrStore
-	return []isa.Uop{u}
+	e.buf = append(e.buf[:0], u)
+	return e.buf
 }
 
 // NonPtrLoad invalidates dst's metadata for a load not classified as a
@@ -380,7 +387,8 @@ func (e *Engine) CopyPropagate(dst, src isa.Reg) []isa.Uop {
 	u := isa.NewUop(isa.UopSelectID, isa.ExecALU)
 	u.MDst, u.MSrc = isa.MetaReg(dst), isa.MetaReg(src)
 	u.Meta = isa.MetaOther
-	return []isa.Uop{u}
+	e.buf = append(e.buf[:0], u)
+	return e.buf
 }
 
 // SelectPropagate handles dst <- f(s1, s2) where either register might
@@ -413,7 +421,8 @@ func (e *Engine) SelectPropagate(dst, s1, s2 isa.Reg) []isa.Uop {
 	u := isa.NewUop(isa.UopSelectID, isa.ExecALU)
 	u.MDst, u.MSrc = isa.MetaReg(dst), isa.MetaReg(from)
 	u.Meta = isa.MetaOther
-	return []isa.Uop{u}
+	e.buf = append(e.buf[:0], u)
+	return e.buf
 }
 
 // ImmPropagate handles constant materialization: global-address
@@ -454,7 +463,7 @@ func (e *Engine) Call() []isa.Uop {
 	e.mem.WriteU64(e.stackLock, e.stackKey)
 	e.regMeta[isa.SP] = e.stackMeta()
 
-	uops := make([]isa.Uop, 0, 4)
+	uops := e.buf[:0]
 	a1 := isa.NewUop(isa.UopAlu, isa.ExecALU) // stack_key++
 	a1.Meta = isa.MetaOther
 	a2 := isa.NewUop(isa.UopAlu, isa.ExecALU) // stack_lock += 8
@@ -466,7 +475,8 @@ func (e *Engine) Call() []isa.Uop {
 	sel := isa.NewUop(isa.UopSelectID, isa.ExecALU) // sp.id = (key, lock)
 	sel.MDst = isa.MetaReg(isa.SP)
 	sel.Meta = isa.MetaOther
-	return append(uops, a1, a2, st, sel)
+	e.buf = append(uops, a1, a2, st, sel)
+	return e.buf
 }
 
 // Ret deallocates the frame identifier: invalidate the lock location,
@@ -487,7 +497,7 @@ func (e *Engine) Ret() []isa.Uop {
 		Bound: mem.StackTop,
 	}
 
-	uops := make([]isa.Uop, 0, 4)
+	uops := e.buf[:0]
 	st := isa.NewUop(isa.UopStore, isa.ExecStore) // mem[stack_lock] = INVALID
 	st.IsMem, st.IsWr, st.Width = true, true, 8
 	st.Addr, st.Lock = invAddr, true
@@ -501,7 +511,8 @@ func (e *Engine) Ret() []isa.Uop {
 	sel := isa.NewUop(isa.UopSelectID, isa.ExecALU) // sp.id = (key, lock)
 	sel.MDst = isa.MetaReg(isa.SP)
 	sel.Meta = isa.MetaOther
-	return append(uops, st, a1, ld, sel)
+	e.buf = append(uops, st, a1, ld, sel)
+	return e.buf
 }
 
 // --- runtime interface (Figure 3a/b) ---
@@ -578,11 +589,12 @@ func (e *Engine) locationAccess(pc int, addr uint64, width uint8, isWrite bool) 
 	u.IsMem, u.Width = true, 1
 	u.Meta = isa.MetaCheck
 	e.stats.Checks++
+	e.buf = append(e.buf[:0], u)
 	if mem.RegionOf(addr) == mem.RegionHeap && !e.locAlloc[addr&^7] {
 		e.stats.Violations++
-		return []isa.Uop{u}, &MemoryError{Kind: ErrUnallocated, PC: pc, Addr: addr, Write: isWrite}
+		return e.buf, &MemoryError{Kind: ErrUnallocated, PC: pc, Addr: addr, Write: isWrite}
 	}
-	return []isa.Uop{u}, nil
+	return e.buf, nil
 }
 
 // --- software policy (Table 1 comparator) ---
@@ -593,7 +605,7 @@ func (e *Engine) locationAccess(pc int, addr uint64, width uint8, isWrite bool) 
 // instructions on ordinary ports.
 func (e *Engine) softwareAccess(pc int, base, index isa.Reg, addr uint64, width uint8, isWrite bool) ([]isa.Uop, error) {
 	meta, _ := e.pickMeta(base, index)
-	uops := make([]isa.Uop, 0, 4)
+	uops := e.buf[:0]
 
 	a := isa.NewUop(isa.UopAlu, isa.ExecALU) // metadata address arithmetic
 	a.Dst = isa.Tmp1
@@ -611,6 +623,7 @@ func (e *Engine) softwareAccess(pc int, base, index isa.Reg, addr uint64, width 
 	br.IsBranch = true
 	br.Meta = isa.MetaCheck
 	uops = append(uops, a, ld, cmp, br)
+	e.buf = uops
 	e.stats.Checks++
 
 	if err := e.evalCheck(pc, meta, addr, width, isWrite); err != nil {
@@ -631,7 +644,7 @@ func (e *Engine) softwarePtrLoad(pc int, dst isa.Reg, addr uint64) []isa.Uop {
 		e.regMeta[dst] = m
 	}
 	sa := mem.ShadowAddr(addr&^7, e.entrySize)
-	uops := make([]isa.Uop, 0, 3)
+	uops := e.buf[:0]
 	a := isa.NewUop(isa.UopAlu, isa.ExecALU)
 	a.Dst = isa.Tmp1
 	a.Meta = isa.MetaPtrLoad
@@ -645,6 +658,7 @@ func (e *Engine) softwarePtrLoad(pc int, dst isa.Reg, addr uint64) []isa.Uop {
 		ld.Meta = isa.MetaPtrLoad
 		uops = append(uops, ld)
 	}
+	e.buf = uops
 	return uops
 }
 
@@ -659,7 +673,7 @@ func (e *Engine) softwarePtrStore(pc int, src isa.Reg, addr uint64) []isa.Uop {
 	}
 	e.writeShadow(addr, m)
 	sa := mem.ShadowAddr(addr&^7, e.entrySize)
-	uops := make([]isa.Uop, 0, 3)
+	uops := e.buf[:0]
 	a := isa.NewUop(isa.UopAlu, isa.ExecALU)
 	a.Dst = isa.Tmp1
 	a.Meta = isa.MetaPtrStore
@@ -673,6 +687,7 @@ func (e *Engine) softwarePtrStore(pc int, src isa.Reg, addr uint64) []isa.Uop {
 		st.Meta = isa.MetaPtrStore
 		uops = append(uops, st)
 	}
+	e.buf = uops
 	return uops
 }
 

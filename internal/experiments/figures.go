@@ -237,7 +237,7 @@ func (r *Runner) Bars(title string, cfgs ...ConfigName) (string, error) {
 		s.Add("Geo.mean", geo)
 		series[i] = s
 	}
-	return stats.RenderBars(title, series), nil
+	return stats.RenderBars(title, series)
 }
 
 // overheadTable renders per-benchmark % slowdowns for the given

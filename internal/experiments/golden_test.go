@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"watchdog/internal/stats"
+)
+
+// -update regenerates the recorded goldens instead of comparing
+// against them: go test ./internal/experiments -run Golden -update
+var updateGolden = flag.Bool("update", false, "rewrite the golden figure outputs")
+
+// renderEverything produces every figure and table the -exp vocabulary
+// can select, concatenated in bench order, over the small detSet. This
+// is the byte-identity unit for the golden regression test: any change
+// to the simulator that perturbs a single cell of a single figure
+// shows up as a golden diff.
+func renderEverything(t *testing.T, r *Runner) string {
+	t.Helper()
+	out := Table2() + "\n"
+	for _, f := range []struct {
+		name string
+		fn   func() (*stats.Table, error)
+	}{
+		{"table1", r.Table1},
+		{"fig5", r.Fig5},
+		{"fig7", r.Fig7},
+		{"fig8", r.Fig8},
+		{"fig9", r.Fig9},
+		{"fig10", r.Fig10},
+		{"fig11", r.Fig11},
+		{"ideal", r.Ideal},
+		{"ablations", r.Ablations},
+		{"locksweep", func() (*stats.Table, error) { return r.LockSweep([]int{2 << 10, 4 << 10}) }},
+	} {
+		tab, err := f.fn()
+		if err != nil {
+			t.Fatalf("%s: %v", f.name, err)
+		}
+		out += fmt.Sprintf("# %s\n%s\n", f.name, tab)
+	}
+	bars, err := r.Bars("Figure 7 (bars): % slowdown", CfgConservative, CfgISA)
+	if err != nil {
+		t.Fatalf("bars: %v", err)
+	}
+	out += "# fig7-bars\n" + bars + "\n"
+	return out
+}
+
+// TestFiguresGolden asserts that every figure and table is
+// byte-identical to the recorded golden output. The goldens were
+// recorded before the µop-cache and scheduler-specialization work, so
+// this test proves those performance changes did not move a single
+// figure cell. Regenerate deliberately with -update after an intended
+// model change.
+func TestFiguresGolden(t *testing.T) {
+	got := renderEverything(t, runnerJ(t, 4))
+	path := filepath.Join("testdata", "figures.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("figure output differs from recorded golden %s\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}

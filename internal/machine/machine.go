@@ -74,7 +74,12 @@ type Machine struct {
 	// periodic-sampling methodology (see SetSampling).
 	sampler *sampler
 
-	uopBuf []isa.Uop
+	// crack serves each static instruction's base µop sequence,
+	// cracked once per program; step copies it into uopArr (a fixed
+	// buffer, so the steady-state path never allocates) before the
+	// dynamic annotations are filled in.
+	crack  *isa.CrackCache
+	uopArr [isa.MaxUopsPerInst]isa.Uop
 }
 
 // New builds a machine. model and bp may be nil for functional-only
@@ -88,6 +93,7 @@ func New(prog *asm.Program, memory *mem.Memory, eng *core.Engine, model *pipelin
 		bp:        bp,
 		pc:        prog.Entry,
 		InstLimit: 200_000_000,
+		crack:     isa.NewCrackCache(prog.Insts),
 	}
 	m.Regs[isa.SP] = mem.StackTop
 	return m
@@ -205,9 +211,11 @@ func (m *Machine) step() error {
 	}
 	next := pc + 1
 
-	// Crack the base µops once; dynamic annotations are filled below.
-	base := isa.Crack(in, m.uopBuf[:0])
-	m.uopBuf = base[:0]
+	// Serve the cached base µops (cracked once per static instruction)
+	// into the reusable buffer; dynamic annotations are filled below.
+	seq := m.crack.Cached(pc)
+	base := m.uopArr[:len(seq)]
+	copy(base, seq)
 
 	switch in.Op {
 	case isa.OpNop, isa.OpInvalid:

@@ -90,11 +90,12 @@ type Model struct {
 	fu       [isa.NumExecClasses]*slotWindow
 	// ROB/LQ/SQ entries free at retirement, which is in order, so a
 	// ring of freeing times is exact. IQ entries free at issue, which
-	// is out of order, so occupancy needs the min-heap of issue times.
+	// is out of order, so occupancy needs pop-the-minimum over the
+	// occupants' issue times.
 	rob       *ring
 	lq        *ring
 	sq        *ring
-	iq        minHeap
+	iq        *iqTimes
 	stores    []pendingStore // ring buffer of SQSize entries
 	storeHead int
 
@@ -122,7 +123,7 @@ func New(cfg Config, hier *cache.Hierarchy, bp *bpred.Predictor) *Model {
 	m.fu[isa.ExecFPDiv] = newSlots(cfg.FPDivs)
 	m.fu[isa.ExecLock] = newSlots(cfg.LockPorts)
 	m.rob = newRing(cfg.ROBSize)
-	m.iq = make(minHeap, 0, cfg.IQSize+1)
+	m.iq = newIQ()
 	m.lq = newRing(cfg.LQSize)
 	m.sq = newRing(cfg.SQSize)
 	m.stores = make([]pendingStore, cfg.SQSize)
@@ -188,7 +189,7 @@ func (m *Model) OnUop(u *isa.Uop) {
 	}
 	// IQ full until some occupant issues: drain the earliest-issuing
 	// occupants until a slot exists at the dispatch cycle.
-	for len(m.iq) >= m.cfg.IQSize {
+	for m.iq.len() >= m.cfg.IQSize {
 		if t := m.iq.pop(); t+1 > dispMin {
 			dispMin = t + 1
 		}
@@ -318,7 +319,7 @@ func (m *Model) OnUop(u *isa.Uop) {
 	}
 	m.rob.push(ret)
 	m.iq.push(issueAt)
-	// (IQ heap is bounded: the dispatch loop above pops to capacity.)
+	// (IQ occupancy is bounded: the dispatch loop above pops to capacity.)
 	if u.IsMem && !u.IsWr {
 		m.lq.push(ret)
 	}
@@ -370,12 +371,20 @@ func (m *Model) lockMisses() uint64 {
 // forwarding before accessing the hierarchy.
 func (m *Model) loadLatency(u *isa.Uop, issueAt int64) int64 {
 	// Search the store queue for the youngest older store overlapping
-	// this word that is still in flight.
+	// this word that is still in flight. Retire times are pushed in
+	// monotonic non-decreasing order (each store's retire is the new
+	// lastRetire), so scanning youngest→oldest, the first drained entry
+	// means every older entry has drained too — stop there.
 	word := u.Addr &^ 7
+	idx := m.storeHead
 	for i := 1; i <= len(m.stores); i++ {
-		s := &m.stores[(m.storeHead-i+len(m.stores))%len(m.stores)]
+		idx--
+		if idx < 0 {
+			idx = len(m.stores) - 1
+		}
+		s := &m.stores[idx]
 		if s.retire == 0 || s.retire <= issueAt {
-			continue // drained (or empty slot)
+			break // drained (or empty slot); all older entries are too
 		}
 		if s.addr&^7 == word {
 			// Forwarded from the store queue.

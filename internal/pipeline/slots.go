@@ -2,36 +2,58 @@ package pipeline
 
 // slotWindow tracks per-cycle usage of a bandwidth-limited resource
 // (issue slots, functional units, cache ports, retire slots) over a
-// sliding window of cycles. Entries are lazily reset when a new cycle
-// maps onto a ring position.
+// sliding window of cycles. Each ring slot packs the cycle it tracks
+// and that cycle's usage count into one word, so a probe touches a
+// single cache line and the lazy reset (a new cycle mapping onto a
+// ring position) is a plain comparison — this is the flat structure
+// the issue-search loop hammers on every µop.
 type slotWindow struct {
-	width int
-	use   []int16
-	cyc   []int64
+	width uint64
+	// buf[t & (slotRing-1)] = t<<slotCountBits | count. Counts are
+	// bounded by width, which newSlots caps below 1<<slotCountBits.
+	buf []uint64
 }
 
-const slotRing = 1 << 15
+const (
+	slotRing = 1 << 15
+	// slotCountBits is the low-bit budget for the usage count; cycles
+	// occupy the remaining 54 bits (enough for ~10^16 cycles).
+	slotCountBits = 10
+	slotCountMask = 1<<slotCountBits - 1
+)
 
 func newSlots(width int) *slotWindow {
-	return &slotWindow{width: width, use: make([]int16, slotRing), cyc: make([]int64, slotRing)}
+	if width < 1 {
+		width = 1
+	}
+	if width > slotCountMask {
+		width = slotCountMask
+	}
+	return &slotWindow{width: uint64(width), buf: make([]uint64, slotRing)}
 }
 
-func (s *slotWindow) at(t int64) *int16 {
-	i := t & (slotRing - 1)
-	if s.cyc[i] != t {
-		s.cyc[i] = t
-		s.use[i] = 0
+// count returns the usage at cycle t (zero when the ring slot last
+// tracked an older cycle).
+func (s *slotWindow) count(t int64) uint64 {
+	w := s.buf[int(t)&(slotRing-1)]
+	if int64(w>>slotCountBits) != t {
+		return 0
 	}
-	return &s.use[i]
+	return w & slotCountMask
 }
 
 // reserve finds the earliest cycle >= t with a free slot, consumes it,
 // and returns the cycle.
 func (s *slotWindow) reserve(t int64) int64 {
 	for {
-		u := s.at(t)
-		if int(*u) < s.width {
-			*u++
+		i := int(t) & (slotRing - 1)
+		w := s.buf[i]
+		var n uint64
+		if int64(w>>slotCountBits) == t {
+			n = w & slotCountMask
+		}
+		if n < s.width {
+			s.buf[i] = uint64(t)<<slotCountBits | (n + 1)
 			return t
 		}
 		t++
@@ -41,63 +63,77 @@ func (s *slotWindow) reserve(t int64) int64 {
 // reserveAt consumes a slot at exactly cycle t, reporting whether one
 // was free.
 func (s *slotWindow) reserveAt(t int64) bool {
-	u := s.at(t)
-	if int(*u) < s.width {
-		*u++
-		return true
+	i := int(t) & (slotRing - 1)
+	w := s.buf[i]
+	var n uint64
+	if int64(w>>slotCountBits) == t {
+		n = w & slotCountMask
 	}
-	return false
+	if n >= s.width {
+		return false
+	}
+	s.buf[i] = uint64(t)<<slotCountBits | (n + 1)
+	return true
 }
 
 // freeAt reports whether a slot is free at cycle t without consuming.
 func (s *slotWindow) freeAt(t int64) bool {
-	return int(*s.at(t)) < s.width
+	w := s.buf[int(t)&(slotRing-1)]
+	return int64(w>>slotCountBits) != t || w&slotCountMask < s.width
 }
 
-// minHeap is a small int64 min-heap used for the issue-queue occupancy
-// model (IQ entries free out of order, at issue time).
-type minHeap []int64
-
-func (h *minHeap) push(v int64) {
-	*h = append(*h, v)
-	i := len(*h) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if (*h)[p] <= (*h)[i] {
-			break
-		}
-		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
-		i = p
-	}
+// iqTimes models issue-queue occupancy: the multiset of issue cycles
+// of the current occupants. Entries free at issue, which is out of
+// order, so dispatch needs pop-the-minimum — but the values are cycle
+// numbers clustered near the pipeline's current time, so a flat ring
+// of per-cycle occupant counts with a monotonic scan cursor replaces
+// the former min-heap's O(log n) sift with O(1) amortized bucket
+// arithmetic (minHeap.pop was ~14% of simulator CPU).
+type iqTimes struct {
+	// cnt[t & (iqRing-1)] = occupants issuing at cycle t.
+	cnt []int32
+	n   int
+	// head is a lower bound on the minimum occupied cycle; pop scans
+	// forward from it, push moves it back when an earlier cycle
+	// arrives.
+	head int64
 }
 
-func (h *minHeap) pop() int64 {
-	old := *h
-	v := old[0]
-	n := len(old) - 1
-	old[0] = old[n]
-	*h = old[:n]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		sm := i
-		if l < n && (*h)[l] < (*h)[sm] {
-			sm = l
-		}
-		if r < n && (*h)[r] < (*h)[sm] {
-			sm = r
-		}
-		if sm == i {
-			break
-		}
-		(*h)[i], (*h)[sm] = (*h)[sm], (*h)[i]
-		i = sm
+// iqRing bounds the spread between the earliest and latest issue
+// cycles of in-flight IQ occupants. The window holds at most IQSize
+// (~54) µops whose issue times differ by at most a few hundred cycles
+// (the worst single-µop latency chain), so 2^16 cycles of headroom can
+// only be exceeded by a model bug — push asserts it.
+const iqRing = 1 << 16
+
+func newIQ() *iqTimes { return &iqTimes{cnt: make([]int32, iqRing)} }
+
+func (q *iqTimes) len() int { return q.n }
+
+// push records an occupant issuing at cycle t.
+func (q *iqTimes) push(t int64) {
+	if t < q.head {
+		q.head = t
 	}
-	return v
+	if t-q.head >= iqRing {
+		panic("pipeline: issue-time spread exceeds IQ ring capacity")
+	}
+	q.cnt[int(t)&(iqRing-1)]++
+	q.n++
+}
+
+// pop removes and returns the minimum occupied cycle.
+func (q *iqTimes) pop() int64 {
+	for q.cnt[int(q.head)&(iqRing-1)] == 0 {
+		q.head++
+	}
+	q.cnt[int(q.head)&(iqRing-1)]--
+	q.n--
+	return q.head
 }
 
 // ring is a fixed-size ring of int64 timestamps used for window
-// occupancy constraints (ROB/IQ/LQ/SQ): element i of the ring holds
+// occupancy constraints (ROB/LQ/SQ): element i of the ring holds
 // the freeing time of the entry allocated size positions ago.
 type ring struct {
 	buf []int64

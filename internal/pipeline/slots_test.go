@@ -53,40 +53,45 @@ func TestRingPeekPush(t *testing.T) {
 	}
 }
 
-// Property: the min-heap pops values in sorted order (this heap had a
-// real sift-down bug once; keep it pinned).
-func TestMinHeapSortedProperty(t *testing.T) {
+// Property: the IQ bucket ring pops values in sorted order — it must
+// behave exactly like the min-heap it replaced, or dispatch stall
+// cycles (and so every figure) would shift.
+func TestIQTimesSortedProperty(t *testing.T) {
 	f := func(raw []int16) bool {
-		var h minHeap
+		q := newIQ()
 		want := make([]int64, len(raw))
 		for i, v := range raw {
-			h.push(int64(v))
+			q.push(int64(v))
 			want[i] = int64(v)
 		}
 		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
 		for _, w := range want {
-			if h.pop() != w {
+			if q.pop() != w {
 				return false
 			}
 		}
-		return len(h) == 0
+		return q.len() == 0
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
 	}
 }
 
-func TestMinHeapInterleavedOps(t *testing.T) {
+// Interleaved pushes and pops against a brute-force reference multiset,
+// with values drifting forward the way pipeline issue times do.
+func TestIQTimesInterleavedOps(t *testing.T) {
 	r := rand.New(rand.NewSource(11))
-	var h minHeap
+	q := newIQ()
 	var ref []int64
+	base := int64(0)
 	for i := 0; i < 5000; i++ {
 		if len(ref) == 0 || r.Intn(3) > 0 {
-			v := int64(r.Intn(1000))
-			h.push(v)
+			v := base + int64(r.Intn(1000))
+			base += int64(r.Intn(3))
+			q.push(v)
 			ref = append(ref, v)
 		} else {
-			got := h.pop()
+			got := q.pop()
 			mi := 0
 			for j, v := range ref {
 				if v < ref[mi] {
@@ -99,4 +104,17 @@ func TestMinHeapInterleavedOps(t *testing.T) {
 			ref = append(ref[:mi], ref[mi+1:]...)
 		}
 	}
+}
+
+// The span guard must fire rather than silently alias two cycles onto
+// one bucket.
+func TestIQTimesSpanGuard(t *testing.T) {
+	q := newIQ()
+	q.push(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("push beyond the ring span must panic")
+		}
+	}()
+	q.push(iqRing)
 }

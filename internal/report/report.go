@@ -23,6 +23,8 @@ const (
 	Schema = "watchdog-bench"
 	// JulietSchema identifies a standalone watchdog-juliet document.
 	JulietSchema = "watchdog-juliet"
+	// BenchSchema identifies a harness-timing document (-bench-out).
+	BenchSchema = "watchdog-bench-timing"
 	// Version is the current schema version.
 	Version = 1
 )
@@ -142,6 +144,70 @@ func ReadFile(path string) (*Report, error) {
 			path, r.Version, Version)
 	}
 	return &r, nil
+}
+
+// BenchReport is the harness-timing document behind `watchdog-bench
+// -bench-out`: how long the run took (wall and summed-worker busy
+// time) and what work it did, per experiment. Unlike the metrics
+// Report its numbers are wall-clock measurements, so two identical
+// runs produce different documents; it exists for performance
+// tracking (CI artifacts, before/after comparisons), not figure
+// regression gating.
+type BenchReport struct {
+	Schema  string `json:"schema"`
+	Version int    `json:"version"`
+	Exp     string `json:"exp"`
+	Scale   int    `json:"scale"`
+	Jobs    int    `json:"jobs"`
+	// Workloads is the -workloads subset (empty = all).
+	Workloads []string `json:"workloads,omitempty"`
+
+	WallNanos int64 `json:"wall_nanos"`
+	// BusyNanos is simulator time summed across workers; BusyNanos /
+	// WallNanos is the effective parallelism.
+	BusyNanos int64  `json:"busy_nanos"`
+	Sims      uint64 `json:"sims"`
+	Profiles  uint64 `json:"profiles"`
+	CacheHits uint64 `json:"cache_hits"`
+
+	// Experiments breaks the wall time down per rendered experiment,
+	// in execution order.
+	Experiments []BenchExperiment `json:"experiments,omitempty"`
+}
+
+// BenchExperiment is one experiment's wall-time record.
+type BenchExperiment struct {
+	Name      string `json:"name"`
+	WallNanos int64  `json:"wall_nanos"`
+}
+
+// WriteBenchFile serializes the timing document, stamping schema and
+// version like WriteFile does.
+func WriteBenchFile(path string, b *BenchReport) error {
+	b.Schema = BenchSchema
+	b.Version = Version
+	return writeJSON(path, b)
+}
+
+// ReadBenchFile loads and validates a document written by
+// WriteBenchFile.
+func ReadBenchFile(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b BenchReport
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.Schema != BenchSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, b.Schema, BenchSchema)
+	}
+	if b.Version < 1 || b.Version > Version {
+		return nil, fmt.Errorf("%s: schema version %d not supported (this build understands 1..%d)",
+			path, b.Version, Version)
+	}
+	return &b, nil
 }
 
 // WriteJulietFile serializes the standalone security-suite document.

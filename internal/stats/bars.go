@@ -9,10 +9,32 @@ import (
 // RenderBars renders grouped horizontal bar charts — the terminal
 // rendition of the paper's per-benchmark bar figures. Each Series is
 // one bar group (e.g. "conservative" and "isa-assisted" in Figure 7);
-// all series must share the same labels in the same order.
-func RenderBars(title string, series []Series) string {
+// all series must share the same labels in the same order, and every
+// series must have one value per label. A violation returns an error
+// instead of an index panic (mismatched Labels/Values) or a silently
+// misgrouped chart (diverging labels across series).
+func RenderBars(title string, series []Series) (string, error) {
 	if len(series) == 0 {
-		return title + "\n"
+		return title + "\n", nil
+	}
+	for _, s := range series {
+		if len(s.Labels) != len(s.Values) {
+			return "", fmt.Errorf("stats: series %q has %d labels but %d values",
+				s.Name, len(s.Labels), len(s.Values))
+		}
+	}
+	ref := series[0]
+	for _, s := range series[1:] {
+		if len(s.Labels) != len(ref.Labels) {
+			return "", fmt.Errorf("stats: series %q has %d labels, series %q has %d — bar groups must align",
+				s.Name, len(s.Labels), ref.Name, len(ref.Labels))
+		}
+		for i, l := range s.Labels {
+			if l != ref.Labels[i] {
+				return "", fmt.Errorf("stats: series %q label %d is %q, series %q has %q — bar groups must align",
+					s.Name, i, l, ref.Name, ref.Labels[i])
+			}
+		}
 	}
 	maxVal := 0.0
 	labelW, nameW := 0, 0
@@ -49,5 +71,5 @@ func RenderBars(title string, series []Series) string {
 			fmt.Fprintf(&b, "%-*s  %-*s %s %.1f\n", labelW, label, nameW, s.Name, bar, s.Values[i])
 		}
 	}
-	return b.String()
+	return b.String(), nil
 }

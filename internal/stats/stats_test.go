@@ -123,7 +123,10 @@ func TestRenderBars(t *testing.T) {
 	b := Series{Name: "isa"}
 	b.Add("lbm", 0.2)
 	b.Add("mcf", 4.7)
-	out := RenderBars("Figure 7", []Series{a, b})
+	out, err := RenderBars("Figure 7", []Series{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(out, "mcf") || !strings.Contains(out, "█") {
 		t.Fatalf("bar output malformed:\n%s", out)
 	}
@@ -132,7 +135,39 @@ func TestRenderBars(t *testing.T) {
 		t.Fatalf("bar output has %d lines:\n%s", len(lines), out)
 	}
 	// Zero-series edge case.
-	if out := RenderBars("empty", nil); !strings.Contains(out, "empty") {
-		t.Fatal("empty render must keep the title")
+	if out, err := RenderBars("empty", nil); err != nil || !strings.Contains(out, "empty") {
+		t.Fatalf("empty render must keep the title (err %v)", err)
+	}
+}
+
+// TestRenderBarsInvariants: the doc-comment invariant (shared labels,
+// one value per label) is validated — violations report an error
+// naming the offending series instead of panicking on a bad index or
+// silently misgrouping bars.
+func TestRenderBarsInvariants(t *testing.T) {
+	ok := Series{Name: "a", Labels: []string{"lbm", "mcf"}, Values: []float64{1, 2}}
+	for _, tc := range []struct {
+		name string
+		bad  Series
+	}{
+		{"more values than labels", Series{Name: "b", Labels: []string{"lbm"}, Values: []float64{1, 2}}},
+		{"fewer values than labels", Series{Name: "b", Labels: []string{"lbm", "mcf"}, Values: []float64{1}}},
+		{"length mismatch across series", Series{Name: "b", Labels: []string{"lbm"}, Values: []float64{1}}},
+		{"label mismatch across series", Series{Name: "b", Labels: []string{"lbm", "perl"}, Values: []float64{1, 2}}},
+	} {
+		out, err := RenderBars("t", []Series{ok, tc.bad})
+		if err == nil {
+			t.Errorf("%s: want error, got output:\n%s", tc.name, out)
+			continue
+		}
+		if !strings.Contains(err.Error(), `"b"`) {
+			t.Errorf("%s: error %q must name the offending series", tc.name, err)
+		}
+	}
+	// The mismatch must also be caught when the first series is the
+	// short one (series[0] used to silently truncate the others).
+	short := Series{Name: "a", Labels: []string{"lbm"}, Values: []float64{1}}
+	if _, err := RenderBars("t", []Series{short, ok}); err == nil {
+		t.Error("short first series must be rejected, not silently truncate the chart")
 	}
 }
