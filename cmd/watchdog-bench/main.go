@@ -27,6 +27,7 @@ import (
 	"watchdog/internal/report"
 	"watchdog/internal/security"
 	"watchdog/internal/stats"
+	"watchdog/internal/trace"
 	"watchdog/internal/workload"
 )
 
@@ -53,6 +54,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		bars      = fs.Bool("bars", false, "render overhead figures as bar charts too")
 		csv       = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
 		jobs      = fs.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers (1 = serial; output is identical either way)")
+		progress  = fs.Bool("progress", false, "print live sweep progress (cells done/total, elapsed, ETA) to stderr")
 		timing    = fs.Bool("stats", false, "print harness timing counters to stderr when done")
 		jsonOut   = fs.String("json", "", "write the machine-readable metrics report (schema v1 JSON) to this path")
 		baseline  = fs.String("baseline", "", "compare this run against a previous -json report; exit non-zero on regression")
@@ -98,6 +100,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 	r.Jobs = *jobs
+	if *progress {
+		r.Progress = trace.NewProgress()
+		// The periodic reporter runs only when stderr is a real stream:
+		// its writes are concurrent with the harness's own, which is
+		// fine for a file descriptor but a race on an in-memory test
+		// writer. The final line below is printed synchronously either
+		// way, after every fan-out has completed.
+		if _, isFile := stderr.(*os.File); isFile {
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				tick := time.NewTicker(time.Second)
+				defer tick.Stop()
+				for {
+					select {
+					case <-stop:
+						return
+					case <-tick.C:
+						fmt.Fprintln(stderr, "watchdog-bench:", r.Progress.Line())
+					}
+				}
+			}()
+			defer func() {
+				close(stop)
+				<-done
+			}()
+		}
+		defer func() {
+			fmt.Fprintln(stderr, "watchdog-bench:", r.Progress.Line())
+		}()
+	}
 	start := time.Now()
 
 	type tableFn struct {

@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -239,5 +240,27 @@ func TestCPUProfileFlag(t *testing.T) {
 	}
 	if st.Size() == 0 {
 		t.Fatal("CPU profile file is empty")
+	}
+}
+
+// TestProgressFinalLine: -progress prints a final summary line on
+// stderr with done == total cells. (The periodic ticker only attaches
+// to a real file stderr; the synchronous final line prints always, so
+// an in-memory writer sees exactly the completed counters.)
+func TestProgressFinalLine(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-exp", "fig7", "-workloads", "mcf", "-progress"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	m := regexp.MustCompile(`progress: (\d+)/(\d+) cells \(100\.0%\)`).FindStringSubmatch(stderr.String())
+	if m == nil {
+		t.Fatalf("no completed progress line on stderr:\n%s", stderr.String())
+	}
+	if m[1] != m[2] || m[1] == "0" {
+		t.Fatalf("progress line reports %s/%s cells, want equal and non-zero", m[1], m[2])
+	}
+	// The figure itself must be unaffected by the progress counters.
+	if !strings.Contains(stdout.String(), "Figure 7") {
+		t.Errorf("figure output missing with -progress:\n%s", stdout.String())
 	}
 }

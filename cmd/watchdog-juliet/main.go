@@ -7,11 +7,14 @@
 //	watchdog-juliet                 # Watchdog (the paper's result)
 //	watchdog-juliet -policy location  # the comparator that misses reallocated UAF
 //	watchdog-juliet -v                # list every case outcome
+//	watchdog-juliet -list             # list case IDs
+//	watchdog-juliet -flight-log <id>  # re-run one case with a flight recorder and dump it
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 
@@ -19,16 +22,34 @@ import (
 	"watchdog/internal/report"
 	"watchdog/internal/rt"
 	"watchdog/internal/security"
+	"watchdog/internal/trace"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: parses args, executes, and returns
+// the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("watchdog-juliet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		policy  = flag.String("policy", "watchdog", "checking policy: watchdog|location|software|conservative")
-		verbose = flag.Bool("v", false, "print each case outcome")
-		jobs    = flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers over the 582 cases (1 = serial; output is identical either way)")
-		jsonOut = flag.String("json", "", "write the summary as machine-readable JSON (schema v1) to this path")
+		policy  = fs.String("policy", "watchdog", "checking policy: watchdog|location|software|conservative")
+		verbose = fs.Bool("v", false, "print each case outcome")
+		list    = fs.Bool("list", false, "list every case ID and exit")
+		jobs    = fs.Int("j", runtime.GOMAXPROCS(0), "parallel workers over the 582 cases (1 = serial; output is identical either way)")
+		jsonOut = fs.String("json", "", "write the summary as machine-readable JSON (schema v1) to this path")
+		flight  = fs.String("flight-log", "", "run the single case with this ID under a flight recorder and dump the recorded events (see -list)")
+		flightN = fs.Int("flight-n", 64, "flight recorder depth for -flight-log")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "watchdog-juliet:", err)
+		return 1
+	}
 
 	var cfg core.Config
 	var opts rt.Options
@@ -47,8 +68,18 @@ func main() {
 		cfg = core.Config{Policy: core.PolicySoftware, PtrPolicy: core.PtrConservative}
 		opts = rt.Options{Policy: core.PolicySoftware}
 	default:
-		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
-		os.Exit(1)
+		return fail(fmt.Errorf("unknown policy %q", *policy))
+	}
+
+	if *list {
+		for _, c := range security.Suite() {
+			fmt.Fprintf(stdout, "%-44s CWE-%d %s\n", c.ID, c.CWE, c.Variant)
+		}
+		return 0
+	}
+
+	if *flight != "" {
+		return flightLog(*flight, *flightN, cfg, opts, stdout, stderr)
 	}
 
 	// The cases fan out over -j workers; outcomes are merged in case
@@ -61,19 +92,53 @@ func main() {
 			if !outs[i].Pass() {
 				status = "FAIL"
 			}
-			fmt.Printf("%-4s CWE-%d %-60s bad=%-5v detected=%-5v\n",
+			fmt.Fprintf(stdout, "%-4s CWE-%d %-60s bad=%-5v detected=%-5v\n",
 				status, c.CWE, c.Variant, c.Bad, outs[i].Detected)
 		}
 	}
 	s := security.Summarize(cases, outs)
-	fmt.Println(s)
+	fmt.Fprintln(stdout, s)
 	if *jsonOut != "" {
 		if err := report.WriteJulietFile(*jsonOut, s.ReportRecord(*policy)); err != nil {
-			fmt.Fprintln(os.Stderr, "watchdog-juliet:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 	}
 	if len(s.Failures) > 0 && *policy == "watchdog" {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// flightLog re-runs one case with a flight recorder attached and dumps
+// the recorded tail — the identifiers, lock values and check outcomes
+// leading up to the detection.
+func flightLog(id string, depth int, cfg core.Config, opts rt.Options, stdout, stderr io.Writer) int {
+	c, ok := security.CaseByID(id)
+	if !ok {
+		fmt.Fprintf(stderr, "watchdog-juliet: unknown case %q (see -list)\n", id)
+		return 1
+	}
+	o, sink := security.RunCaseTraced(c, cfg, opts, trace.Config{FlightN: depth})
+	if o.Err != nil {
+		fmt.Fprintln(stderr, "watchdog-juliet:", o.Err)
+		return 1
+	}
+	switch {
+	case sink.CountByKind(trace.KindViolation) > 0:
+		fmt.Fprintf(stdout, "%s: detected %s\n", c.ID, o.Kind)
+	case sink.CountByKind(trace.KindAbort) > 0:
+		fmt.Fprintf(stdout, "%s: detected (runtime abort)\n", c.ID)
+	case o.Detected:
+		fmt.Fprintf(stdout, "%s: detected\n", c.ID)
+	default:
+		fmt.Fprintf(stdout, "%s: ran clean\n", c.ID)
+	}
+	if err := sink.DumpFlight(stdout, nil); err != nil {
+		fmt.Fprintln(stderr, "watchdog-juliet:", err)
+		return 1
+	}
+	if o.Pass() {
+		return 0
+	}
+	return 1
 }

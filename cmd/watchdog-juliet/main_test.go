@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFlightLogNamesIdentifier: the acceptance contract for the
+// flight recorder — re-running a bad Juliet case under -flight-log
+// produces a non-empty dump that names the faulting identifier
+// (key and lock value) and the check outcome that tripped.
+func TestFlightLogNamesIdentifier(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-flight-log", "c416_read_norealloc_straight_bad"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "detected use-after-free") {
+		t.Fatalf("bad case not reported as detected:\n%s", out)
+	}
+	for _, want := range []string{
+		"flight recorder: last",
+		"VIOLATION",
+		"use-after-free",
+		"key=",
+		"lock=0x",
+		"-> ok", // the tail includes passing checks leading up to the violation
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("flight dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFlightLogGoodCaseRunsClean: the matching good case records
+// events but reports no detection.
+func TestFlightLogGoodCaseRunsClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-flight-log", "c416_read_norealloc_straight_good"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "ran clean") {
+		t.Fatalf("good case not reported clean:\n%s", stdout.String())
+	}
+	if strings.Contains(stdout.String(), "VIOLATION") {
+		t.Fatalf("good case dumped a violation:\n%s", stdout.String())
+	}
+}
+
+// TestFlightLogUnknownCase: a bogus case ID fails with a pointer to
+// -list instead of silently running the whole suite.
+func TestFlightLogUnknownCase(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-flight-log", "no_such_case"}, &stdout, &stderr); code == 0 {
+		t.Fatal("unknown case must exit non-zero")
+	}
+	if !strings.Contains(stderr.String(), `"no_such_case"`) ||
+		!strings.Contains(stderr.String(), "-list") {
+		t.Errorf("stderr %q must name the case and suggest -list", stderr.String())
+	}
+}
+
+// TestListCases: -list prints case IDs usable with -flight-log.
+func TestListCases(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	for _, want := range []string{"c416_read_norealloc_straight_bad", "CWE-416", "CWE-562"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("-list output missing %q", want)
+		}
+	}
+}

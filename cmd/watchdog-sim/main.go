@@ -7,11 +7,14 @@
 //	watchdog-sim -list
 //	watchdog-sim -workload mcf -config isa -scale 2
 //	watchdog-sim -workload perl -config conservative -v
+//	watchdog-sim -workload mcf -config isa -timeline out.json   # open in ui.perfetto.dev
+//	watchdog-sim -asm prog.wd -flight-log 64                    # dump last events on a violation
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -22,43 +25,60 @@ import (
 	"watchdog/internal/isa"
 	"watchdog/internal/rt"
 	"watchdog/internal/sim"
+	"watchdog/internal/trace"
 	"watchdog/internal/workload"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: parses args, executes, and returns
+// the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("watchdog-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		name    = flag.String("workload", "mcf", "workload name (see -list)")
-		cfg     = flag.String("config", "isa", "configuration: baseline|conservative|isa|isa-nolock|isa-ideal|bounds-1uop|bounds-2uop|location|software|no-copy-elim|monolithic")
-		scale   = flag.Int("scale", 1, "problem-size multiplier")
-		list    = flag.Bool("list", false, "list workloads and exit")
-		verbose = flag.Bool("v", false, "print per-class µop counts and program output")
-		disasm  = flag.Bool("disasm", false, "print the assembled program listing and exit")
-		trace   = flag.Int("trace", 0, "trace the first N executed instructions to stderr")
-		asmFile = flag.String("asm", "", "run a WD64 assembly file (expects a \"main\" function) instead of a workload")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile (go tool pprof) to this path")
-		memProf = flag.String("memprofile", "", "write an allocation profile (go tool pprof) to this path when done")
+		name     = fs.String("workload", "mcf", "workload name (see -list)")
+		cfg      = fs.String("config", "isa", "configuration: baseline|conservative|isa|isa-nolock|isa-ideal|bounds-1uop|bounds-2uop|location|software|no-copy-elim|monolithic")
+		scale    = fs.Int("scale", 1, "problem-size multiplier")
+		list     = fs.Bool("list", false, "list workloads and exit")
+		verbose  = fs.Bool("v", false, "print per-class µop counts and program output")
+		disasm   = fs.Bool("disasm", false, "print the assembled program listing (combines with -trace)")
+		traceN   = fs.Int("trace", 0, "trace the first N executed instructions to stderr")
+		timeline = fs.String("timeline", "", "write the run's Perfetto/Chrome trace-event timeline (load in ui.perfetto.dev) to this JSON path")
+		flightN  = fs.Int("flight-log", 0, "keep the last N trace events in a flight recorder and dump them on a violation or runtime abort")
+		asmFile  = fs.String("asm", "", "run a WD64 assembly file (expects a \"main\" function) instead of a workload")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile (go tool pprof) to this path")
+		memProf  = fs.String("memprofile", "", "write an allocation profile (go tool pprof) to this path when done")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "watchdog-sim:", err)
+		return 1
+	}
 
 	// Reject a bogus scale up front: workload.BuildProgram clamps
 	// non-positive scales to 1, so without this check `-scale 0` would
 	// run fine while the banner below reports the scale that was asked
 	// for, not the one simulated.
 	if *scale < 1 {
-		fmt.Fprintf(os.Stderr, "watchdog-sim: -scale %d: the problem-size multiplier must be >= 1\n", *scale)
-		os.Exit(1)
+		return fail(fmt.Errorf("-scale %d: the problem-size multiplier must be >= 1", *scale))
+	}
+	if *flightN < 0 {
+		return fail(fmt.Errorf("-flight-log %d: the event count must be >= 0", *flightN))
 	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return fail(err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
 			f.Close()
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return fail(err)
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -69,82 +89,97 @@ func main() {
 		defer func() {
 			f, err := os.Create(*memProf)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
+				fmt.Fprintln(stderr, err)
 				return
 			}
 			defer f.Close()
 			runtime.GC()
 			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
-				fmt.Fprintln(os.Stderr, err)
+				fmt.Fprintln(stderr, err)
 			}
 		}()
 	}
 
 	if *asmFile != "" {
-		if err := runAsmFile(*asmFile, *cfg); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if err := runAsmFile(*asmFile, *cfg, *traceN, *timeline, *flightN, stdout, stderr); err != nil {
+			return fail(err)
 		}
-		return
+		return 0
 	}
 
 	if *list {
 		for _, w := range workload.All() {
-			fmt.Printf("%-9s %s\n", w.Name, w.Kernel)
+			fmt.Fprintf(stdout, "%-9s %s\n", w.Name, w.Kernel)
 		}
-		return
+		return 0
 	}
-	if *disasm || *trace > 0 {
-		if err := inspect(*name, *scale, *disasm, *trace); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	if *disasm || *traceN > 0 {
+		// -disasm and -trace combine: the listing prints first, then
+		// the traced functional run.
+		if err := inspect(*name, *scale, *disasm, *traceN, stdout, stderr); err != nil {
+			return fail(err)
 		}
-		if *disasm {
-			return
+		if *disasm && *traceN == 0 {
+			return 0
 		}
 	}
 
 	w, ok := workload.ByName(*name)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown workload %q (try -list)\n", *name)
-		os.Exit(1)
+		return fail(fmt.Errorf("unknown workload %q (try -list)", *name))
 	}
 	r, err := experiments.NewRunner(*scale, w.Name)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return fail(err)
+	}
+	if *timeline != "" || *flightN > 0 {
+		r.Trace = &trace.Config{Timeline: *timeline != "", FlightN: *flightN}
 	}
 	res, err := r.Run(w, experiments.ConfigName(*cfg))
+	// The baseline comparison run below needs no trace attached.
+	r.Trace = nil
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return fail(err)
+	}
+	if *timeline != "" {
+		labels := map[string]string{
+			"workload": w.Name,
+			"config":   *cfg,
+			"scale":    fmt.Sprint(*scale),
+		}
+		if err := trace.WritePerfettoFile(*timeline, res.Trace, labels); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stderr, "watchdog-sim: wrote timeline %s (%d events)\n",
+			*timeline, len(res.Trace.Events()))
 	}
 
-	fmt.Printf("workload   %s (%s)\n", w.Name, w.Kernel)
-	fmt.Printf("config     %s, scale %d\n", *cfg, *scale)
-	fmt.Printf("insts      %d macro, %d µops\n", res.Insts, res.Timing.Uops)
-	fmt.Printf("cycles     %d (IPC %.2f)\n", res.Timing.Cycles, res.Timing.IPC())
+	fmt.Fprintf(stdout, "workload   %s (%s)\n", w.Name, w.Kernel)
+	fmt.Fprintf(stdout, "config     %s, scale %d\n", *cfg, *scale)
+	fmt.Fprintf(stdout, "insts      %d macro, %d µops\n", res.Insts, res.Timing.Uops)
+	fmt.Fprintf(stdout, "cycles     %d (IPC %.2f)\n", res.Timing.Cycles, res.Timing.IPC())
 	if base, err := r.Run(w, experiments.CfgBaseline); err == nil && *cfg != "baseline" {
 		ratio := float64(res.Timing.Cycles) / float64(base.Timing.Cycles)
-		fmt.Printf("overhead   %.1f%% over baseline (%d cycles)\n", (ratio-1)*100, base.Timing.Cycles)
+		fmt.Fprintf(stdout, "overhead   %.1f%% over baseline (%d cycles)\n", (ratio-1)*100, base.Timing.Cycles)
 	}
-	fmt.Printf("mem ops    %d checked, %d classified as pointer ops (%.1f%%)\n",
+	fmt.Fprintf(stdout, "mem ops    %d checked, %d classified as pointer ops (%.1f%%)\n",
 		res.Engine.MemAccesses, res.Engine.PtrOps,
 		100*float64(res.Engine.PtrOps)/float64(max(res.Engine.MemAccesses, 1)))
-	fmt.Printf("checks     %d injected\n", res.Engine.Checks)
+	fmt.Fprintf(stdout, "checks     %d injected\n", res.Engine.Checks)
 	if *verbose {
-		fmt.Printf("µop classes:\n")
+		fmt.Fprintf(stdout, "µop classes:\n")
 		for m := isa.MetaClass(0); m < isa.NumMetaClasses; m++ {
-			fmt.Printf("  %-9s %d\n", m, res.Timing.UopsByMeta[m])
+			fmt.Fprintf(stdout, "  %-9s %d\n", m, res.Timing.UopsByMeta[m])
 		}
-		fmt.Printf("mispredicts %d\n", res.Timing.Mispredicts)
-		fmt.Printf("output      %v\n", res.Output)
+		fmt.Fprintf(stdout, "mispredicts %d\n", res.Timing.Mispredicts)
+		fmt.Fprintf(stdout, "output      %v\n", res.Output)
 	}
+	return 0
 }
 
 // runAsmFile assembles and runs a WD64 text program on top of the
 // simulated runtime.
-func runAsmFile(path, cfgName string) error {
+func runAsmFile(path, cfgName string, traceN int, timeline string, flightN int, stdout, stderr io.Writer) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -172,25 +207,44 @@ func runAsmFile(path, cfgName string) error {
 	simCfg := sim.Default()
 	simCfg.Core = cc
 	simCfg.RuntimeEnd = build.RuntimeEnd()
+	if traceN > 0 {
+		simCfg.TraceBudget = uint64(traceN)
+		simCfg.Trace = traceFn(prog, stderr)
+	}
+	if timeline != "" || flightN > 0 {
+		simCfg.Sink = trace.New(trace.Config{Timeline: timeline != "", FlightN: flightN})
+	}
 	res, err := sim.Run(prog, simCfg)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("insts   %d macro, %d µops, %d cycles (IPC %.2f)\n",
+	fmt.Fprintf(stdout, "insts   %d macro, %d µops, %d cycles (IPC %.2f)\n",
 		res.Insts, res.Timing.Uops, res.Timing.Cycles, res.Timing.IPC())
-	fmt.Printf("output  %v %q\n", res.Output, res.Text)
+	fmt.Fprintf(stdout, "output  %v %q\n", res.Output, res.Text)
 	switch {
 	case res.MemErr != nil:
-		fmt.Printf("caught  %v\n", res.MemErr)
+		fmt.Fprintf(stdout, "caught  %v\n", res.MemErr)
 	case res.Aborted:
-		fmt.Printf("abort   runtime code %d\n", res.AbortCode)
+		fmt.Fprintf(stdout, "abort   runtime code %d\n", res.AbortCode)
+	}
+	if flightN > 0 && (res.MemErr != nil || res.Aborted) {
+		if err := res.Trace.DumpFlight(stderr, resolver(prog)); err != nil {
+			return err
+		}
+	}
+	if timeline != "" {
+		if err := trace.WritePerfettoFile(timeline, res.Trace, map[string]string{"asm": path, "config": cfgName}); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "watchdog-sim: wrote timeline %s (%d events)\n",
+			timeline, len(res.Trace.Events()))
 	}
 	return nil
 }
 
 // inspect prints a disassembly and/or traces execution of the
 // workload under the default Watchdog configuration (functional run).
-func inspect(name string, scale int, disasm bool, trace int) error {
+func inspect(name string, scale int, disasm bool, traceN int, stdout, stderr io.Writer) error {
 	w, ok := workload.ByName(name)
 	if !ok {
 		return fmt.Errorf("unknown workload %q", name)
@@ -200,27 +254,44 @@ func inspect(name string, scale int, disasm bool, trace int) error {
 		return err
 	}
 	if disasm {
-		fmt.Print(prog.Disasm(0, 0))
+		fmt.Fprint(stdout, prog.Disasm(0, 0))
+	}
+	if traceN <= 0 {
 		return nil
 	}
-	n := 0
 	cfg := sim.Config{Core: core.DefaultConfig(), RuntimeEnd: rtEnd}
-	cfg.Trace = func(pc int, in *isa.Inst) {
-		if n >= trace {
-			return
-		}
-		n++
-		for _, l := range prog.LabelsAt(pc) {
-			fmt.Fprintf(os.Stderr, "%s:\n", l)
-		}
-		fmt.Fprintf(os.Stderr, "%6d  %s\n", pc, in.String())
-	}
+	// The budget lives in the sink, so once the first traceN
+	// instructions have printed the observer is detached instead of
+	// being re-entered (and skipped) for every remaining instruction.
+	cfg.TraceBudget = uint64(traceN)
+	cfg.Trace = traceFn(prog, stderr)
 	res, err := sim.Run(prog, cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "-- traced %d of %d instructions --\n", n, res.Insts)
+	fmt.Fprintf(stderr, "-- traced %d of %d executed instructions --\n",
+		res.Trace.InstObserved(), res.Insts)
 	return nil
+}
+
+// traceFn renders one macro instruction per line, with labels.
+func traceFn(prog *asm.Program, w io.Writer) func(pc int, in *isa.Inst) {
+	return func(pc int, in *isa.Inst) {
+		for _, l := range prog.LabelsAt(pc) {
+			fmt.Fprintf(w, "%s:\n", l)
+		}
+		fmt.Fprintf(w, "%6d  %s\n", pc, in.String())
+	}
+}
+
+// resolver renders the macro instruction at a pc for flight-log lines.
+func resolver(prog *asm.Program) func(pc int) string {
+	return func(pc int) string {
+		if pc < 0 || pc >= len(prog.Insts) {
+			return fmt.Sprintf("pc?%d", pc)
+		}
+		return prog.Insts[pc].String()
+	}
 }
 
 func max(a, b uint64) uint64 {

@@ -60,6 +60,10 @@ type Cache struct {
 
 	next Port
 
+	// live counts currently-valid lines (the occupancy the trace
+	// layer's counter track samples).
+	live int
+
 	// Stats.
 	Accesses      uint64
 	Misses        uint64
@@ -147,9 +151,13 @@ func (c *Cache) Invalidate(addr uint64) {
 		l := &c.lines[set][i]
 		if l.valid && l.tag == block {
 			l.valid = false
+			c.live--
 		}
 	}
 }
+
+// LiveLines returns the number of currently-valid lines (occupancy).
+func (c *Cache) LiveLines() int { return c.live }
 
 func (c *Cache) install(block uint64) {
 	set := int(block % uint64(c.sets))
@@ -165,6 +173,9 @@ func (c *Cache) install(block uint64) {
 			oldest = l.stamp
 			victim = i
 		}
+	}
+	if !c.lines[set][victim].valid {
+		c.live++
 	}
 	c.lines[set][victim] = line{tag: block, valid: true, stamp: c.stampCtr}
 }

@@ -76,6 +76,16 @@ func NewHierarchy(cfg HierConfig) *Hierarchy {
 // LockCacheEnabled reports whether the dedicated lock cache exists.
 func (h *Hierarchy) LockCacheEnabled() bool { return h.Lock != nil }
 
+// LockLiveLines returns the lock location cache's valid-line count (0
+// when the lock cache is disabled) — the occupancy the trace layer's
+// counter track samples at each µop retirement.
+func (h *Hierarchy) LockLiveLines() int {
+	if h.Lock == nil {
+		return 0
+	}
+	return h.Lock.LiveLines()
+}
+
 // Stats is one cache level's counter snapshot.
 type Stats struct {
 	Accesses uint64

@@ -3,6 +3,7 @@ package core
 import (
 	"watchdog/internal/isa"
 	"watchdog/internal/mem"
+	"watchdog/internal/trace"
 )
 
 // Stats aggregates engine-side accounting (Figure 5 inputs).
@@ -51,6 +52,10 @@ type Engine struct {
 
 	entrySize uint64
 	stats     Stats
+	// sink, when non-nil, receives check-outcome and shadow-traffic
+	// events. Every emission is nil-guarded so the disabled path stays
+	// allocation-free.
+	sink *trace.Sink
 	// buf backs every injected-µop slice the engine returns. The
 	// machine feeds each returned slice to the timing model before the
 	// next engine call, so a single reused buffer keeps the hot path
@@ -74,6 +79,29 @@ func NewEngine(cfg Config, memory *mem.Memory) *Engine {
 
 // Config returns the engine configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// SetSink attaches a trace sink (nil detaches).
+func (e *Engine) SetSink(s *trace.Sink) { e.sink = s }
+
+// TraceOutcome maps a check result (nil or *MemoryError) to the trace
+// event outcome.
+func TraceOutcome(err error) trace.CheckOutcome {
+	me, ok := err.(*MemoryError)
+	if !ok || me == nil {
+		return trace.OutcomeOK
+	}
+	switch me.Kind {
+	case ErrUseAfterFree:
+		return trace.OutcomeUseAfterFree
+	case ErrOutOfBounds:
+		return trace.OutcomeOutOfBounds
+	case ErrNoMetadata:
+		return trace.OutcomeNoMetadata
+	case ErrUnallocated:
+		return trace.OutcomeUnallocated
+	}
+	return trace.OutcomeOK
+}
 
 // Stats returns the accumulated counters.
 func (e *Engine) Stats() Stats { return e.stats }
@@ -282,11 +310,27 @@ func (e *Engine) Access(pc int, base, index isa.Reg, addr uint64, width uint8, i
 	}
 	e.buf = uops
 
-	if err := e.evalCheck(pc, meta, addr, width, isWrite); err != nil {
+	err := e.evalCheck(pc, meta, addr, width, isWrite)
+	e.traceCheck(pc, meta, addr, isWrite, err)
+	if err != nil {
 		e.stats.Violations++
 		return uops, err
 	}
 	return uops, nil
+}
+
+// traceCheck emits one check-outcome event including the lock value
+// the check compared against (a re-read of an already-touched word, so
+// footprint accounting is unperturbed).
+func (e *Engine) traceCheck(pc int, meta Meta, addr uint64, isWrite bool, err error) {
+	if e.sink == nil {
+		return
+	}
+	var lockVal uint64
+	if meta.Lock != 0 {
+		lockVal = e.mem.ReadU64(meta.Lock)
+	}
+	e.sink.Check(pc, addr, meta.Key, meta.Lock, lockVal, isWrite, TraceOutcome(err))
 }
 
 // evalCheck is the functional semantics of the check µop(s).
@@ -329,6 +373,9 @@ func (e *Engine) PtrLoad(pc int, dst isa.Reg, addr uint64) []isa.Uop {
 	u.Shadow = true
 	u.Meta = isa.MetaPtrLoad
 	e.buf = append(e.buf[:0], u)
+	if e.sink != nil {
+		e.sink.Shadow(pc, u.Addr, false)
+	}
 	return e.buf
 }
 
@@ -355,6 +402,9 @@ func (e *Engine) PtrStore(pc int, src isa.Reg, addr uint64) []isa.Uop {
 	u.Shadow = true
 	u.Meta = isa.MetaPtrStore
 	e.buf = append(e.buf[:0], u)
+	if e.sink != nil {
+		e.sink.Shadow(pc, u.Addr, true)
+	}
 	return e.buf
 }
 
@@ -592,7 +642,13 @@ func (e *Engine) locationAccess(pc int, addr uint64, width uint8, isWrite bool) 
 	e.buf = append(e.buf[:0], u)
 	if mem.RegionOf(addr) == mem.RegionHeap && !e.locAlloc[addr&^7] {
 		e.stats.Violations++
+		if e.sink != nil {
+			e.sink.Check(pc, addr, 0, 0, 0, isWrite, trace.OutcomeUnallocated)
+		}
 		return e.buf, &MemoryError{Kind: ErrUnallocated, PC: pc, Addr: addr, Write: isWrite}
+	}
+	if e.sink != nil {
+		e.sink.Check(pc, addr, 0, 0, 0, isWrite, trace.OutcomeOK)
 	}
 	return e.buf, nil
 }
@@ -626,7 +682,9 @@ func (e *Engine) softwareAccess(pc int, base, index isa.Reg, addr uint64, width 
 	e.buf = uops
 	e.stats.Checks++
 
-	if err := e.evalCheck(pc, meta, addr, width, isWrite); err != nil {
+	err := e.evalCheck(pc, meta, addr, width, isWrite)
+	e.traceCheck(pc, meta, addr, isWrite, err)
+	if err != nil {
 		e.stats.Violations++
 		return uops, err
 	}
@@ -659,6 +717,9 @@ func (e *Engine) softwarePtrLoad(pc int, dst isa.Reg, addr uint64) []isa.Uop {
 		uops = append(uops, ld)
 	}
 	e.buf = uops
+	if e.sink != nil {
+		e.sink.Shadow(pc, sa, false)
+	}
 	return uops
 }
 
@@ -688,6 +749,9 @@ func (e *Engine) softwarePtrStore(pc int, src isa.Reg, addr uint64) []isa.Uop {
 		uops = append(uops, st)
 	}
 	e.buf = uops
+	if e.sink != nil {
+		e.sink.Shadow(pc, sa, true)
+	}
 	return uops
 }
 

@@ -19,6 +19,7 @@ import (
 	"watchdog/internal/rt"
 	"watchdog/internal/sim"
 	"watchdog/internal/stats"
+	"watchdog/internal/trace"
 	"watchdog/internal/workload"
 )
 
@@ -57,6 +58,17 @@ type Runner struct {
 	// Timing counts executed simulations, profiling passes and cache
 	// hits (observability for the parallel harness).
 	Timing stats.Timing
+
+	// Trace, when non-nil, attaches a fresh trace sink with this
+	// configuration to every uncached simulation (reachable afterwards
+	// via the cached Result.Trace). Sinks are strictly per-cell, so
+	// traced sweeps stay race-free at any Jobs.
+	Trace *trace.Config
+	// Progress, when non-nil, receives cell-completion ticks from the
+	// fan-out paths (RunAll and the Juliet suite). The counters are
+	// atomic and ordering-free, so the deterministic merge of results
+	// is unaffected.
+	Progress *trace.Progress
 
 	mu       sync.Mutex
 	profiles map[string]*profileEntry
@@ -220,6 +232,9 @@ func (r *Runner) runUncached(w workload.Workload, name ConfigName) (*machine.Res
 	}
 	cfg := simConfig(name, prof)
 	cfg.RuntimeEnd = rtEnd
+	if r.Trace != nil {
+		cfg.Sink = trace.New(*r.Trace)
+	}
 	res, err := sim.Run(prog, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("%s under %s: %w", w.Name, name, err)

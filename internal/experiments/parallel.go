@@ -78,8 +78,14 @@ func (r *Runner) RunAll(cfgs ...ConfigName) error {
 			pairs = append(pairs, pair{w, c})
 		}
 	}
+	if r.Progress != nil {
+		r.Progress.AddTotal(len(pairs))
+	}
 	return r.parallelDo(len(pairs), func(i int) error {
 		_, err := r.Run(pairs[i].w, pairs[i].c)
+		if r.Progress != nil {
+			r.Progress.CellDone()
+		}
 		return err
 	})
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 
+	"watchdog/internal/trace"
 	"watchdog/internal/workload"
 )
 
@@ -174,6 +175,47 @@ func TestNewRunnerReportsAllUnknown(t *testing.T) {
 	for _, miss := range []string{"nope1", "nope2"} {
 		if !strings.Contains(err.Error(), miss) {
 			t.Errorf("error %q does not name %q", err, miss)
+		}
+	}
+}
+
+// TestTracedSweepParallel: a traced fan-out at Jobs=4 must attach one
+// independent sink per cell (race-free under -race), tick the progress
+// counters to completion, and leave the per-cell traces reachable from
+// the cached results without perturbing the figures.
+func TestTracedSweepParallel(t *testing.T) {
+	plain := runnerJ(t, 4)
+	ps, pg, err := plain.Sweep(CfgConservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := runnerJ(t, 4)
+	r.Trace = &trace.Config{FlightN: 64}
+	r.Progress = trace.NewProgress()
+	s, g, err := r.Sweep(CfgConservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(s) != fmt.Sprint(ps) || g != pg {
+		t.Fatalf("tracing changed the sweep: %v/%v vs %v/%v", s, g, ps, pg)
+	}
+	if r.Progress.Done() != r.Progress.Total() || r.Progress.Done() == 0 {
+		t.Fatalf("progress %d/%d after completed sweep", r.Progress.Done(), r.Progress.Total())
+	}
+	for _, w := range r.Workloads {
+		res, err := r.Run(w, CfgConservative)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Trace == nil {
+			t.Fatalf("%s: cached result lost its trace sink", w.Name)
+		}
+		if res.Trace.CountByKind(trace.KindCheck) == 0 {
+			t.Fatalf("%s: traced watchdog run recorded no check events", w.Name)
+		}
+		if len(res.Trace.FlightEvents()) == 0 {
+			t.Fatalf("%s: flight ring empty after traced run", w.Name)
 		}
 	}
 }

@@ -43,8 +43,13 @@ func IsOverheadFigure(name string) bool {
 // sim counts for the Juliet path, not "0 sims").
 func (r *Runner) Juliet() security.Summary {
 	cases := security.Suite()
-	outs := security.RunCasesTimed(cases, core.DefaultConfig(),
-		rt.Options{Policy: core.PolicyWatchdog}, r.jobs(), &r.Timing)
+	var onDone func()
+	if r.Progress != nil {
+		r.Progress.AddTotal(len(cases))
+		onDone = r.Progress.CellDone
+	}
+	outs := security.RunCasesObserved(cases, core.DefaultConfig(),
+		rt.Options{Policy: core.PolicyWatchdog}, r.jobs(), &r.Timing, onDone)
 	return security.Summarize(cases, outs)
 }
 

@@ -14,6 +14,7 @@ import (
 	"watchdog/internal/isa"
 	"watchdog/internal/mem"
 	"watchdog/internal/pipeline"
+	"watchdog/internal/trace"
 )
 
 // Result summarizes a completed (or faulted) run.
@@ -43,6 +44,10 @@ type Result struct {
 	Engine core.Stats
 	// Footprint is the per-region memory touch accounting (Fig. 10).
 	Footprint map[mem.Region]mem.Footprint
+
+	// Trace is the sink that observed the run (nil when tracing was
+	// off); it carries the timeline and flight-recorder contents.
+	Trace *trace.Sink
 }
 
 // Machine executes one program.
@@ -66,9 +71,10 @@ type Machine struct {
 	// InstLimit bounds the run (default 200M macro instructions).
 	InstLimit uint64
 
-	// Trace, when set, observes every macro instruction before it
-	// executes (debug tooling).
-	Trace func(pc int, in *isa.Inst)
+	// sink, when set, observes the run: one event per macro
+	// instruction plus the violation/abort that ends it. Nil-guarded
+	// at every use so the disabled path stays allocation-free.
+	sink *trace.Sink
 
 	// sampler, when set, gates the timing model per the paper's
 	// periodic-sampling methodology (see SetSampling).
@@ -148,10 +154,20 @@ func (m *Machine) feed(uops []isa.Uop) {
 	}
 }
 
+// SetSink attaches a trace sink to the machine and its engine (nil
+// detaches both).
+func (m *Machine) SetSink(s *trace.Sink) {
+	m.sink = s
+	m.eng.SetSink(s)
+}
+
 // fault records a memory-safety exception and halts.
 func (m *Machine) fault(err error) {
 	if me, ok := err.(*core.MemoryError); ok {
 		m.res.MemErr = me
+		if m.sink != nil {
+			m.sink.Violation(me.PC, me.Addr, me.Ident.Key, me.Ident.Lock, me.Write, core.TraceOutcome(me))
+		}
 	}
 	m.halted = true
 }
@@ -192,14 +208,15 @@ func (m *Machine) finish() {
 	}
 	m.res.Engine = m.eng.Stats()
 	m.res.Footprint = m.Mem.FootprintByRegion()
+	m.res.Trace = m.sink
 }
 
 // step interprets one macro instruction.
 func (m *Machine) step() error {
 	pc := m.pc
 	in := &m.prog.Insts[pc]
-	if m.Trace != nil {
-		m.Trace(pc, in)
+	if m.sink != nil {
+		m.sink.Inst(pc, in.Op)
 	}
 	m.res.Insts++
 	ca := mem.CodeAddr(pc)
@@ -460,8 +477,11 @@ func (m *Machine) step() error {
 // propCopy applies unambiguous metadata copy propagation.
 func (m *Machine) propCopy(dst, src isa.Reg, base []isa.Uop) {
 	uops := m.eng.CopyPropagate(dst, src)
-	if m.model != nil && len(uops) == 0 {
-		m.model.PropagateMeta(dst, src)
+	if len(uops) == 0 {
+		if m.model != nil {
+			m.model.PropagateMeta(dst, src)
+		}
+		m.traceCopyElim(dst, src)
 	}
 	m.feed(base)
 	m.feed(uops)
@@ -470,19 +490,37 @@ func (m *Machine) propCopy(dst, src isa.Reg, base []isa.Uop) {
 // propSelect applies the either-input-might-be-a-pointer rule.
 func (m *Machine) propSelect(dst, s1, s2 isa.Reg, base []isa.Uop) {
 	uops := m.eng.SelectPropagate(dst, s1, s2)
-	if m.model != nil && len(uops) == 0 {
+	if len(uops) == 0 {
 		if meta := m.eng.RegMeta(dst); meta.Valid() {
 			src := s1
 			if !(s1.IsInt() && m.eng.RegMeta(s1) == meta) {
 				src = s2
 			}
-			m.model.PropagateMeta(dst, src)
-		} else {
+			if m.model != nil {
+				m.model.PropagateMeta(dst, src)
+			}
+			m.traceCopyElim(dst, src)
+		} else if m.model != nil {
 			m.model.InvalidateMeta(dst)
 		}
 	}
 	m.feed(base)
 	m.feed(uops)
+}
+
+// traceCopyElim emits a copy-elimination event when the rename stage
+// absorbed a metadata copy that would otherwise have been a select µop
+// (valid metadata propagated with no µop charged under Watchdog with
+// copy elimination on).
+func (m *Machine) traceCopyElim(dst, src isa.Reg) {
+	if m.sink == nil {
+		return
+	}
+	cfg := m.eng.Config()
+	if cfg.Policy != core.PolicyWatchdog || !cfg.CopyElim || !m.eng.RegMeta(dst).Valid() {
+		return
+	}
+	m.sink.CopyElim(m.pc, dst, src)
 }
 
 // propInvalidate marks dst as never-a-pointer.

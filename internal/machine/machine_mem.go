@@ -79,8 +79,11 @@ func (m *Machine) aluMem(in *isa.Inst, base []isa.Uop) error {
 	// The loaded operand is data; the result inherits Src1's metadata
 	// (pointer + offset-in-memory pattern).
 	uops := m.eng.CopyPropagate(in.Dst, in.Src1)
-	if m.model != nil && len(uops) == 0 {
-		m.model.PropagateMeta(in.Dst, in.Src1)
+	if len(uops) == 0 {
+		if m.model != nil {
+			m.model.PropagateMeta(in.Dst, in.Src1)
+		}
+		m.traceCopyElim(in.Dst, in.Src1)
 	}
 	m.feed(uops)
 	return nil
@@ -193,6 +196,9 @@ func (m *Machine) syscall(in *isa.Inst) {
 	case isa.SysAbort:
 		m.res.Aborted = true
 		m.res.AbortCode = int64(m.reg(in.Src1))
+		if m.sink != nil {
+			m.sink.Abort(m.pc, m.res.AbortCode)
+		}
 		m.halted = true
 	case isa.SysMarkAlloc:
 		m.eng.MarkAlloc(m.Regs[isa.R1], m.Regs[isa.R2])

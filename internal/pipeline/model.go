@@ -4,6 +4,7 @@ import (
 	"watchdog/internal/bpred"
 	"watchdog/internal/cache"
 	"watchdog/internal/isa"
+	"watchdog/internal/trace"
 )
 
 // Stats aggregates the timing run.
@@ -104,8 +105,16 @@ type Model struct {
 	lastRetire   int64
 	lastFetchBlk uint64
 
+	// sink, when non-nil, receives per-µop lifecycle events (stage
+	// timestamps, lock-miss outcome, occupancy samples). Nil-checked
+	// at every use so the disabled path stays allocation-free.
+	sink *trace.Sink
+
 	stats Stats
 }
+
+// SetSink attaches the trace event sink (nil disables tracing).
+func (m *Model) SetSink(s *trace.Sink) { m.sink = s }
 
 // New builds a model over the given hierarchy and predictor.
 func New(cfg Config, hier *cache.Hierarchy, bp *bpred.Predictor) *Model {
@@ -159,6 +168,9 @@ func (m *Model) OnInst(codeAddr uint64) {
 		m.fetchGroup = 0
 	}
 	m.fetchGroup++
+	if m.sink != nil {
+		m.sink.Fetch(codeAddr, m.fetchTime)
+	}
 }
 
 // Redirect models a fetch redirect after a taken control transfer:
@@ -353,6 +365,11 @@ func (m *Model) OnUop(u *isa.Uop) {
 			// Correctly predicted taken: the fetch group ends.
 			m.fetchGroup = m.cfg.FetchWidthMacro
 		}
+	}
+
+	if m.sink != nil {
+		m.sink.Uop(u, disp, issueAt, complete, ret, lockMissed,
+			m.iq.len(), m.hier.LockLiveLines())
 	}
 }
 

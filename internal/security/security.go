@@ -29,6 +29,7 @@ import (
 	"watchdog/internal/rt"
 	"watchdog/internal/sim"
 	"watchdog/internal/stats"
+	"watchdog/internal/trace"
 )
 
 // Case is one generated test program.
@@ -75,8 +76,30 @@ func (o Outcome) Pass() bool {
 	return o.Clean
 }
 
+// CaseByID returns the suite case with the given ID.
+func CaseByID(id string) (Case, bool) {
+	for _, c := range Suite() {
+		if c.ID == id {
+			return c, true
+		}
+	}
+	return Case{}, false
+}
+
 // RunCase executes one case functionally under the given configuration.
 func RunCase(c Case, cfg core.Config, opts rt.Options) Outcome {
+	return runCaseSink(c, cfg, opts, nil)
+}
+
+// RunCaseTraced is RunCase with a trace sink attached (flight
+// recorder and/or timeline per tc); the sink that observed the run is
+// returned alongside the outcome so callers can dump or export it.
+func RunCaseTraced(c Case, cfg core.Config, opts rt.Options, tc trace.Config) (Outcome, *trace.Sink) {
+	sink := trace.New(tc)
+	return runCaseSink(c, cfg, opts, sink), sink
+}
+
+func runCaseSink(c Case, cfg core.Config, opts rt.Options, sink *trace.Sink) Outcome {
 	r := rt.NewBuild(opts)
 	r.B.Label("main")
 	c.Build(r.B, c.ID)
@@ -84,7 +107,7 @@ func RunCase(c Case, cfg core.Config, opts rt.Options) Outcome {
 	if err != nil {
 		return Outcome{Case: c, Err: fmt.Errorf("assemble: %w", err)}
 	}
-	res, err := sim.Run(prog, sim.Config{Core: cfg, RuntimeEnd: r.RuntimeEnd(), InstLimit: 2_000_000})
+	res, err := sim.Run(prog, sim.Config{Core: cfg, RuntimeEnd: r.RuntimeEnd(), InstLimit: 2_000_000, Sink: sink})
 	if err != nil {
 		return Outcome{Case: c, Err: err}
 	}
@@ -145,13 +168,27 @@ func RunCases(cases []Case, cfg core.Config, opts rt.Options, jobs int) []Outcom
 // Juliet path reports real sim counts like the figure paths do. A nil
 // t disables recording.
 func RunCasesTimed(cases []Case, cfg core.Config, opts rt.Options, jobs int, t *stats.Timing) []Outcome {
+	return RunCasesObserved(cases, cfg, opts, jobs, t, nil)
+}
+
+// RunCasesObserved is RunCasesTimed with a per-case completion hook:
+// onDone, when non-nil, is invoked once per completed case, from
+// whichever worker finished it (so it must be concurrency-safe — the
+// progress counters are). The outcome slice is still merged in case
+// order.
+func RunCasesObserved(cases []Case, cfg core.Config, opts rt.Options, jobs int, t *stats.Timing, onDone func()) []Outcome {
 	run := func(c Case) Outcome {
-		if t == nil {
-			return RunCase(c, cfg, opts)
+		var start time.Time
+		if t != nil {
+			start = time.Now()
 		}
-		start := time.Now()
 		o := RunCase(c, cfg, opts)
-		t.AddSim(time.Since(start))
+		if t != nil {
+			t.AddSim(time.Since(start))
+		}
+		if onDone != nil {
+			onDone()
+		}
 		return o
 	}
 	outs := make([]Outcome, len(cases))

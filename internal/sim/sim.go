@@ -13,6 +13,7 @@ import (
 	"watchdog/internal/machine"
 	"watchdog/internal/mem"
 	"watchdog/internal/pipeline"
+	"watchdog/internal/trace"
 )
 
 // Config configures a simulation run.
@@ -34,8 +35,17 @@ type Config struct {
 	RuntimeEnd int
 	// InstLimit overrides the default macro-instruction limit.
 	InstLimit uint64
-	// Trace, when set, observes every executed macro instruction.
+	// Trace, when set, observes every executed macro instruction. It
+	// rides the trace sink's instruction-event stream (an adapter sink
+	// is created when Sink is nil), so -trace and the richer trace
+	// features share one entry point into the hot path.
 	Trace func(pc int, in *isa.Inst)
+	// TraceBudget bounds how many instructions Trace observes (0 =
+	// unlimited). Once spent, the observer short-circuits.
+	TraceBudget uint64
+	// Sink, when set, records per-µop lifecycle, check-outcome and
+	// shadow-traffic events (timeline export, flight recorder).
+	Sink *trace.Sink
 	// Sampling, when non-nil, enables the paper's periodic-sampling
 	// methodology (Section 9.1).
 	Sampling *machine.Sampling
@@ -76,7 +86,24 @@ func Run(prog *asm.Program, cfg Config) (*machine.Result, error) {
 		model.Monolithic = cfg.Monolithic
 	}
 	m := machine.New(prog, memory, eng, model, bp)
-	m.Trace = cfg.Trace
+	sink := cfg.Sink
+	if cfg.Trace != nil {
+		if sink == nil {
+			// Adapter-only sink: no timeline, no ring — just the
+			// instruction observer stream.
+			sink = trace.New(trace.Config{InstBudget: cfg.TraceBudget})
+		}
+		tr := cfg.Trace
+		sink.SetInstObserver(func(ev trace.Event) {
+			tr(ev.PC, &prog.Insts[ev.PC])
+		})
+	}
+	if sink != nil {
+		m.SetSink(sink)
+		if model != nil {
+			model.SetSink(sink)
+		}
+	}
 	if cfg.Sampling != nil {
 		m.SetSampling(*cfg.Sampling)
 	}

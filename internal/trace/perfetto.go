@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The exporter lays the timeline out as one Perfetto "process" per
+// simulation with one named thread (track) per pipeline stage, plus
+// counter tracks for issue-queue occupancy and live lock-location-
+// cache lines. Cycles map 1:1 to the trace's microsecond timestamps
+// (Perfetto has no "cycles" unit; 1 µs == 1 cycle keeps the numbers
+// readable). Stage tracks:
+//
+//	fetch    — instants where the front end started a macro instruction
+//	dispatch — each µop from window allocation to issue
+//	execute  — each µop from issue to completion
+//	retire   — each µop from completion to in-order retirement
+//	engine   — functional instants: check outcomes, shadow traffic,
+//	           copy eliminations, the violation/abort that ended the run
+const (
+	tidFetch = iota + 1
+	tidDispatch
+	tidExecute
+	tidRetire
+	tidEngine
+)
+
+var stageNames = map[int]string{
+	tidFetch:    "fetch",
+	tidDispatch: "dispatch",
+	tidExecute:  "execute",
+	tidRetire:   "retire",
+	tidEngine:   "engine",
+}
+
+// tev is one Chrome trace-event object. Field order is the emission
+// order in the JSON document, so exports are byte-stable.
+type tev struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	S    string         `json:"s,omitempty"` // instant scope ("t" = thread)
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// perfettoDoc is the top-level trace-event JSON object.
+type perfettoDoc struct {
+	TraceEvents     []tev             `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	Metadata        map[string]string `json:"metadata,omitempty"`
+}
+
+// WritePerfetto renders the sink's timeline as Chrome trace-event JSON
+// loadable by ui.perfetto.dev (and chrome://tracing). labels annotate
+// the document metadata (e.g. workload and configuration names); the
+// output is deterministic for a given timeline (json.Marshal emits
+// struct fields in order and sorts map keys).
+func WritePerfetto(w io.Writer, s *Sink, labels map[string]string) error {
+	if s == nil || !s.cfg.Timeline {
+		return fmt.Errorf("trace: sink has no recorded timeline (Config.Timeline off)")
+	}
+	doc := perfettoDoc{DisplayTimeUnit: "ms", Metadata: labels}
+
+	// Track-naming metadata first, in tid order.
+	doc.TraceEvents = append(doc.TraceEvents, tev{
+		Name: "process_name", Ph: "M", Pid: 0,
+		Args: map[string]any{"name": "watchdog-sim"},
+	})
+	for tid := tidFetch; tid <= tidEngine; tid++ {
+		doc.TraceEvents = append(doc.TraceEvents, tev{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: tid,
+			Args: map[string]any{"name": stageNames[tid]},
+		})
+	}
+
+	// Engine-track instants (check outcomes, shadow traffic...) are
+	// functional events with no cycle of their own; each is anchored
+	// to the cycle the timeline had progressed to when it was emitted
+	// (the latest fetch/retire cycle seen so far in emission order).
+	var cycle int64
+	for i := range s.events {
+		ev := &s.events[i]
+		switch ev.Kind {
+		case KindFetch:
+			if ev.Retire > cycle {
+				cycle = ev.Retire
+			}
+			doc.TraceEvents = append(doc.TraceEvents, tev{
+				Name: "fetch", Ph: "i", S: "t", Ts: ev.Retire, Pid: 0, Tid: tidFetch,
+				Args: map[string]any{"addr": hex(ev.Addr)},
+			})
+		case KindUop:
+			if ev.Retire > cycle {
+				cycle = ev.Retire
+			}
+			name := ev.Uop.String()
+			args := map[string]any{"class": ev.Meta.String()}
+			if ev.Addr != 0 {
+				args["addr"] = hex(ev.Addr)
+			}
+			if ev.Shadow {
+				args["shadow"] = true
+			}
+			if ev.LockMiss {
+				args["lock_miss"] = true
+			}
+			doc.TraceEvents = append(doc.TraceEvents,
+				slice(name, tidDispatch, ev.Dispatch, ev.Issue, args),
+				slice(name, tidExecute, ev.Issue, ev.Complete, args),
+				slice(name, tidRetire, ev.Complete, ev.Retire, args),
+				tev{Name: "IQ occupancy", Ph: "C", Ts: ev.Retire, Pid: 0,
+					Args: map[string]any{"entries": ev.IQLen}},
+				tev{Name: "lock$ lines", Ph: "C", Ts: ev.Retire, Pid: 0,
+					Args: map[string]any{"lines": ev.LockLines}},
+			)
+		case KindCheck:
+			doc.TraceEvents = append(doc.TraceEvents, tev{
+				Name: "check:" + ev.Outcome.String(), Ph: "i", S: "t", Ts: cycle, Pid: 0, Tid: tidEngine,
+				Args: map[string]any{
+					"pc": ev.PC, "addr": hex(ev.Addr), "key": ev.Key,
+					"lock": hex(ev.Lock), "lock_value": ev.LockVal,
+					"write": ev.Write,
+				},
+			})
+		case KindShadow:
+			name := "shadow-load"
+			if ev.Write {
+				name = "shadow-store"
+			}
+			doc.TraceEvents = append(doc.TraceEvents, tev{
+				Name: name, Ph: "i", S: "t", Ts: cycle, Pid: 0, Tid: tidEngine,
+				Args: map[string]any{"pc": ev.PC, "addr": hex(ev.Addr)},
+			})
+		case KindCopyElim:
+			doc.TraceEvents = append(doc.TraceEvents, tev{
+				Name: "copy-elim", Ph: "i", S: "t", Ts: cycle, Pid: 0, Tid: tidEngine,
+				Args: map[string]any{"pc": ev.PC, "dst": ev.Dst.String(), "src": ev.Src.String()},
+			})
+		case KindViolation:
+			doc.TraceEvents = append(doc.TraceEvents, tev{
+				Name: "VIOLATION:" + ev.Outcome.String(), Ph: "i", S: "t", Ts: cycle, Pid: 0, Tid: tidEngine,
+				Args: map[string]any{
+					"pc": ev.PC, "addr": hex(ev.Addr),
+					"key": ev.Key, "lock": hex(ev.Lock), "write": ev.Write,
+				},
+			})
+		case KindAbort:
+			doc.TraceEvents = append(doc.TraceEvents, tev{
+				Name: "ABORT", Ph: "i", S: "t", Ts: cycle, Pid: 0, Tid: tidEngine,
+				Args: map[string]any{"pc": ev.PC, "code": ev.AbortCode},
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&doc)
+}
+
+// slice builds one duration event; zero-length stages render as 1-
+// cycle slices so they stay visible.
+func slice(name string, tid int, from, to int64, args map[string]any) tev {
+	dur := to - from
+	if dur < 1 {
+		dur = 1
+	}
+	return tev{Name: name, Ph: "X", Ts: from, Dur: dur, Pid: 0, Tid: tid, Args: args}
+}
+
+func hex(v uint64) string { return fmt.Sprintf("%#x", v) }
+
+// WritePerfettoFile writes the timeline to path.
+func WritePerfettoFile(path string, s *Sink, labels map[string]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WritePerfetto(f, s, labels); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is the live sweep-progress counter set: the parallel
+// experiment runner registers how many (workload, configuration)
+// cells each fan-out will visit and ticks one off as each completes
+// (cache hits included — a hit completes its cell too). All counters
+// are atomic, so workers update them without coordination and a
+// reporter goroutine can read them concurrently; the counters carry
+// no ordering obligations, so the runner's deterministic merge is
+// untouched.
+type Progress struct {
+	total atomic.Int64
+	done  atomic.Int64
+	start atomic.Int64 // wall-clock start, unix nanos; set once on first use
+}
+
+// NewProgress returns a zeroed counter set with the clock started.
+func NewProgress() *Progress {
+	p := &Progress{}
+	p.start.Store(time.Now().UnixNano())
+	return p
+}
+
+// AddTotal registers n upcoming cells (called at the start of each
+// fan-out; totals accumulate across fan-outs within one run).
+func (p *Progress) AddTotal(n int) { p.total.Add(int64(n)) }
+
+// CellDone ticks one completed cell.
+func (p *Progress) CellDone() { p.done.Add(1) }
+
+// Done returns the completed-cell count.
+func (p *Progress) Done() int64 { return p.done.Load() }
+
+// Total returns the registered cell count.
+func (p *Progress) Total() int64 { return p.total.Load() }
+
+// Elapsed returns the wall time since the counter set was created.
+func (p *Progress) Elapsed() time.Duration {
+	return time.Duration(time.Now().UnixNano() - p.start.Load())
+}
+
+// ETA extrapolates the remaining wall time from the completion rate so
+// far; zero when nothing has completed yet (no rate to extrapolate).
+func (p *Progress) ETA() time.Duration {
+	done, total := p.Done(), p.Total()
+	if done <= 0 || total <= done {
+		return 0
+	}
+	per := float64(p.Elapsed()) / float64(done)
+	return time.Duration(per * float64(total-done))
+}
+
+// Line renders one human-readable progress line, e.g.
+//
+//	progress: 12/40 cells (30.0%), elapsed 2.1s, eta 4.9s
+func (p *Progress) Line() string {
+	done, total := p.Done(), p.Total()
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * float64(done) / float64(total)
+	}
+	s := fmt.Sprintf("progress: %d/%d cells (%.1f%%), elapsed %s",
+		done, total, pct, p.Elapsed().Round(100*time.Millisecond))
+	if eta := p.ETA(); eta > 0 {
+		s += fmt.Sprintf(", eta %s", eta.Round(100*time.Millisecond))
+	}
+	return s
+}

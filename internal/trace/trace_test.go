@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"watchdog/internal/isa"
+)
+
+// TestFlightRingWraparound: the ring must keep exactly the last N
+// events, served oldest first, across the wrap.
+func TestFlightRingWraparound(t *testing.T) {
+	s := New(Config{FlightN: 4})
+	for pc := 0; pc < 10; pc++ {
+		s.Inst(pc, isa.OpNop)
+	}
+	evs := s.FlightEvents()
+	if len(evs) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := 6 + i; ev.PC != want {
+			t.Fatalf("ring[%d].PC = %d, want %d (oldest first)", i, ev.PC, want)
+		}
+	}
+	// Before the wrap the partial ring is served in emission order.
+	s2 := New(Config{FlightN: 8})
+	s2.Inst(1, isa.OpNop)
+	s2.Inst(2, isa.OpNop)
+	evs = s2.FlightEvents()
+	if len(evs) != 2 || evs[0].PC != 1 || evs[1].PC != 2 {
+		t.Fatalf("partial ring wrong: %+v", evs)
+	}
+}
+
+// TestInstBudget: the observer fires for exactly InstBudget
+// instructions, then detaches; recording (ring/timeline) continues.
+func TestInstBudget(t *testing.T) {
+	s := New(Config{FlightN: 16, InstBudget: 3})
+	var seen []int
+	s.SetInstObserver(func(ev Event) { seen = append(seen, ev.PC) })
+	for pc := 0; pc < 10; pc++ {
+		s.Inst(pc, isa.OpNop)
+	}
+	if len(seen) != 3 || s.InstObserved() != 3 {
+		t.Fatalf("observer fired %d times (counter %d), want 3", len(seen), s.InstObserved())
+	}
+	if got := s.CountByKind(KindInst); got != 10 {
+		t.Fatalf("recorded %d inst events, want 10 (budget must not stop the ring)", got)
+	}
+	// With neither timeline nor ring, a spent budget short-circuits:
+	// nothing is recorded past the budget.
+	s2 := New(Config{InstBudget: 2})
+	s2.SetInstObserver(func(Event) {})
+	for pc := 0; pc < 5; pc++ {
+		s2.Inst(pc, isa.OpNop)
+	}
+	if got := s2.CountByKind(KindInst); got != 2 {
+		t.Fatalf("observer-only sink recorded %d events after budget, want 2", got)
+	}
+}
+
+// TestDumpFlight: the dump names the faulting identifier and lock.
+func TestDumpFlight(t *testing.T) {
+	s := New(Config{FlightN: 8})
+	s.Check(7, 0x5000, 42, 0x9000, 0, false, OutcomeUseAfterFree)
+	s.Violation(7, 0x5000, 42, 0x9000, false, OutcomeUseAfterFree)
+	var b strings.Builder
+	if err := s.DumpFlight(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"VIOLATION", "use-after-free", "key=42", "lock=0x9000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+	// An empty ring dumps a placeholder, not an error.
+	var e strings.Builder
+	if err := New(Config{FlightN: 4}).DumpFlight(&e, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.String(), "empty") {
+		t.Fatalf("empty dump: %q", e.String())
+	}
+}
+
+// TestDisabledSinkRetainsNothing: a zero-config sink (no timeline, no
+// ring, no observer) short-circuits every emitter — nothing retained,
+// nothing counted (the in-sink analogue of the nil-sink hot path).
+func TestDisabledSinkRetainsNothing(t *testing.T) {
+	s := New(Config{})
+	s.Inst(1, isa.OpNop)
+	s.Check(1, 0x10, 1, 0x20, 1, false, OutcomeOK)
+	if s.Events() != nil || s.FlightEvents() != nil {
+		t.Fatal("disabled sink retained events")
+	}
+	if s.CountByKind(KindCheck) != 0 || s.CountByKind(KindInst) != 0 {
+		t.Fatal("disabled sink must not count either")
+	}
+}
+
+func TestProgressCounters(t *testing.T) {
+	p := NewProgress()
+	p.AddTotal(4)
+	if p.ETA() != 0 {
+		t.Fatal("ETA with nothing done must be 0")
+	}
+	p.CellDone()
+	p.CellDone()
+	if p.Done() != 2 || p.Total() != 4 {
+		t.Fatalf("done/total = %d/%d", p.Done(), p.Total())
+	}
+	line := p.Line()
+	if !strings.Contains(line, "2/4 cells (50.0%)") {
+		t.Fatalf("line: %q", line)
+	}
+	p.CellDone()
+	p.CellDone()
+	if p.ETA() != 0 {
+		t.Fatal("ETA when complete must be 0")
+	}
+}
