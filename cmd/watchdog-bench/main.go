@@ -11,16 +11,24 @@
 //	watchdog-bench -baseline old.json  # diff against a previous report
 //	watchdog-bench -exp fig7 -bench-out BENCH_fig7.json   # harness timing record
 //	watchdog-bench -exp fig7 -cpuprofile cpu.pprof        # profile the harness
+//
+// SIGINT/SIGTERM cancel the sweep cooperatively — mid-simulation, not
+// just between cells. An interrupted run still flushes its partial
+// -json and -bench-out documents (marked "partial" in the schema),
+// stops the CPU profile so the file stays usable, and exits non-zero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"watchdog/internal/experiments"
@@ -39,12 +47,16 @@ var knownExps = []string{
 }
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	code := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	os.Exit(code)
 }
 
-// run is the testable entry point: parses args, executes, and returns
-// the process exit code.
-func run(args []string, stdout, stderr io.Writer) int {
+// run is the testable entry point: parses args, executes under ctx
+// (canceled on SIGINT/SIGTERM by main), and returns the process exit
+// code.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("watchdog-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -100,15 +112,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 	r.Jobs = *jobs
+	// The signal context rides the runner: every sweep below cancels
+	// cooperatively on SIGINT/SIGTERM, mid-simulation.
+	r.Ctx = ctx
 	if *progress {
 		r.Progress = trace.NewProgress()
 		// The periodic reporter runs only when stderr is a real stream:
 		// its writes are concurrent with the harness's own, which is
 		// fine for a file descriptor but a race on an in-memory test
 		// writer. The final line below is printed synchronously either
-		// way, after every fan-out has completed.
+		// way, after every fan-out has completed. The goroutine is
+		// routed through the signal context plus a deferred cancel, so
+		// it is shut down on every exit path — early fail(...) returns
+		// and interrupts included, not just the happy path.
 		if _, isFile := stderr.(*os.File); isFile {
-			stop := make(chan struct{})
+			repCtx, repStop := context.WithCancel(ctx)
 			done := make(chan struct{})
 			go func() {
 				defer close(done)
@@ -116,7 +134,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				defer tick.Stop()
 				for {
 					select {
-					case <-stop:
+					case <-repCtx.Done():
 						return
 					case <-tick.C:
 						fmt.Fprintln(stderr, "watchdog-bench:", r.Progress.Line())
@@ -124,7 +142,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				}
 			}()
 			defer func() {
-				close(stop)
+				repStop()
 				<-done
 			}()
 		}
@@ -173,6 +191,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		expTimes = append(expTimes, report.BenchExperiment{Name: name, WallNanos: int64(time.Since(t0))})
 	}
 
+	// partial flips when the signal context interrupts a sweep: the
+	// remaining experiments are skipped, but everything that finished
+	// still flushes (-json, -bench-out, the CPU profile) before the
+	// non-zero exit.
+	partial := false
+	interrupted := func(err error) bool {
+		return experiments.Canceled(err) && ctx.Err() != nil
+	}
+
 	if *exp == "all" || *exp == "table2" {
 		fmt.Fprintln(stdout, experiments.Table2())
 	}
@@ -183,6 +210,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		t0 := time.Now()
 		t, err := f.fn()
 		if err != nil {
+			if interrupted(err) {
+				partial = true
+				fmt.Fprintf(stderr, "watchdog-bench: interrupted during %s; flushing partial outputs\n", f.name)
+				break
+			}
 			return fail(err)
 		}
 		timed(f.name, t0)
@@ -193,7 +225,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		addFigure(f.name)
 	}
-	if *bars {
+	if *bars && !partial {
 		for _, bc := range []struct {
 			name string
 			fig  string
@@ -205,6 +237,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		} {
 			out, err := r.Bars(bc.name, bc.cfgs...)
 			if err != nil {
+				if interrupted(err) {
+					partial = true
+					fmt.Fprintln(stderr, "watchdog-bench: interrupted during bars; flushing partial outputs")
+					break
+				}
 				return fail(err)
 			}
 			fmt.Fprintln(stdout, out)
@@ -212,38 +249,57 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	var julietSum *security.Summary
-	if *exp == "all" || *exp == "juliet" {
+	if (*exp == "all" || *exp == "juliet") && !partial {
 		t0 := time.Now()
-		s := r.Juliet()
+		s, err := r.Juliet()
+		if err != nil && !interrupted(err) {
+			return fail(err)
+		}
 		timed("juliet", t0)
 		fmt.Fprintln(stdout, "Section 9.2: security evaluation")
+		if err != nil {
+			partial = true
+			fmt.Fprintln(stderr, "watchdog-bench: interrupted during juliet; summary is partial")
+		}
 		fmt.Fprintln(stdout, " ", s)
 		fmt.Fprintln(stdout)
 		julietSum = &s
 	}
 
 	if *jsonOut != "" || *baseline != "" {
+		// Report assembly reads the warmed cache (completed figures
+		// only), so it works after an interrupt too; the document is
+		// marked partial so nobody gates a regression on it.
 		rep, err := r.Report(ranFigures, julietSum)
 		if err != nil {
 			return fail(err)
 		}
+		rep.Partial = partial
 		if *jsonOut != "" {
 			if err := report.WriteFile(*jsonOut, rep); err != nil {
 				return fail(err)
 			}
-			fmt.Fprintf(stderr, "watchdog-bench: wrote %s (%d cells, %d figures)\n",
-				*jsonOut, len(rep.Cells), len(rep.Figures))
+			what := ""
+			if partial {
+				what = ", partial"
+			}
+			fmt.Fprintf(stderr, "watchdog-bench: wrote %s (%d cells, %d figures%s)\n",
+				*jsonOut, len(rep.Cells), len(rep.Figures), what)
 		}
 		if *baseline != "" {
-			base, err := report.ReadFile(*baseline)
-			if err != nil {
-				return fail(err)
-			}
-			cmp := report.Compare(base, rep, *threshold)
-			fmt.Fprint(stdout, cmp)
-			if cmp.Regressed() {
-				fmt.Fprintln(stderr, "watchdog-bench: performance regressed past threshold against", *baseline)
-				return 1
+			if partial {
+				fmt.Fprintln(stderr, "watchdog-bench: skipping -baseline comparison: this run is partial")
+			} else {
+				base, err := report.ReadFile(*baseline)
+				if err != nil {
+					return fail(err)
+				}
+				cmp := report.Compare(base, rep, *threshold)
+				fmt.Fprint(stdout, cmp)
+				if cmp.Regressed() {
+					fmt.Fprintln(stderr, "watchdog-bench: performance regressed past threshold against", *baseline)
+					return 1
+				}
 			}
 		}
 	}
@@ -260,6 +316,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Profiles:    r.Timing.Profiles(),
 			CacheHits:   r.Timing.Hits(),
 			Experiments: expTimes,
+			Partial:     partial,
 		}
 		if err := report.WriteBenchFile(*benchOut, rec); err != nil {
 			return fail(err)
@@ -274,6 +331,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *timing {
 		fmt.Fprintf(stderr, "watchdog-bench: %s (-j %d)\n", r.Timing.String(), *jobs)
+	}
+	if partial {
+		return 1
 	}
 	return 0
 }

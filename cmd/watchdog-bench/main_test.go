@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"os"
 	"path/filepath"
@@ -22,7 +23,7 @@ func TestUnknownExpRejected(t *testing.T) {
 		{"-exp", "fig99", "-bars", "-workloads", "mcf"},
 	} {
 		var stdout, stderr bytes.Buffer
-		code := run(args, &stdout, &stderr)
+		code := run(context.Background(), args, &stdout, &stderr)
 		if code == 0 {
 			t.Errorf("run(%v) = 0, want non-zero", args)
 		}
@@ -38,7 +39,7 @@ func TestUnknownExpRejected(t *testing.T) {
 
 func TestUnknownWorkloadsRejected(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-workloads", "mcf,nope"}, &stdout, &stderr); code == 0 {
+	if code := run(context.Background(), []string{"-workloads", "mcf,nope"}, &stdout, &stderr); code == 0 {
 		t.Fatal("unknown workload must exit non-zero")
 	}
 	if !strings.Contains(stderr.String(), `"nope"`) {
@@ -53,7 +54,7 @@ func TestUnknownWorkloadsRejected(t *testing.T) {
 func TestJSONReportContract(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "out.json")
 	var stderr bytes.Buffer
-	code := run([]string{"-exp", "fig7", "-workloads", "mcf,perl", "-json", path}, io.Discard, &stderr)
+	code := run(context.Background(), []string{"-exp", "fig7", "-workloads", "mcf,perl", "-json", path}, io.Discard, &stderr)
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
 	}
@@ -92,12 +93,12 @@ func TestBaselineCompareExitCodes(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "base.json")
 	args := []string{"-exp", "fig7", "-workloads", "mcf", "-json", path}
-	if code := run(args, io.Discard, io.Discard); code != 0 {
+	if code := run(context.Background(), args, io.Discard, io.Discard); code != 0 {
 		t.Fatalf("report generation failed: %d", code)
 	}
 
 	var stdout, stderr bytes.Buffer
-	code := run([]string{"-exp", "fig7", "-workloads", "mcf", "-baseline", path}, &stdout, &stderr)
+	code := run(context.Background(), []string{"-exp", "fig7", "-workloads", "mcf", "-baseline", path}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("unchanged tree vs own report: exit %d, stderr: %s", code, stderr.String())
 	}
@@ -126,7 +127,7 @@ func TestBaselineCompareExitCodes(t *testing.T) {
 	}
 	stdout.Reset()
 	stderr.Reset()
-	code = run([]string{"-exp", "fig7", "-workloads", "mcf", "-baseline", seeded}, &stdout, &stderr)
+	code = run(context.Background(), []string{"-exp", "fig7", "-workloads", "mcf", "-baseline", seeded}, &stdout, &stderr)
 	if code == 0 {
 		t.Fatalf("seeded regression must exit non-zero; output:\n%s", stdout.String())
 	}
@@ -135,7 +136,7 @@ func TestBaselineCompareExitCodes(t *testing.T) {
 	}
 
 	// A generous threshold waves the same delta through.
-	code = run([]string{"-exp", "fig7", "-workloads", "mcf", "-baseline", seeded, "-threshold", "50"},
+	code = run(context.Background(), []string{"-exp", "fig7", "-workloads", "mcf", "-baseline", seeded, "-threshold", "50"},
 		io.Discard, io.Discard)
 	if code != 0 {
 		t.Fatal("threshold 50 must accept a ~25% delta")
@@ -146,7 +147,7 @@ func TestBaselineCompareExitCodes(t *testing.T) {
 // silent pass.
 func TestBaselineMissingFile(t *testing.T) {
 	var stderr bytes.Buffer
-	code := run([]string{"-exp", "fig7", "-workloads", "mcf", "-baseline",
+	code := run(context.Background(), []string{"-exp", "fig7", "-workloads", "mcf", "-baseline",
 		filepath.Join(t.TempDir(), "nope.json")}, io.Discard, &stderr)
 	if code == 0 {
 		t.Fatal("missing baseline file must exit non-zero")
@@ -157,7 +158,7 @@ func TestBaselineMissingFile(t *testing.T) {
 // not "0 sims" (the Timing plumbing bug).
 func TestJulietStats(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	code := run([]string{"-exp", "juliet", "-stats", "-workloads", "mcf"}, &stdout, &stderr)
+	code := run(context.Background(), []string{"-exp", "juliet", "-stats", "-workloads", "mcf"}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("exit %d: %s", code, stderr.String())
 	}
@@ -179,7 +180,7 @@ func TestJulietStats(t *testing.T) {
 func TestBadScaleRejected(t *testing.T) {
 	for _, s := range []string{"0", "-2"} {
 		var stdout, stderr bytes.Buffer
-		code := run([]string{"-exp", "fig7", "-workloads", "mcf", "-scale", s}, &stdout, &stderr)
+		code := run(context.Background(), []string{"-exp", "fig7", "-workloads", "mcf", "-scale", s}, &stdout, &stderr)
 		if code == 0 {
 			t.Errorf("-scale %s must exit non-zero", s)
 		}
@@ -198,7 +199,7 @@ func TestBadScaleRejected(t *testing.T) {
 func TestBenchOutRecord(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_fig7.json")
 	var stderr bytes.Buffer
-	code := run([]string{"-exp", "fig7", "-workloads", "mcf", "-j", "2", "-bench-out", path},
+	code := run(context.Background(), []string{"-exp", "fig7", "-workloads", "mcf", "-j", "2", "-bench-out", path},
 		io.Discard, &stderr)
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
@@ -228,7 +229,7 @@ func TestBenchOutRecord(t *testing.T) {
 func TestCPUProfileFlag(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "cpu.pprof")
 	var stderr bytes.Buffer
-	code := run([]string{"-exp", "fig7", "-workloads", "mcf", "-cpuprofile", path}, io.Discard, &stderr)
+	code := run(context.Background(), []string{"-exp", "fig7", "-workloads", "mcf", "-cpuprofile", path}, io.Discard, &stderr)
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
 	}
@@ -249,7 +250,7 @@ func TestCPUProfileFlag(t *testing.T) {
 // an in-memory writer sees exactly the completed counters.)
 func TestProgressFinalLine(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-exp", "fig7", "-workloads", "mcf", "-progress"}, &stdout, &stderr); code != 0 {
+	if code := run(context.Background(), []string{"-exp", "fig7", "-workloads", "mcf", "-progress"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
 	}
 	m := regexp.MustCompile(`progress: (\d+)/(\d+) cells \(100\.0%\)`).FindStringSubmatch(stderr.String())
@@ -262,5 +263,68 @@ func TestProgressFinalLine(t *testing.T) {
 	// The figure itself must be unaffected by the progress counters.
 	if !strings.Contains(stdout.String(), "Figure 7") {
 		t.Errorf("figure output missing with -progress:\n%s", stdout.String())
+	}
+}
+
+// TestInterruptFlushesPartialOutputs: a run whose signal context is
+// already dead (SIGINT before the first cell) still flushes both the
+// metrics -json and the -bench-out timing documents, marks them
+// partial, and exits non-zero — interrupted sweeps must never leave
+// truncated or unmarked artifacts behind.
+func TestInterruptFlushesPartialOutputs(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "report.json")
+	benchPath := filepath.Join(dir, "timing.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var stdout, stderr bytes.Buffer
+	code := run(ctx, []string{
+		"-exp", "fig7", "-workloads", "mcf",
+		"-json", jsonPath, "-bench-out", benchPath,
+	}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatalf("interrupted run exited 0; stderr: %s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "interrupted") {
+		t.Errorf("stderr does not report the interrupt: %s", stderr.String())
+	}
+
+	rep, err := report.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("partial -json not flushed: %v", err)
+	}
+	if !rep.Partial {
+		t.Error("flushed report is not marked partial")
+	}
+	if len(rep.Figures) != 0 {
+		t.Errorf("interrupted-before-start report claims figures: %+v", rep.Figures)
+	}
+
+	br, err := report.ReadBenchFile(benchPath)
+	if err != nil {
+		t.Fatalf("partial -bench-out not flushed: %v", err)
+	}
+	if !br.Partial {
+		t.Error("flushed timing record is not marked partial")
+	}
+}
+
+// TestInterruptStopsCPUProfile: an interrupted run still finalizes
+// the -cpuprofile file (a zero-byte or unterminated profile is what
+// the pre-signal-handling code left behind).
+func TestInterruptStopsCPUProfile(t *testing.T) {
+	prof := filepath.Join(t.TempDir(), "cpu.pprof")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var stdout, stderr bytes.Buffer
+	if code := run(ctx, []string{"-exp", "fig7", "-workloads", "mcf", "-cpuprofile", prof}, &stdout, &stderr); code == 0 {
+		t.Fatal("interrupted run exited 0")
+	}
+	fi, err := os.Stat(prof)
+	if err != nil {
+		t.Fatalf("cpu profile not written: %v", err)
+	}
+	if fi.Size() == 0 {
+		t.Error("cpu profile is empty: StopCPUProfile did not run on the interrupt path")
 	}
 }

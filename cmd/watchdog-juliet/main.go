@@ -9,14 +9,21 @@
 //	watchdog-juliet -v                # list every case outcome
 //	watchdog-juliet -list             # list case IDs
 //	watchdog-juliet -flight-log <id>  # re-run one case with a flight recorder and dump it
+//
+// SIGINT/SIGTERM cancel the suite cooperatively: the case mid-flight
+// is interrupted, a partial summary (and a -json document marked
+// partial) is still flushed, and the exit code is non-zero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 
 	"watchdog/internal/core"
 	"watchdog/internal/report"
@@ -26,12 +33,16 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	code := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	os.Exit(code)
 }
 
-// run is the testable entry point: parses args, executes, and returns
-// the process exit code.
-func run(args []string, stdout, stderr io.Writer) int {
+// run is the testable entry point: parses args, executes under ctx
+// (canceled on SIGINT/SIGTERM by main), and returns the process exit
+// code.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("watchdog-juliet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -51,24 +62,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	var cfg core.Config
-	var opts rt.Options
-	switch *policy {
-	case "watchdog":
-		cfg = core.DefaultConfig()
-		opts = rt.Options{Policy: core.PolicyWatchdog}
-	case "conservative":
-		cfg = core.DefaultConfig()
-		cfg.PtrPolicy = core.PtrConservative
-		opts = rt.Options{Policy: core.PolicyWatchdog}
-	case "location":
-		cfg = core.Config{Policy: core.PolicyLocation}
-		opts = rt.Options{Policy: core.PolicyLocation}
-	case "software":
-		cfg = core.Config{Policy: core.PolicySoftware, PtrPolicy: core.PtrConservative}
-		opts = rt.Options{Policy: core.PolicySoftware}
-	default:
-		return fail(fmt.Errorf("unknown policy %q", *policy))
+	cfg, opts, err := security.PolicyConfig(*policy)
+	if err != nil {
+		return fail(err)
 	}
 
 	if *list {
@@ -84,10 +80,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	// The cases fan out over -j workers; outcomes are merged in case
 	// order, so the printed report is identical at any worker count.
+	// On cancellation the fan-out stops handing out cases and the
+	// summary below covers exactly the cases that completed.
 	cases := security.Suite()
-	outs := security.RunCases(cases, cfg, opts, *jobs)
+	outs, runErr := security.RunCasesCtx(ctx, cases, cfg, opts, *jobs, nil, nil)
+	partial := runErr != nil
 	if *verbose {
 		for i, c := range cases {
+			if outs[i].Case.ID == "" {
+				continue // never ran (interrupted)
+			}
 			status := "PASS"
 			if !outs[i].Pass() {
 				status = "FAIL"
@@ -96,12 +98,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 				status, c.CWE, c.Variant, c.Bad, outs[i].Detected)
 		}
 	}
-	s := security.Summarize(cases, outs)
+	s := security.SummarizeRan(cases, outs)
+	if partial {
+		fmt.Fprintf(stderr, "watchdog-juliet: interrupted after %d of %d cases; summary is partial\n",
+			s.BadTotal+s.GoodTotal, len(cases))
+	}
 	fmt.Fprintln(stdout, s)
 	if *jsonOut != "" {
-		if err := report.WriteJulietFile(*jsonOut, s.ReportRecord(*policy)); err != nil {
+		if err := report.WriteJulietFile(*jsonOut, s.ReportRecord(*policy), partial); err != nil {
 			return fail(err)
 		}
+		fmt.Fprintf(stderr, "watchdog-juliet: wrote %s\n", *jsonOut)
+	}
+	if partial {
+		return 1
 	}
 	if len(s.Failures) > 0 && *policy == "watchdog" {
 		return 1

@@ -2,8 +2,14 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"watchdog/internal/report"
 )
 
 // TestFlightLogNamesIdentifier: the acceptance contract for the
@@ -12,7 +18,7 @@ import (
 // (key and lock value) and the check outcome that tripped.
 func TestFlightLogNamesIdentifier(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	code := run([]string{"-flight-log", "c416_read_norealloc_straight_bad"}, &stdout, &stderr)
+	code := run(context.Background(), []string{"-flight-log", "c416_read_norealloc_straight_bad"}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
 	}
@@ -38,7 +44,7 @@ func TestFlightLogNamesIdentifier(t *testing.T) {
 // events but reports no detection.
 func TestFlightLogGoodCaseRunsClean(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	code := run([]string{"-flight-log", "c416_read_norealloc_straight_good"}, &stdout, &stderr)
+	code := run(context.Background(), []string{"-flight-log", "c416_read_norealloc_straight_good"}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
 	}
@@ -54,7 +60,7 @@ func TestFlightLogGoodCaseRunsClean(t *testing.T) {
 // -list instead of silently running the whole suite.
 func TestFlightLogUnknownCase(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-flight-log", "no_such_case"}, &stdout, &stderr); code == 0 {
+	if code := run(context.Background(), []string{"-flight-log", "no_such_case"}, &stdout, &stderr); code == 0 {
 		t.Fatal("unknown case must exit non-zero")
 	}
 	if !strings.Contains(stderr.String(), `"no_such_case"`) ||
@@ -66,12 +72,45 @@ func TestFlightLogUnknownCase(t *testing.T) {
 // TestListCases: -list prints case IDs usable with -flight-log.
 func TestListCases(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+	if code := run(context.Background(), []string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
 	}
 	for _, want := range []string{"c416_read_norealloc_straight_bad", "CWE-416", "CWE-562"} {
 		if !strings.Contains(stdout.String(), want) {
 			t.Errorf("-list output missing %q", want)
 		}
+	}
+}
+
+// TestInterruptFlushesPartialSummary: a suite interrupted before the
+// first case still prints a (zero-count) summary, flushes a -json
+// document marked partial, and exits non-zero.
+func TestInterruptFlushesPartialSummary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "juliet.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var stdout, stderr bytes.Buffer
+	if code := run(ctx, []string{"-json", path}, &stdout, &stderr); code == 0 {
+		t.Fatalf("interrupted run exited 0; stderr: %s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "interrupted") {
+		t.Errorf("stderr does not report the interrupt: %s", stderr.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("partial -json not flushed: %v", err)
+	}
+	var jr report.JulietReport
+	if err := json.Unmarshal(data, &jr); err != nil {
+		t.Fatal(err)
+	}
+	if !jr.Partial {
+		t.Error("flushed document is not marked partial")
+	}
+	if jr.Schema != report.JulietSchema || jr.Version != report.Version {
+		t.Errorf("schema stamp %q v%d", jr.Schema, jr.Version)
+	}
+	if jr.Juliet.BadTotal != 0 || jr.Juliet.GoodTotal != 0 {
+		t.Errorf("interrupted-before-start summary counts cases: %+v", jr.Juliet)
 	}
 }

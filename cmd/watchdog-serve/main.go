@@ -1,0 +1,251 @@
+// watchdog-serve exposes the simulation harness as an HTTP/JSON
+// service: POST /v1/sim runs one (workload, configuration, scale)
+// cell and answers with the same schema-v1 record `watchdog-bench
+// -json` writes; POST /v1/juliet runs the security suite; GET
+// /healthz and GET /metrics serve liveness and request/cache
+// statistics. Identical in-flight requests coalesce onto a single
+// simulation, saturation answers 429 + Retry-After, and SIGINT or
+// SIGTERM drains gracefully: in-flight requests finish (within
+// -drain-timeout), new ones are refused.
+//
+// Usage:
+//
+//	watchdog-serve                      # serve on 127.0.0.1:8080
+//	watchdog-serve -addr :9090 -workers 4
+//	curl -s localhost:8080/healthz
+//	curl -s -d '{"workload":"mcf","config":"isa","overhead":true}' localhost:8080/v1/sim
+//	curl -s -d '{"policy":"watchdog"}' localhost:8080/v1/juliet
+//
+// The built-in load generator doubles as a coalescing demo: point it
+// at a running server and it fires identical concurrent requests,
+// then reports how many simulations the server actually ran (one).
+//
+//	watchdog-serve -load 32 -c 8 -addr localhost:8080
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"watchdog/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	code := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	os.Exit(code)
+}
+
+// run is the testable entry point: parses args, serves (or drives
+// load) under ctx, and returns the process exit code.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("watchdog-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address (server mode) or target host:port (-load)")
+		workers  = fs.Int("workers", 0, "max concurrent computations (0 = GOMAXPROCS); excess requests get 429")
+		maxScale = fs.Int("max-scale", 4, "largest workload scale a request may ask for")
+		timeout  = fs.Duration("timeout", 120*time.Second, "per-request computation cap (requests may ask for less via timeout_ms)")
+		drain    = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown window before in-flight simulations are force-canceled")
+
+		load     = fs.Int("load", 0, "client mode: fire this many identical requests at -addr and report latency + server coalescing stats")
+		conc     = fs.Int("c", 8, "client mode: concurrent requests")
+		workload = fs.String("workload", "mcf", "client mode: workload to request")
+		config   = fs.String("config", "conservative", "client mode: configuration to request")
+		scale    = fs.Int("scale", 1, "client mode: workload scale")
+		overhead = fs.Bool("overhead", false, "client mode: request the baseline too and report the slowdown ratio")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "watchdog-serve:", err)
+		return 1
+	}
+
+	if *load > 0 {
+		req := serve.SimRequest{Workload: *workload, Config: *config, Scale: *scale, Overhead: *overhead}
+		return runLoad(ctx, *addr, *load, *conc, req, stdout, stderr)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(stderr, "watchdog-serve: listening on http://%s\n", ln.Addr())
+	s := serve.New(serve.Config{
+		MaxWorkers:     *workers,
+		MaxScale:       *maxScale,
+		RequestTimeout: *timeout,
+		DrainTimeout:   *drain,
+	})
+	if err := s.Serve(ctx, ln); err != nil {
+		return fail(err)
+	}
+	fmt.Fprintln(stderr, "watchdog-serve: drained, exiting")
+	return 0
+}
+
+// runLoad is the load generator: n identical POST /v1/sim requests
+// over c concurrent workers, bracketed by /metrics snapshots so the
+// printed report shows the server-side effect (how many simulations
+// actually ran, how many requests coalesced or bounced).
+func runLoad(ctx context.Context, addr string, n, c int, req serve.SimRequest, stdout, stderr io.Writer) int {
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "watchdog-serve:", err)
+		return 1
+	}
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	if c < 1 {
+		c = 1
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fail(err)
+	}
+	client := &http.Client{}
+	before, err := fetchMetrics(ctx, client, base)
+	if err != nil {
+		return fail(fmt.Errorf("fetching %s/metrics: %w", base, err))
+	}
+
+	codes := make([]int, n)
+	lats := make([]time.Duration, n)
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				start := time.Now()
+				hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+					base+"/v1/sim", bytes.NewReader(body))
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				hreq.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(hreq)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				codes[i], lats[i] = resp.StatusCode, time.Since(start)
+			}
+		}()
+	}
+	start := time.Now()
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	wall := time.Since(start)
+
+	after, err := fetchMetrics(ctx, client, base)
+	if err != nil {
+		return fail(fmt.Errorf("fetching %s/metrics: %w", base, err))
+	}
+
+	counts := map[int]int{}
+	var ok []time.Duration
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			counts[-1]++
+			continue
+		}
+		counts[codes[i]]++
+		if codes[i] == http.StatusOK {
+			ok = append(ok, lats[i])
+		}
+	}
+	fmt.Fprintf(stdout, "load: %d requests (%d concurrent) against %s in %s\n", n, c, base, wall.Round(time.Millisecond))
+	statuses := make([]int, 0, len(counts))
+	for code := range counts {
+		statuses = append(statuses, code)
+	}
+	sort.Ints(statuses)
+	for _, code := range statuses {
+		label := fmt.Sprintf("HTTP %d", code)
+		if code == -1 {
+			label = "transport error"
+		}
+		fmt.Fprintf(stdout, "  %-16s %d\n", label, counts[code])
+	}
+	if len(ok) > 0 {
+		sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
+		fmt.Fprintf(stdout, "latency: p50 %s  p99 %s  max %s\n",
+			ok[len(ok)/2].Round(time.Microsecond),
+			ok[len(ok)*99/100].Round(time.Microsecond),
+			ok[len(ok)-1].Round(time.Microsecond))
+	}
+	fmt.Fprintf(stdout, "server: +%d sims, +%d coalesced, +%d cache hits, +%d busy-rejected\n",
+		after.Harness.Sims-before.Harness.Sims,
+		after.Coalesced-before.Coalesced,
+		after.Harness.CacheHits-before.Harness.CacheHits,
+		after.RejectedBusy-before.RejectedBusy)
+
+	if counts[-1] > 0 {
+		return fail(fmt.Errorf("%d requests failed (first: %v)", counts[-1], firstErr(errs)))
+	}
+	for _, code := range statuses {
+		// 429 is an expected answer under deliberate overload; anything
+		// else non-2xx is a real failure.
+		if code != http.StatusOK && code != http.StatusTooManyRequests {
+			return fail(fmt.Errorf("server answered HTTP %d", code))
+		}
+	}
+	return 0
+}
+
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fetchMetrics(ctx context.Context, client *http.Client, base string) (*serve.Metrics, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var m serve.Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

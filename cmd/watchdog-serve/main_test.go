@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"watchdog/internal/serve"
+)
+
+// syncBuf is a goroutine-safe writer: the server goroutine writes the
+// listen address while the test polls for it.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (http://\S+)`)
+
+// startServer runs the serve binary's entry point on an ephemeral
+// port and returns its base URL plus a channel with the exit code.
+func startServer(t *testing.T, ctx context.Context, args ...string) (string, <-chan int, *syncBuf) {
+	t.Helper()
+	stderr := &syncBuf{}
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), &syncBuf{}, stderr)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := listenRE.FindStringSubmatch(stderr.String()); m != nil {
+			return m[1], done, stderr
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address; stderr: %s", stderr.String())
+		}
+		select {
+		case code := <-done:
+			t.Fatalf("server exited early with %d; stderr: %s", code, stderr.String())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// TestServeLifecycle: the binary serves requests, and cancelling its
+// signal context (what SIGTERM does via main) drains cleanly with
+// exit code 0.
+func TestServeLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, done, stderr := startServer(t, ctx)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(base+"/v1/sim", "application/json",
+		strings.NewReader(`{"workload":"lbm","config":"baseline"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr serve.SimResponse
+	err = json.NewDecoder(resp.Body).Decode(&sr)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("sim: status %d, err %v", resp.StatusCode, err)
+	}
+	if sr.Cell.Workload != "lbm" || sr.Cell.Cycles <= 0 {
+		t.Fatalf("cell: %+v", sr.Cell)
+	}
+
+	cancel() // what SIGTERM does
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("drained server exited %d; stderr: %s", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain after cancellation")
+	}
+	if !strings.Contains(stderr.String(), "drained") {
+		t.Errorf("no drain confirmation on stderr: %s", stderr.String())
+	}
+}
+
+// TestLoadMode: the load generator demonstrates the tentpole property
+// end to end — N identical requests, one simulation on the server.
+func TestLoadMode(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, done, _ := startServer(t, ctx)
+
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{
+		"-load", "6", "-c", "3",
+		"-addr", base,
+		"-workload", "mcf", "-config", "conservative",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("load mode exited %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "6 requests") || !strings.Contains(out, "+1 sims") {
+		t.Errorf("load report missing the coalescing evidence:\n%s", out)
+	}
+
+	// The server really ran exactly one simulation for all six
+	// identical requests.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m serve.Metrics
+	err = json.NewDecoder(resp.Body).Decode(&m)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Harness.Sims != 1 {
+		t.Errorf("server ran %d sims for identical load, want 1", m.Harness.Sims)
+	}
+
+	cancel()
+	<-done
+}
+
+// TestRunFlagAndAddrErrors: bad flags exit 2, an unusable listen
+// address exits 1, load mode against a dead server exits 1.
+func TestRunFlagAndAddrErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), []string{"-bogus"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	stderr.Reset()
+	if code := run(context.Background(), []string{"-addr", "256.0.0.1:http"}, &stdout, &stderr); code != 1 {
+		t.Errorf("bad addr: exit %d, want 1 (stderr %s)", code, stderr.String())
+	}
+	stderr.Reset()
+	if code := run(context.Background(), []string{"-load", "2", "-addr", "127.0.0.1:1"}, &stdout, &stderr); code != 1 {
+		t.Errorf("dead target: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "metrics") {
+		t.Errorf("dead-target error does not name the metrics probe: %s", stderr.String())
+	}
+}

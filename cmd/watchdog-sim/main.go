@@ -9,15 +9,22 @@
 //	watchdog-sim -workload perl -config conservative -v
 //	watchdog-sim -workload mcf -config isa -timeline out.json   # open in ui.perfetto.dev
 //	watchdog-sim -asm prog.wd -flight-log 64                    # dump last events on a violation
+//
+// SIGINT/SIGTERM cancel the simulation cooperatively mid-run: the
+// exit code is non-zero and a -cpuprofile is still stopped and
+// flushed instead of being left unusable.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 
 	"watchdog/internal/asm"
 	"watchdog/internal/core"
@@ -30,12 +37,16 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	code := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	os.Exit(code)
 }
 
-// run is the testable entry point: parses args, executes, and returns
-// the process exit code.
-func run(args []string, stdout, stderr io.Writer) int {
+// run is the testable entry point: parses args, executes under ctx
+// (canceled on SIGINT/SIGTERM by main), and returns the process exit
+// code.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("watchdog-sim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -101,7 +112,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *asmFile != "" {
-		if err := runAsmFile(*asmFile, *cfg, *traceN, *timeline, *flightN, stdout, stderr); err != nil {
+		if err := runAsmFile(ctx, *asmFile, *cfg, *traceN, *timeline, *flightN, stdout, stderr); err != nil {
 			return fail(err)
 		}
 		return 0
@@ -116,7 +127,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *disasm || *traceN > 0 {
 		// -disasm and -trace combine: the listing prints first, then
 		// the traced functional run.
-		if err := inspect(*name, *scale, *disasm, *traceN, stdout, stderr); err != nil {
+		if err := inspect(ctx, *name, *scale, *disasm, *traceN, stdout, stderr); err != nil {
 			return fail(err)
 		}
 		if *disasm && *traceN == 0 {
@@ -132,6 +143,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
+	// The signal context rides the runner: a SIGINT mid-simulation
+	// cancels cooperatively inside machine.Run, the error path below
+	// returns non-zero, and the profile defers still flush.
+	r.Ctx = ctx
 	if *timeline != "" || *flightN > 0 {
 		r.Trace = &trace.Config{Timeline: *timeline != "", FlightN: *flightN}
 	}
@@ -179,7 +194,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // runAsmFile assembles and runs a WD64 text program on top of the
 // simulated runtime.
-func runAsmFile(path, cfgName string, traceN int, timeline string, flightN int, stdout, stderr io.Writer) error {
+func runAsmFile(ctx context.Context, path, cfgName string, traceN int, timeline string, flightN int, stdout, stderr io.Writer) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -214,7 +229,7 @@ func runAsmFile(path, cfgName string, traceN int, timeline string, flightN int, 
 	if timeline != "" || flightN > 0 {
 		simCfg.Sink = trace.New(trace.Config{Timeline: timeline != "", FlightN: flightN})
 	}
-	res, err := sim.Run(prog, simCfg)
+	res, err := sim.RunCtx(ctx, prog, simCfg)
 	if err != nil {
 		return err
 	}
@@ -244,7 +259,7 @@ func runAsmFile(path, cfgName string, traceN int, timeline string, flightN int, 
 
 // inspect prints a disassembly and/or traces execution of the
 // workload under the default Watchdog configuration (functional run).
-func inspect(name string, scale int, disasm bool, traceN int, stdout, stderr io.Writer) error {
+func inspect(ctx context.Context, name string, scale int, disasm bool, traceN int, stdout, stderr io.Writer) error {
 	w, ok := workload.ByName(name)
 	if !ok {
 		return fmt.Errorf("unknown workload %q", name)
@@ -265,7 +280,7 @@ func inspect(name string, scale int, disasm bool, traceN int, stdout, stderr io.
 	// being re-entered (and skipped) for every remaining instruction.
 	cfg.TraceBudget = uint64(traceN)
 	cfg.Trace = traceFn(prog, stderr)
-	res, err := sim.Run(prog, cfg)
+	res, err := sim.RunCtx(ctx, prog, cfg)
 	if err != nil {
 		return err
 	}

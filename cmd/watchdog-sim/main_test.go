@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -19,7 +20,7 @@ var tracedLine = regexp.MustCompile(`(?m)^\s+\d+  \S`)
 // CLI silently dropped -trace whenever -disasm was set.)
 func TestDisasmTraceCombine(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-workload", "mcf", "-disasm", "-trace", "5"}, &stdout, &stderr); code != 0 {
+	if code := run(context.Background(), []string{"-workload", "mcf", "-disasm", "-trace", "5"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
 	}
 	if !strings.Contains(stdout.String(), "_start:") {
@@ -38,7 +39,7 @@ func TestDisasmTraceCombine(t *testing.T) {
 // total executed — `-trace 3` on a 70k-instruction run says "traced 3".
 func TestTraceFooterCountsObserved(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-workload", "mcf", "-trace", "3"}, &stdout, &stderr); code != 0 {
+	if code := run(context.Background(), []string{"-workload", "mcf", "-trace", "3"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
 	}
 	m := regexp.MustCompile(`-- traced (\d+) of (\d+) executed instructions --`).FindStringSubmatch(stderr.String())
@@ -63,7 +64,7 @@ func TestTraceFooterCountsObserved(t *testing.T) {
 func TestTimelineWritesPerfettoJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "timeline.json")
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-workload", "mcf", "-config", "isa", "-timeline", path}, &stdout, &stderr); code != 0 {
+	if code := run(context.Background(), []string{"-workload", "mcf", "-config", "isa", "-timeline", path}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
 	}
 	raw, err := os.ReadFile(path)
@@ -113,7 +114,7 @@ func TestFlightLogDumpsOnViolation(t *testing.T) {
 		t.Fatal(err)
 	}
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-asm", path, "-flight-log", "32"}, &stdout, &stderr); code != 0 {
+	if code := run(context.Background(), []string{"-asm", path, "-flight-log", "32"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
 	}
 	if !strings.Contains(stdout.String(), "caught  use-after-free") {
@@ -144,7 +145,7 @@ func TestFlightLogQuietOnCleanRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-asm", path, "-flight-log", "32"}, &stdout, &stderr); code != 0 {
+	if code := run(context.Background(), []string{"-asm", path, "-flight-log", "32"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
 	}
 	if strings.Contains(stderr.String(), "flight recorder") {
@@ -159,7 +160,7 @@ func TestBadFlagValuesRejected(t *testing.T) {
 		{"-flight-log", "-1"},
 	} {
 		var stdout, stderr bytes.Buffer
-		if code := run(args, &stdout, &stderr); code == 0 {
+		if code := run(context.Background(), args, &stdout, &stderr); code == 0 {
 			t.Errorf("run(%v) = 0, want non-zero", args)
 		}
 	}
@@ -171,4 +172,19 @@ func firstLines(s string, n int) string {
 		lines = lines[:n]
 	}
 	return strings.Join(lines, "\n")
+}
+
+// TestInterruptExitsNonZero: a dead signal context cancels the
+// simulation mid-flight and the CLI reports it instead of printing a
+// bogus result.
+func TestInterruptExitsNonZero(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var stdout, stderr bytes.Buffer
+	if code := run(ctx, []string{"-workload", "mcf"}, &stdout, &stderr); code == 0 {
+		t.Fatalf("interrupted run exited 0; stdout: %s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "canceled") {
+		t.Errorf("stderr does not surface the cancellation: %s", stderr.String())
+	}
 }

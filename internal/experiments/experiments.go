@@ -8,6 +8,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -41,6 +43,41 @@ const (
 	CfgMonolithic   ConfigName = "monolithic"   // ablation: monolithic register metadata
 )
 
+// AllConfigs lists every predefined configuration, in sweep order.
+// The serving layer and CLIs validate request configs against it.
+var AllConfigs = []ConfigName{
+	CfgBaseline, CfgConservative, CfgISA, CfgISANoLock, CfgISAIdeal,
+	CfgBounds1, CfgBounds2, CfgLocation, CfgSoftware, CfgNoCopyElim,
+	CfgMonolithic,
+}
+
+// IsConfig reports whether name is a predefined configuration.
+func IsConfig(name string) bool {
+	for _, c := range AllConfigs {
+		if string(c) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ConfigNames returns the predefined configuration names as strings
+// (error messages, -config help text).
+func ConfigNames() []string {
+	out := make([]string, len(AllConfigs))
+	for i, c := range AllConfigs {
+		out[i] = string(c)
+	}
+	return out
+}
+
+// Canceled reports whether err stems from context cancellation or an
+// expired deadline — either the context's own sentinel or the
+// machine-level wrap produced mid-simulation.
+func Canceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // Runner executes (workload, configuration) pairs with caching of
 // programs, profiles and results, so figures sharing runs (e.g. the
 // baseline) pay for them once. All methods are safe for concurrent
@@ -70,23 +107,35 @@ type Runner struct {
 	// is unaffected.
 	Progress *trace.Progress
 
+	// Ctx, when non-nil, is the default context for the methods that
+	// predate context threading (the figure methods, Sweep, Run). The
+	// CLIs set it once to their signal context so a SIGINT cancels
+	// whatever sweep is in flight; the serving layer ignores it and
+	// passes a per-request context to the *Ctx variants instead.
+	Ctx context.Context
+
 	mu       sync.Mutex
 	profiles map[string]*profileEntry
 	results  map[string]*resultEntry
 }
 
-// resultEntry is one result-cache slot: the Once guarantees the cell
-// is simulated exactly once even under concurrent requests.
+// resultEntry is one result-cache slot. The creator (the goroutine
+// that inserted the entry) computes the cell and closes done; every
+// other requester of the same key waits on done — or bails on its own
+// context, leaving the computation running for the rest. This is what
+// the serving layer's request coalescing rides on: N identical
+// in-flight requests cost one simulation, and a coalesced waiter's
+// deadline still fires on time.
 type resultEntry struct {
-	once sync.Once
+	done chan struct{}
 	res  *machine.Result
 	err  error
 }
 
 // profileEntry is one profiling-pass cache slot with the same
-// once-semantics.
+// creator-computes semantics.
 type profileEntry struct {
-	once sync.Once
+	done chan struct{}
 	prof *core.Profile
 	err  error
 }
@@ -183,40 +232,82 @@ func needsProfile(name ConfigName) bool {
 	return false
 }
 
+// ctx returns the runner's default context for the non-Ctx methods.
+func (r *Runner) ctx() context.Context {
+	if r.Ctx != nil {
+		return r.Ctx
+	}
+	return context.Background()
+}
+
 // Run executes one workload under one configuration (cached; safe for
 // concurrent use).
 func (r *Runner) Run(w workload.Workload, name ConfigName) (*machine.Result, error) {
+	return r.RunCtx(r.ctx(), w, name)
+}
+
+// RunCtx is Run under an explicit context. Cancellation is
+// cooperative down to the machine's run loop, so it lands
+// mid-simulation. Identical concurrent requests coalesce onto one
+// computation (driven by the first requester's context); a waiter
+// whose own context fires stops waiting without disturbing the
+// computation. A computation killed by its context is evicted from
+// the cache, so a later request recomputes instead of being served
+// the stale cancellation error.
+func (r *Runner) RunCtx(ctx context.Context, w workload.Workload, name ConfigName) (*machine.Result, error) {
 	key := w.Name + "/" + string(name)
-	return r.cachedResult(key, func() (*machine.Result, error) {
-		return r.runUncached(w, name)
+	return r.cachedResult(ctx, key, func() (*machine.Result, error) {
+		return r.runUncached(ctx, w, name)
 	})
 }
 
 // cachedResult serves key from the result cache, computing it exactly
-// once under concurrent requests (per-key once-semantics).
-func (r *Runner) cachedResult(key string, compute func() (*machine.Result, error)) (*machine.Result, error) {
+// once under concurrent requests (per-key coalescing).
+func (r *Runner) cachedResult(ctx context.Context, key string, compute func() (*machine.Result, error)) (*machine.Result, error) {
 	r.mu.Lock()
+	if r.results == nil {
+		r.results = make(map[string]*resultEntry)
+	}
 	e, ok := r.results[key]
 	if !ok {
-		e = &resultEntry{}
+		e = &resultEntry{done: make(chan struct{})}
 		r.results[key] = e
-	}
-	r.mu.Unlock()
-	hit := true
-	e.once.Do(func() {
-		hit = false
+		r.mu.Unlock()
 		start := time.Now()
 		e.res, e.err = compute()
 		r.Timing.AddSim(time.Since(start))
-	})
-	if hit {
-		r.Timing.AddHit()
+		if e.err != nil && Canceled(e.err) {
+			// Don't let a canceled computation poison the cache: the
+			// next request for this key starts fresh.
+			r.mu.Lock()
+			if r.results[key] == e {
+				delete(r.results, key)
+			}
+			r.mu.Unlock()
+		}
+		close(e.done)
+		return e.res, e.err
 	}
-	return e.res, e.err
+	r.mu.Unlock()
+	r.Timing.AddHit()
+	// Completed entries are served even under a canceled context (the
+	// non-blocking poll below), so report assembly after an interrupt
+	// still reads everything that finished.
+	select {
+	case <-e.done:
+		return e.res, e.err
+	default:
+	}
+	select {
+	case <-e.done:
+		return e.res, e.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // runUncached is the uncached simulation of one cell.
-func (r *Runner) runUncached(w workload.Workload, name ConfigName) (*machine.Result, error) {
+func (r *Runner) runUncached(ctx context.Context, w workload.Workload, name ConfigName) (*machine.Result, error) {
 	opts := rtOptions(name)
 	prog, rtEnd, err := workload.BuildProgram(w, opts, r.Scale)
 	if err != nil {
@@ -225,7 +316,7 @@ func (r *Runner) runUncached(w workload.Workload, name ConfigName) (*machine.Res
 	var prof *core.Profile
 	if needsProfile(name) {
 		pkey := fmt.Sprintf("%s/%s/%v", w.Name, opts.Policy, opts.Bounds)
-		prof, err = r.profileFor(pkey, prog, rtEnd, opts)
+		prof, err = r.profileFor(ctx, pkey, prog, rtEnd, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -235,7 +326,7 @@ func (r *Runner) runUncached(w workload.Workload, name ConfigName) (*machine.Res
 	if r.Trace != nil {
 		cfg.Sink = trace.New(*r.Trace)
 	}
-	res, err := sim.Run(prog, cfg)
+	res, err := sim.RunCtx(ctx, prog, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("%s under %s: %w", w.Name, name, err)
 	}
@@ -252,39 +343,66 @@ func (r *Runner) runUncached(w workload.Workload, name ConfigName) (*machine.Res
 // profiling pass exactly once even when many configurations request
 // the same workload's profile concurrently. Workload programs build
 // deterministically, so whichever caller wins the race profiles an
-// identical program.
-func (r *Runner) profileFor(key string, prog *asm.Program, rtEnd int, opts rt.Options) (*core.Profile, error) {
+// identical program. Like the result cache, a canceled profiling pass
+// is evicted rather than cached.
+func (r *Runner) profileFor(ctx context.Context, key string, prog *asm.Program, rtEnd int, opts rt.Options) (*core.Profile, error) {
 	r.mu.Lock()
+	if r.profiles == nil {
+		r.profiles = make(map[string]*profileEntry)
+	}
 	e, ok := r.profiles[key]
 	if !ok {
-		e = &profileEntry{}
+		e = &profileEntry{done: make(chan struct{})}
 		r.profiles[key] = e
-	}
-	r.mu.Unlock()
-	e.once.Do(func() {
+		r.mu.Unlock()
 		start := time.Now()
 		base := core.DefaultConfig()
 		if opts.Bounds {
 			base.Bounds = core.BoundsFused
 		}
-		p, err := sim.Profile(prog, base, rtEnd)
+		p, err := sim.ProfileCtx(ctx, prog, base, rtEnd)
 		if err != nil {
 			err = fmt.Errorf("profiling %s: %w", key, err)
 		}
 		e.prof, e.err = p, err
 		r.Timing.AddProfile(time.Since(start))
-	})
-	return e.prof, e.err
+		if e.err != nil && Canceled(e.err) {
+			r.mu.Lock()
+			if r.profiles[key] == e {
+				delete(r.profiles, key)
+			}
+			r.mu.Unlock()
+		}
+		close(e.done)
+		return e.prof, e.err
+	}
+	r.mu.Unlock()
+	select {
+	case <-e.done:
+		return e.prof, e.err
+	default:
+	}
+	select {
+	case <-e.done:
+		return e.prof, e.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // Overhead computes the slowdown ratio of cfg over the baseline for
 // one workload.
 func (r *Runner) Overhead(w workload.Workload, name ConfigName) (float64, error) {
-	base, err := r.Run(w, CfgBaseline)
+	return r.OverheadCtx(r.ctx(), w, name)
+}
+
+// OverheadCtx is Overhead under an explicit context.
+func (r *Runner) OverheadCtx(ctx context.Context, w workload.Workload, name ConfigName) (float64, error) {
+	base, err := r.RunCtx(ctx, w, CfgBaseline)
 	if err != nil {
 		return 0, err
 	}
-	res, err := r.Run(w, name)
+	res, err := r.RunCtx(ctx, w, name)
 	if err != nil {
 		return 0, err
 	}
@@ -297,13 +415,20 @@ func (r *Runner) Overhead(w workload.Workload, name ConfigName) (float64, error)
 // runner's workers; the series is assembled serially in workload
 // order afterwards, so the output is identical to a serial sweep.
 func (r *Runner) Sweep(name ConfigName) (stats.Series, float64, error) {
+	return r.SweepCtx(r.ctx(), name)
+}
+
+// SweepCtx is Sweep under an explicit context; cancellation stops the
+// fan-out without handing out new cells and lands mid-simulation in
+// the cells already running.
+func (r *Runner) SweepCtx(ctx context.Context, name ConfigName) (stats.Series, float64, error) {
 	s := stats.Series{Name: string(name)}
-	if err := r.RunAll(CfgBaseline, name); err != nil {
+	if err := r.RunAllCtx(ctx, CfgBaseline, name); err != nil {
 		return s, 0, err
 	}
 	var ratios []float64
 	for _, w := range r.Workloads {
-		ratio, err := r.Overhead(w, name)
+		ratio, err := r.OverheadCtx(ctx, w, name)
 		if err != nil {
 			return s, 0, err
 		}

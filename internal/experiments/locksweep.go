@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"watchdog/internal/machine"
@@ -41,8 +42,8 @@ func (r *Runner) LockSweep(sizes []int) (*stats.Table, error) {
 			cells = append(cells, cell{w, sz})
 		}
 	}
-	if err := r.parallelDo(len(cells), func(i int) error {
-		_, err := r.runLockSize(cells[i].w, cells[i].size)
+	if err := r.parallelDo(r.ctx(), len(cells), func(i int) error {
+		_, err := r.runLockSize(r.ctx(), cells[i].w, cells[i].size)
 		return err
 	}); err != nil {
 		return nil, err
@@ -58,7 +59,7 @@ func (r *Runner) LockSweep(sizes []int) (*stats.Table, error) {
 		cells := []any{w.Name}
 		var missPer1k float64
 		for si, sz := range sizes {
-			res, err := r.runLockSize(w, sz)
+			res, err := r.runLockSize(r.ctx(), w, sz)
 			if err != nil {
 				return nil, err
 			}
@@ -85,23 +86,23 @@ func (r *Runner) LockSweep(sizes []int) (*stats.Table, error) {
 // runLockSize executes one workload under the ISA-assisted
 // configuration with a given lock-location-cache size (cached; safe
 // for concurrent use).
-func (r *Runner) runLockSize(w workload.Workload, size int) (*machine.Result, error) {
+func (r *Runner) runLockSize(ctx context.Context, w workload.Workload, size int) (*machine.Result, error) {
 	key := fmt.Sprintf("%s/lock%d", w.Name, size)
-	return r.cachedResult(key, func() (*machine.Result, error) {
+	return r.cachedResult(ctx, key, func() (*machine.Result, error) {
 		opts := rtOptions(CfgISA)
 		prog, rtEnd, err := workload.BuildProgram(w, opts, r.Scale)
 		if err != nil {
 			return nil, err
 		}
 		pkey := fmt.Sprintf("%s/%s/%v", w.Name, opts.Policy, opts.Bounds)
-		prof, err := r.profileFor(pkey, prog, rtEnd, opts)
+		prof, err := r.profileFor(ctx, pkey, prog, rtEnd, opts)
 		if err != nil {
 			return nil, err
 		}
 		cfg := simConfig(CfgISA, prof)
 		cfg.Hier.Lock.SizeBytes = size
 		cfg.RuntimeEnd = rtEnd
-		res, err := sim.Run(prog, cfg)
+		res, err := sim.RunCtx(ctx, prog, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -16,11 +17,20 @@ func (r *Runner) jobs() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// parallelDo runs fn(i) for every i in [0, n) across the runner's
-// worker pool. Every index runs even when some fail; the returned
-// error is the lowest-index one, so what a caller sees is independent
-// of scheduling order (the same error a serial loop would hit first).
-func (r *Runner) parallelDo(n int, fn func(i int) error) error {
+// parallelDo runs fn(i) for indices in [0, n) across the runner's
+// worker pool, failing fast: once any index records an error (or ctx
+// is canceled) no new indices are handed out, so a first-cell failure
+// in a 20-workload sweep no longer costs the whole sweep's
+// wall-clock. Indices already claimed run to completion.
+//
+// The returned error is still deterministic: indices are handed out
+// in increasing order, so when index j records an error, every index
+// below j was claimed earlier and runs to completion — in particular
+// the lowest failing index a serial loop would hit first is always
+// claimed, always recorded, and always the one returned, at any Jobs.
+// When no per-index error was recorded, a context error is returned
+// if the context fired.
+func (r *Runner) parallelDo(ctx context.Context, n int, fn func(i int) error) error {
 	if n == 0 {
 		return nil
 	}
@@ -30,6 +40,9 @@ func (r *Runner) parallelDo(n int, fn func(i int) error) error {
 	}
 	if j <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -37,18 +50,33 @@ func (r *Runner) parallelDo(n int, fn func(i int) error) error {
 		return nil
 	}
 	errs := make([]error, n)
+	var failed atomic.Bool
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	done := ctx.Done()
 	for w := 0; w < j; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				if failed.Load() {
+					return
+				}
+				if done != nil {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
 			}
 		}()
 	}
@@ -58,16 +86,23 @@ func (r *Runner) parallelDo(n int, fn func(i int) error) error {
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }
 
 // RunAll warms the result cache for every (workload, configuration)
 // pair by fanning the cells out over the worker pool. Each cell is an
-// independent simulation; the per-key once-semantics of the caches
-// dedupe concurrent requests (including the shared ISA-assisted
+// independent simulation; the per-key coalescing of the caches
+// dedupes concurrent requests (including the shared ISA-assisted
 // profiles), and figure assembly afterwards reads the warmed cache in
 // workload order, so output is byte-identical to a serial run.
 func (r *Runner) RunAll(cfgs ...ConfigName) error {
+	return r.RunAllCtx(r.ctx(), cfgs...)
+}
+
+// RunAllCtx is RunAll under an explicit context: cancellation stops
+// the fan-out from claiming new cells and interrupts the cells
+// already simulating.
+func (r *Runner) RunAllCtx(ctx context.Context, cfgs ...ConfigName) error {
 	type pair struct {
 		w workload.Workload
 		c ConfigName
@@ -81,8 +116,8 @@ func (r *Runner) RunAll(cfgs ...ConfigName) error {
 	if r.Progress != nil {
 		r.Progress.AddTotal(len(pairs))
 	}
-	return r.parallelDo(len(pairs), func(i int) error {
-		_, err := r.Run(pairs[i].w, pairs[i].c)
+	return r.parallelDo(ctx, len(pairs), func(i int) error {
+		_, err := r.RunCtx(ctx, pairs[i].w, pairs[i].c)
 		if r.Progress != nil {
 			r.Progress.CellDone()
 		}

@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"watchdog/internal/trace"
 	"watchdog/internal/workload"
@@ -151,7 +154,7 @@ func TestRunConcurrentSameCell(t *testing.T) {
 func TestParallelDoFirstErrorByIndex(t *testing.T) {
 	r := runnerJ(t, 8)
 	want := errors.New("boom-3")
-	err := r.parallelDo(10, func(i int) error {
+	err := r.parallelDo(context.Background(), 10, func(i int) error {
 		if i == 3 {
 			return want
 		}
@@ -217,5 +220,85 @@ func TestTracedSweepParallel(t *testing.T) {
 		if len(res.Trace.FlightEvents()) == 0 {
 			t.Fatalf("%s: flight ring empty after traced run", w.Name)
 		}
+	}
+}
+
+// TestParallelDoFirstErrorAtAnyJobs: the deterministic-error contract
+// must hold at every worker count, including the serial path — the
+// fail-fast stop must never suppress the lowest-index error.
+func TestParallelDoFirstErrorAtAnyJobs(t *testing.T) {
+	want := errors.New("boom-3")
+	for _, jobs := range []int{1, 2, 4, 8, 16} {
+		r := runnerJ(t, jobs)
+		err := r.parallelDo(context.Background(), 10, func(i int) error {
+			switch i {
+			case 3:
+				return want
+			case 7:
+				return errors.New("boom-7")
+			}
+			return nil
+		})
+		if err != want {
+			t.Errorf("jobs=%d: got %v, want the lowest-index error %v", jobs, err, want)
+		}
+	}
+}
+
+// TestParallelDoFailFast: after an index records an error, the
+// fan-out stops handing out new indices instead of running the rest
+// of a large batch to completion.
+func TestParallelDoFailFast(t *testing.T) {
+	r := runnerJ(t, 4)
+	const n = 10_000
+	var calls atomic.Int64
+	err := r.parallelDo(context.Background(), n, func(i int) error {
+		calls.Add(1)
+		if i == 0 {
+			return fmt.Errorf("boom-0")
+		}
+		time.Sleep(100 * time.Microsecond) // give the flag time to propagate
+		return nil
+	})
+	if err == nil || err.Error() != "boom-0" {
+		t.Fatalf("err = %v, want boom-0", err)
+	}
+	if got := calls.Load(); got >= n/2 {
+		t.Errorf("fail-fast still ran %d of %d indices", got, n)
+	}
+}
+
+// TestParallelDoCanceledBeforeStart: a dead context stops the fan-out
+// before any index is claimed, at any worker count.
+func TestParallelDoCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, jobs := range []int{1, 4} {
+		r := runnerJ(t, jobs)
+		var calls atomic.Int64
+		err := r.parallelDo(ctx, 10, func(i int) error {
+			calls.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("jobs=%d: err = %v, want context.Canceled", jobs, err)
+		}
+		if calls.Load() != 0 {
+			t.Errorf("jobs=%d: %d indices ran under a dead context", jobs, calls.Load())
+		}
+	}
+}
+
+// TestRunAllCtxCanceled: cancellation surfaces from the full fan-out
+// as a context error without executing simulations.
+func TestRunAllCtxCanceled(t *testing.T) {
+	r := runnerJ(t, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := r.RunAllCtx(ctx, CfgBaseline); !Canceled(err) {
+		t.Fatalf("err = %v, want a cancellation", err)
+	}
+	if got := r.Timing.Sims(); got != 0 {
+		t.Errorf("canceled fan-out still ran %d simulations", got)
 	}
 }

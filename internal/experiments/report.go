@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"watchdog/internal/report"
 	"watchdog/internal/rt"
 	"watchdog/internal/security"
+	"watchdog/internal/workload"
 )
 
 // overheadFigures maps the overhead-figure experiments to the
@@ -40,17 +42,24 @@ func IsOverheadFigure(name string) bool {
 
 // Juliet runs the Section 9.2 security suite over the runner's worker
 // pool, recording every case into r.Timing (so -stats reports real
-// sim counts for the Juliet path, not "0 sims").
-func (r *Runner) Juliet() security.Summary {
+// sim counts for the Juliet path, not "0 sims"). On cancellation the
+// summary covers the cases that completed and the context error is
+// returned alongside it.
+func (r *Runner) Juliet() (security.Summary, error) {
+	return r.JulietCtx(r.ctx())
+}
+
+// JulietCtx is Juliet under an explicit context.
+func (r *Runner) JulietCtx(ctx context.Context) (security.Summary, error) {
 	cases := security.Suite()
 	var onDone func()
 	if r.Progress != nil {
 		r.Progress.AddTotal(len(cases))
 		onDone = r.Progress.CellDone
 	}
-	outs := security.RunCasesObserved(cases, core.DefaultConfig(),
+	outs, err := security.RunCasesCtx(ctx, cases, core.DefaultConfig(),
 		rt.Options{Policy: core.PolicyWatchdog}, r.jobs(), &r.Timing, onDone)
-	return security.Summarize(cases, outs)
+	return security.SummarizeRan(cases, outs), err
 }
 
 // Report assembles the machine-readable metrics report: one Cell per
@@ -75,13 +84,18 @@ func (r *Runner) Report(figures []string, juliet *security.Summary) (*report.Rep
 		}
 		want[name] = true
 	}
+	// The sweeps below re-run under a background context on purpose:
+	// callers only name figures that completed, so these are pure
+	// cache reads — and after an interrupt the report must still
+	// assemble everything that finished, not fail on the dead signal
+	// context.
 	for _, f := range overheadFigures {
 		if !want[f.name] {
 			continue
 		}
 		fig := report.Figure{Name: f.name}
 		for _, cfg := range f.cfgs {
-			_, geo, err := r.Sweep(cfg)
+			_, geo, err := r.SweepCtx(context.Background(), cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -92,12 +106,17 @@ func (r *Runner) Report(figures []string, juliet *security.Summary) (*report.Rep
 		rep.Figures = append(rep.Figures, fig)
 	}
 
-	// Snapshot the result cache; every entry's once has completed by
-	// the time a caller assembles the report (the parallel fan-outs
-	// join before returning).
+	// Snapshot the result cache, skipping entries still computing (a
+	// non-blocking poll of each entry's done channel keeps the
+	// snapshot race-clean even while other requests are in flight).
 	r.mu.Lock()
 	cells := make(map[string]*machine.Result, len(r.results))
 	for key, e := range r.results {
+		select {
+		case <-e.done:
+		default:
+			continue
+		}
 		if e.err == nil && e.res != nil {
 			cells[key] = e.res
 		}
@@ -126,6 +145,25 @@ func (r *Runner) Report(figures []string, juliet *security.Summary) (*report.Rep
 		rep.Juliet = &j
 	}
 	return rep, nil
+}
+
+// CellCtx simulates one (workload, configuration) cell under ctx and
+// returns it flattened into the report schema — the wire format of
+// the serving layer. With overhead set (and a non-baseline config)
+// the workload's baseline cell is also run so the response carries
+// the slowdown ratio. Both runs coalesce onto the runner's caches.
+func (r *Runner) CellCtx(ctx context.Context, w workload.Workload, name ConfigName, overhead bool) (report.Cell, error) {
+	res, err := r.RunCtx(ctx, w, name)
+	if err != nil {
+		return report.Cell{}, err
+	}
+	var base *machine.Result
+	if overhead && name != CfgBaseline {
+		if base, err = r.RunCtx(ctx, w, CfgBaseline); err != nil {
+			return report.Cell{}, err
+		}
+	}
+	return buildCell(w.Name, string(name), res, base), nil
 }
 
 // buildCell flattens one simulation result into the report schema.

@@ -106,7 +106,10 @@ func TestReportRejectsNonOverheadFigure(t *testing.T) {
 func TestJulietRecordsTiming(t *testing.T) {
 	r := runner(t)
 	r.Jobs = 4
-	sum := r.Juliet()
+	sum, err := r.Juliet()
+	if err != nil {
+		t.Fatalf("Juliet: %v", err)
+	}
 	if sum.BadDetected != sum.BadTotal || sum.BadTotal == 0 {
 		t.Fatalf("juliet summary wrong: %s", sum.String())
 	}

@@ -1,0 +1,110 @@
+package machine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"watchdog/internal/asm"
+	"watchdog/internal/core"
+	"watchdog/internal/isa"
+	"watchdog/internal/mem"
+)
+
+// loopMachine builds a machine running a counted loop long enough to
+// cross several cancellation-check intervals.
+func loopMachine(t *testing.T, iters int64) *Machine {
+	t.Helper()
+	b := asm.NewBuilder()
+	b.Label("_start")
+	b.Movi(isa.R1, 0)
+	b.Movi(isa.R2, iters)
+	b.Label("loop")
+	b.Add(isa.R1, isa.R1, isa.R2)
+	b.Subi(isa.R2, isa.R2, 1)
+	b.Brnz(isa.R2, "loop")
+	b.Halt()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	memory := mem.New()
+	eng := core.NewEngine(core.Config{Policy: core.PolicyBaseline}, memory)
+	m := New(prog, memory, eng, nil, nil)
+	m.Load()
+	return m
+}
+
+// TestRunCanceledMidFlight: a context canceled while the machine runs
+// stops the run at the next check interval with an error that wraps
+// the context's sentinel and reports the partial progress.
+func TestRunCanceledMidFlight(t *testing.T) {
+	m := loopMachine(t, 1_000_000)
+	ctx, cancel := context.WithCancel(context.Background())
+	m.SetContext(ctx)
+	cancel() // fires before the first poll: deterministic landing spot
+	res, err := m.Run()
+	if err == nil {
+		t.Fatal("canceled run returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if res == nil || res.Insts == 0 {
+		t.Fatal("canceled run reported no partial progress")
+	}
+	// The first poll is one interval in, so cancellation lands there —
+	// mid-simulation, long before the loop's ~3M instructions retire.
+	if res.Insts != CancelCheckInterval {
+		t.Errorf("canceled at %d instructions, want the first check at %d",
+			res.Insts, CancelCheckInterval)
+	}
+}
+
+// TestRunUncancellableContextsNoop: nil and background contexts leave
+// the run untouched and produce results identical to never calling
+// SetContext — the hot path stays byte-identical.
+func TestRunUncancellableContextsNoop(t *testing.T) {
+	base, err := m0Run(t, func(m *Machine) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, set := range map[string]func(m *Machine){
+		"nil":        func(m *Machine) { m.SetContext(nil) },
+		"background": func(m *Machine) { m.SetContext(context.Background()) },
+	} {
+		res, err := m0Run(t, set)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Insts != base.Insts || res.Timing.Cycles != base.Timing.Cycles {
+			t.Errorf("%s: insts/cycles %d/%d differ from plain run %d/%d",
+				name, res.Insts, res.Timing.Cycles, base.Insts, base.Timing.Cycles)
+		}
+	}
+}
+
+func m0Run(t *testing.T, set func(m *Machine)) (*Result, error) {
+	t.Helper()
+	m := loopMachine(t, 50_000)
+	set(m)
+	return m.Run()
+}
+
+// TestRunLiveContextCompletes: an attached context that never fires
+// must not perturb the result.
+func TestRunLiveContextCompletes(t *testing.T) {
+	plain, err := m0Run(t, func(m *Machine) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res, err := m0Run(t, func(m *Machine) { m.SetContext(ctx) })
+	if err != nil {
+		t.Fatalf("live-context run failed: %v", err)
+	}
+	if res.Insts != plain.Insts {
+		t.Errorf("live context changed the run: %d vs %d instructions", res.Insts, plain.Insts)
+	}
+}

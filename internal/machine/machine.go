@@ -5,6 +5,7 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -79,6 +80,14 @@ type Machine struct {
 	// sampler, when set, gates the timing model per the paper's
 	// periodic-sampling methodology (see SetSampling).
 	sampler *sampler
+
+	// cancel is the cooperative-cancellation state (see SetContext).
+	// cancelDone is nil when no cancellable context is attached, which
+	// keeps the uncancellable path to a single pointer compare per
+	// macro instruction in Run.
+	cancelDone <-chan struct{}
+	cancelErr  func() error
+	nextCheck  uint64
 
 	// crack serves each static instruction's base µop sequence,
 	// cracked once per program; step copies it into uopArr (a fixed
@@ -161,6 +170,32 @@ func (m *Machine) SetSink(s *trace.Sink) {
 	m.eng.SetSink(s)
 }
 
+// CancelCheckInterval is how many macro instructions Run executes
+// between cooperative cancellation checks when a context is attached.
+// The check itself is a non-blocking channel poll, so the amortized
+// cost is one compare per instruction plus one poll per interval; at
+// simulator speeds an interval is well under a millisecond of wall
+// time, so cancellation still lands mid-simulation.
+const CancelCheckInterval = 8192
+
+// SetContext attaches a cancellable context to the run: Run polls
+// ctx.Done() every CancelCheckInterval macro instructions and returns
+// an error wrapping ctx.Err() once it fires, so callers can cancel a
+// simulation mid-flight (deadline, SIGINT, server drain) instead of
+// only between runs. Contexts that can never be cancelled
+// (context.Background has a nil Done channel) leave the hot loop
+// untouched, byte-identical results included.
+func (m *Machine) SetContext(ctx context.Context) {
+	if ctx == nil || ctx.Done() == nil {
+		m.cancelDone = nil
+		m.cancelErr = nil
+		return
+	}
+	m.cancelDone = ctx.Done()
+	m.cancelErr = ctx.Err
+	m.nextCheck = m.res.Insts + CancelCheckInterval
+}
+
 // fault records a memory-safety exception and halts.
 func (m *Machine) fault(err error) {
 	if me, ok := err.(*core.MemoryError); ok {
@@ -178,6 +213,15 @@ func (m *Machine) fault(err error) {
 // violations — those are reported in Result.MemErr.
 func (m *Machine) Run() (*Result, error) {
 	for !m.halted {
+		if m.cancelDone != nil && m.res.Insts >= m.nextCheck {
+			m.nextCheck = m.res.Insts + CancelCheckInterval
+			select {
+			case <-m.cancelDone:
+				return &m.res, fmt.Errorf("machine: canceled after %d instructions at pc %d: %w",
+					m.res.Insts, m.pc, m.cancelErr())
+			default:
+			}
+		}
 		if m.res.Insts >= m.InstLimit {
 			return &m.res, fmt.Errorf("machine: instruction limit (%d) exceeded at pc %d", m.InstLimit, m.pc)
 		}

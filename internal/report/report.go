@@ -43,6 +43,10 @@ type Report struct {
 	Figures []Figure `json:"figures,omitempty"`
 	// Juliet summarizes the Section 9.2 security suite when it ran.
 	Juliet *Juliet `json:"juliet,omitempty"`
+	// Partial marks a document flushed by an interrupted run (SIGINT
+	// mid-sweep): it holds every cell that completed, but absent cells
+	// are unfinished work, not zero — do not gate regressions on it.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // Cell is the per-simulation metrics record.
@@ -115,6 +119,9 @@ type JulietReport struct {
 	Schema  string `json:"schema"`
 	Version int    `json:"version"`
 	Juliet  Juliet `json:"juliet"`
+	// Partial marks a document flushed by an interrupted run: the
+	// counts cover only the cases that completed.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // WriteFile serializes the report to path (indented JSON, trailing
@@ -173,6 +180,9 @@ type BenchReport struct {
 	// Experiments breaks the wall time down per rendered experiment,
 	// in execution order.
 	Experiments []BenchExperiment `json:"experiments,omitempty"`
+	// Partial marks a record flushed by an interrupted run; wall and
+	// busy times cover only the work done before the signal.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // BenchExperiment is one experiment's wall-time record.
@@ -211,8 +221,9 @@ func ReadBenchFile(path string) (*BenchReport, error) {
 }
 
 // WriteJulietFile serializes the standalone security-suite document.
-func WriteJulietFile(path string, j Juliet) error {
-	return writeJSON(path, &JulietReport{Schema: JulietSchema, Version: Version, Juliet: j})
+// partial marks a document flushed by an interrupted run.
+func WriteJulietFile(path string, j Juliet, partial bool) error {
+	return writeJSON(path, &JulietReport{Schema: JulietSchema, Version: Version, Juliet: j, Partial: partial})
 }
 
 func writeJSON(path string, v any) error {

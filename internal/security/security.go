@@ -16,6 +16,8 @@
 package security
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -88,7 +90,14 @@ func CaseByID(id string) (Case, bool) {
 
 // RunCase executes one case functionally under the given configuration.
 func RunCase(c Case, cfg core.Config, opts rt.Options) Outcome {
-	return runCaseSink(c, cfg, opts, nil)
+	return RunCaseCtx(context.Background(), c, cfg, opts)
+}
+
+// RunCaseCtx is RunCase with cooperative cancellation: the simulated
+// machine polls ctx mid-run, so a deadline or signal interrupts even
+// a single long case.
+func RunCaseCtx(ctx context.Context, c Case, cfg core.Config, opts rt.Options) Outcome {
+	return runCaseSink(ctx, c, cfg, opts, nil)
 }
 
 // RunCaseTraced is RunCase with a trace sink attached (flight
@@ -96,10 +105,10 @@ func RunCase(c Case, cfg core.Config, opts rt.Options) Outcome {
 // returned alongside the outcome so callers can dump or export it.
 func RunCaseTraced(c Case, cfg core.Config, opts rt.Options, tc trace.Config) (Outcome, *trace.Sink) {
 	sink := trace.New(tc)
-	return runCaseSink(c, cfg, opts, sink), sink
+	return runCaseSink(context.Background(), c, cfg, opts, sink), sink
 }
 
-func runCaseSink(c Case, cfg core.Config, opts rt.Options, sink *trace.Sink) Outcome {
+func runCaseSink(ctx context.Context, c Case, cfg core.Config, opts rt.Options, sink *trace.Sink) Outcome {
 	r := rt.NewBuild(opts)
 	r.B.Label("main")
 	c.Build(r.B, c.ID)
@@ -107,11 +116,31 @@ func runCaseSink(c Case, cfg core.Config, opts rt.Options, sink *trace.Sink) Out
 	if err != nil {
 		return Outcome{Case: c, Err: fmt.Errorf("assemble: %w", err)}
 	}
-	res, err := sim.Run(prog, sim.Config{Core: cfg, RuntimeEnd: r.RuntimeEnd(), InstLimit: 2_000_000, Sink: sink})
+	res, err := sim.RunCtx(ctx, prog, sim.Config{Core: cfg, RuntimeEnd: r.RuntimeEnd(), InstLimit: 2_000_000, Sink: sink})
 	if err != nil {
 		return Outcome{Case: c, Err: err}
 	}
 	return outcomeOf(c, res)
+}
+
+// PolicyConfig maps a policy name (the -policy vocabulary shared by
+// watchdog-juliet and the serving layer's security endpoint) to the
+// engine configuration and runtime options it runs under.
+func PolicyConfig(name string) (core.Config, rt.Options, error) {
+	switch name {
+	case "watchdog":
+		return core.DefaultConfig(), rt.Options{Policy: core.PolicyWatchdog}, nil
+	case "conservative":
+		cfg := core.DefaultConfig()
+		cfg.PtrPolicy = core.PtrConservative
+		return cfg, rt.Options{Policy: core.PolicyWatchdog}, nil
+	case "location":
+		return core.Config{Policy: core.PolicyLocation}, rt.Options{Policy: core.PolicyLocation}, nil
+	case "software":
+		return core.Config{Policy: core.PolicySoftware, PtrPolicy: core.PtrConservative},
+			rt.Options{Policy: core.PolicySoftware}, nil
+	}
+	return core.Config{}, rt.Options{}, fmt.Errorf("unknown policy %q (known: watchdog, conservative, location, software)", name)
 }
 
 func outcomeOf(c Case, res *machine.Result) Outcome {
@@ -177,12 +206,23 @@ func RunCasesTimed(cases []Case, cfg core.Config, opts rt.Options, jobs int, t *
 // progress counters are). The outcome slice is still merged in case
 // order.
 func RunCasesObserved(cases []Case, cfg core.Config, opts rt.Options, jobs int, t *stats.Timing, onDone func()) []Outcome {
+	outs, _ := RunCasesCtx(context.Background(), cases, cfg, opts, jobs, t, onDone)
+	return outs
+}
+
+// RunCasesCtx is RunCasesObserved under an explicit context. Workers
+// stop claiming new cases once the context fires (and the case
+// already simulating is interrupted mid-run); slots for cases that
+// never ran are left zero (Case.ID empty) so callers can summarize
+// the completed subset — see SummarizeRan. The returned error is
+// ctx.Err() when the run was cut short, nil otherwise.
+func RunCasesCtx(ctx context.Context, cases []Case, cfg core.Config, opts rt.Options, jobs int, t *stats.Timing, onDone func()) ([]Outcome, error) {
 	run := func(c Case) Outcome {
 		var start time.Time
 		if t != nil {
 			start = time.Now()
 		}
-		o := RunCase(c, cfg, opts)
+		o := RunCaseCtx(ctx, c, cfg, opts)
 		if t != nil {
 			t.AddSim(time.Since(start))
 		}
@@ -198,11 +238,26 @@ func RunCasesObserved(cases []Case, cfg core.Config, opts rt.Options, jobs int, 
 	if jobs > len(cases) {
 		jobs = len(cases)
 	}
+	done := ctx.Done()
+	claimed := func() bool {
+		if done == nil {
+			return true
+		}
+		select {
+		case <-done:
+			return false
+		default:
+			return true
+		}
+	}
 	if jobs <= 1 {
 		for i, c := range cases {
+			if !claimed() {
+				break
+			}
 			outs[i] = run(c)
 		}
-		return outs
+		return outs, ctx.Err()
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -210,7 +265,7 @@ func RunCasesObserved(cases []Case, cfg core.Config, opts rt.Options, jobs int, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for claimed() {
 				i := int(next.Add(1)) - 1
 				if i >= len(cases) {
 					return
@@ -220,7 +275,7 @@ func RunCasesObserved(cases []Case, cfg core.Config, opts rt.Options, jobs int, 
 		}()
 	}
 	wg.Wait()
-	return outs
+	return outs, ctx.Err()
 }
 
 // ReportRecord converts the summary to the report-schema security
@@ -235,6 +290,28 @@ func (s Summary) ReportRecord(policy string) report.Juliet {
 		ByCWEDetected: s.ByCWEDetected,
 		ByCWETotal:    s.ByCWETotal,
 	}
+}
+
+// SummarizeRan aggregates like Summarize but skips cases that never
+// ran or were interrupted mid-simulation (a canceled fan-out leaves
+// their outcome slot zero or carrying a context error) — the partial
+// summary an interrupted run flushes covers exactly the cases that
+// finished, instead of misreporting unclaimed cases as failures.
+func SummarizeRan(cases []Case, outs []Outcome) Summary {
+	ranCases := make([]Case, 0, len(cases))
+	ranOuts := make([]Outcome, 0, len(outs))
+	for i, c := range cases {
+		o := outs[i]
+		if o.Case.ID == "" {
+			continue // never claimed
+		}
+		if o.Err != nil && (errors.Is(o.Err, context.Canceled) || errors.Is(o.Err, context.DeadlineExceeded)) {
+			continue // interrupted mid-run
+		}
+		ranCases = append(ranCases, c)
+		ranOuts = append(ranOuts, o)
+	}
+	return Summarize(ranCases, ranOuts)
 }
 
 // Summarize aggregates outcomes (indexed like cases) into a Summary.

@@ -1,0 +1,597 @@
+// Package serve is the simulation service behind watchdog-serve: an
+// HTTP/JSON front end over the experiments runner. Requests name a
+// (workload, configuration, scale) cell or a security policy; the
+// response is the same schema-v1 record the batch harness writes, so
+// a client cannot tell (and need not care) whether a document came
+// from `watchdog-bench -json` or from the service.
+//
+// The service layers three policies over the runner:
+//
+//   - Coalescing. Identical in-flight requests collapse onto one
+//     computation (a per-key flight, riding the runner's own
+//     once-caches underneath), and completed flights are replayed
+//     from memory — the simulations are deterministic, so a cached
+//     response is indistinguishable from a fresh one.
+//   - Backpressure. New computations pass through a bounded worker
+//     semaphore; when it is saturated the request is rejected
+//     immediately with 429 and a Retry-After hint instead of queuing
+//     without bound. Coalesced waiters do not hold slots.
+//   - Deadlines and drain. Every computation runs under a context
+//     capped by the request's timeout_ms and the server-wide
+//     RequestTimeout; an expired deadline is a 504 and the aborted
+//     computation is evicted so a retry recomputes. On shutdown the
+//     server stops admitting work (503), lets in-flight requests
+//     finish within DrainTimeout, then force-cancels whatever is
+//     still running — cancellation lands mid-simulation via the
+//     machine's cooperative check.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"watchdog/internal/experiments"
+	"watchdog/internal/report"
+	"watchdog/internal/security"
+	"watchdog/internal/stats"
+	"watchdog/internal/workload"
+)
+
+const (
+	// Schema identifies the /metrics document.
+	Schema = "watchdog-serve"
+	// Version is the wire schema version (shared by all endpoints).
+	Version = 1
+
+	// maxBody bounds request bodies; the requests are tiny.
+	maxBody = 1 << 20
+)
+
+// Config sizes the service. Zero values select the defaults.
+type Config struct {
+	// MaxWorkers bounds concurrently executing computations (the
+	// semaphore width). Default: GOMAXPROCS.
+	MaxWorkers int
+	// MaxScale rejects requests asking for a larger workload scale
+	// (scale multiplies simulation cost superlinearly). Default: 4.
+	MaxScale int
+	// RequestTimeout caps every computation, including requests that
+	// ask for a longer timeout_ms. Default: 120s.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds the graceful-shutdown window; in-flight
+	// requests still running when it expires are force-canceled.
+	// Default: 30s.
+	DrainTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxScale <= 0 {
+		c.MaxScale = 4
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 120 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// SimRequest is the POST /v1/sim body.
+type SimRequest struct {
+	Workload string `json:"workload"`
+	Config   string `json:"config"`
+	// Scale is the workload scale factor (default 1, capped by the
+	// server's MaxScale).
+	Scale int `json:"scale,omitempty"`
+	// Overhead additionally runs the workload's baseline cell so the
+	// response carries the slowdown ratio.
+	Overhead bool `json:"overhead,omitempty"`
+	// TimeoutMS bounds this request; 0 means the server default. The
+	// server-wide RequestTimeout still caps it.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// SimResponse is the POST /v1/sim success body: one report-schema
+// cell plus the wall time of the computation that produced it (zero
+// when the response replayed a completed flight).
+type SimResponse struct {
+	Schema  string      `json:"schema"`
+	Version int         `json:"version"`
+	Cell    report.Cell `json:"cell"`
+	// WallNanos is how long the backing computation ran. Coalesced
+	// and replayed requests see the original computation's time.
+	WallNanos int64 `json:"wall_nanos"`
+}
+
+// JulietRequest is the POST /v1/juliet body. The response is a
+// report.JulietReport, byte-compatible with `watchdog-juliet -json`.
+type JulietRequest struct {
+	// Policy is the checking policy (watchdog|location|software|
+	// conservative). Default: watchdog.
+	Policy    string `json:"policy,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// RetryAfterSec accompanies 429 (backpressure): the client should
+	// back off at least this long.
+	RetryAfterSec int `json:"retry_after_sec,omitempty"`
+}
+
+// Metrics is the GET /metrics document.
+type Metrics struct {
+	Schema      string `json:"schema"`
+	Version     int    `json:"version"`
+	UptimeNanos int64  `json:"uptime_nanos"`
+	Draining    bool   `json:"draining"`
+
+	// Inflight counts computations currently executing (not coalesced
+	// waiters).
+	Inflight int64 `json:"inflight"`
+	// RejectedBusy / RejectedDraining count 429 and drain-503
+	// rejections. Coalesced counts requests that joined an existing
+	// flight instead of computing.
+	RejectedBusy     int64 `json:"rejected_busy"`
+	RejectedDraining int64 `json:"rejected_draining"`
+	Coalesced        int64 `json:"coalesced"`
+
+	Endpoints map[string]EndpointMetrics `json:"endpoints"`
+	Harness   HarnessMetrics             `json:"harness"`
+}
+
+// HarnessMetrics aggregates the runner timing counters across every
+// scale the server has simulated at, plus the security suite.
+type HarnessMetrics struct {
+	Sims      uint64 `json:"sims"`
+	Profiles  uint64 `json:"profiles"`
+	CacheHits uint64 `json:"cache_hits"`
+	BusyNanos int64  `json:"busy_nanos"`
+	// CacheHitRatio is hits / (hits + sims); 0 until the server has
+	// served something.
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+}
+
+// flight is one in-flight (or completed) computation keyed by the
+// request tuple. The creator computes, fills status/body and closes
+// done; everyone else waits on done or their own context. Failed
+// flights are evicted so a retry recomputes; successful ones are kept
+// and replayed (the simulations are deterministic).
+type flight struct {
+	done   chan struct{}
+	status int
+	body   []byte
+}
+
+// Server is the simulation service. Create with New, mount Handler on
+// any mux or run Serve for the managed listen/drain lifecycle. A
+// Server is single-use: once drained it does not restart.
+type Server struct {
+	cfg   Config
+	start time.Time
+
+	sem      chan struct{}
+	draining atomic.Bool
+
+	inflight         atomic.Int64
+	rejectedBusy     atomic.Int64
+	rejectedDraining atomic.Int64
+	coalesced        atomic.Int64
+
+	// forceCtx is canceled when the drain window expires; every
+	// computation context is linked to it so shutdown can abort
+	// simulations that outlive DrainTimeout.
+	forceCtx  context.Context
+	forceStop context.CancelFunc
+
+	mu      sync.Mutex
+	runners map[int]*experiments.Runner
+	flights map[string]*flight
+
+	simMet    endpointStats
+	julietMet endpointStats
+
+	// julietTiming records security-suite case timings (the runners
+	// record their own).
+	julietTiming stats.Timing
+
+	// computeStarted, when non-nil, is called by each flight creator
+	// after it claimed a worker slot and before it computes — a test
+	// hook for deterministic backpressure and drain tests.
+	computeStarted func()
+}
+
+// New builds a Server with cfg (zero fields take defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		start:   time.Now(),
+		sem:     make(chan struct{}, cfg.MaxWorkers),
+		runners: make(map[int]*experiments.Runner),
+		flights: make(map[string]*flight),
+	}
+	s.forceCtx, s.forceStop = context.WithCancel(context.Background())
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/sim", s.timed(&s.simMet, s.handleSim))
+	mux.HandleFunc("POST /v1/juliet", s.timed(&s.julietMet, s.handleJuliet))
+	return mux
+}
+
+// Serve accepts connections on ln until ctx is canceled, then drains:
+// the listener closes, new requests are answered 503, in-flight
+// requests get DrainTimeout to finish, and anything still running
+// after that is force-canceled mid-simulation. Returns nil after a
+// clean drain (including a forced one).
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	// Refuse new work before Shutdown closes the listener, so a
+	// request racing the drain gets a clean 503 instead of a reset.
+	s.draining.Store(true)
+	shCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	err := srv.Shutdown(shCtx)
+	if err != nil {
+		// The drain window expired: abort the remaining simulations
+		// (they observe forceCtx cooperatively) and close their
+		// connections.
+		s.forceStop()
+		srv.Close()
+	}
+	<-errc // reap the Serve goroutine (http.ErrServerClosed)
+	return nil
+}
+
+// timed wraps a handler with per-endpoint latency/error accounting.
+// Handlers return the status they wrote.
+func (s *Server) timed(met *endpointStats, fn func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		status := fn(w, r)
+		met.observe(time.Since(start), status >= 400)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := http.StatusOK
+	state := "ok"
+	if s.draining.Load() {
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	writeJSON(w, status, map[string]any{
+		"status":       state,
+		"uptime_nanos": time.Since(s.start).Nanoseconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := Metrics{
+		Schema:      Schema,
+		Version:     Version,
+		UptimeNanos: time.Since(s.start).Nanoseconds(),
+		Draining:    s.draining.Load(),
+
+		Inflight:         s.inflight.Load(),
+		RejectedBusy:     s.rejectedBusy.Load(),
+		RejectedDraining: s.rejectedDraining.Load(),
+		Coalesced:        s.coalesced.Load(),
+
+		Endpoints: map[string]EndpointMetrics{
+			"sim":    s.simMet.snapshot(),
+			"juliet": s.julietMet.snapshot(),
+		},
+	}
+	h := &m.Harness
+	s.mu.Lock()
+	for _, r := range s.runners {
+		h.Sims += r.Timing.Sims()
+		h.Profiles += r.Timing.Profiles()
+		h.CacheHits += r.Timing.Hits()
+		h.BusyNanos += int64(r.Timing.BusyTime())
+	}
+	s.mu.Unlock()
+	h.Sims += s.julietTiming.Sims()
+	h.BusyNanos += int64(s.julietTiming.BusyTime())
+	if total := h.CacheHits + h.Sims; total > 0 {
+		h.CacheHitRatio = float64(h.CacheHits) / float64(total)
+	}
+	writeJSON(w, http.StatusOK, &m)
+}
+
+// handleSim serves POST /v1/sim: validate, coalesce, compute one
+// report cell.
+func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) int {
+	if st, ok := s.admit(w); !ok {
+		return st
+	}
+	var req SimRequest
+	if err := decodeBody(r, &req); err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	wl, ok := workload.ByName(req.Workload)
+	if !ok {
+		return writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("unknown workload %q (known: %v)", req.Workload, workload.Names()))
+	}
+	if !experiments.IsConfig(req.Config) {
+		return writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("unknown config %q (known: %v)", req.Config, experiments.ConfigNames()))
+	}
+	if req.Scale == 0 {
+		req.Scale = 1
+	}
+	if req.Scale < 0 || req.Scale > s.cfg.MaxScale {
+		return writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("scale %d out of range [1, %d]", req.Scale, s.cfg.MaxScale))
+	}
+
+	key := fmt.Sprintf("sim/%s/%s/%d/%t", req.Workload, req.Config, req.Scale, req.Overhead)
+	return s.flightDo(w, r, key, req.TimeoutMS, func(ctx context.Context) (int, []byte) {
+		rn, err := s.runner(req.Scale)
+		if err != nil {
+			return http.StatusInternalServerError, errorBody(err.Error())
+		}
+		start := time.Now()
+		cell, err := rn.CellCtx(ctx, wl, experiments.ConfigName(req.Config), req.Overhead)
+		if err != nil {
+			return failureStatus(ctx, err)
+		}
+		return marshalOK(&SimResponse{
+			Schema:    Schema,
+			Version:   Version,
+			Cell:      cell,
+			WallNanos: time.Since(start).Nanoseconds(),
+		})
+	})
+}
+
+// handleJuliet serves POST /v1/juliet: the full security suite under
+// one policy. The suite fans out over the server's worker count
+// internally but occupies a single admission slot — it is the
+// heavyweight endpoint.
+func (s *Server) handleJuliet(w http.ResponseWriter, r *http.Request) int {
+	if st, ok := s.admit(w); !ok {
+		return st
+	}
+	var req JulietRequest
+	if err := decodeBody(r, &req); err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	if req.Policy == "" {
+		req.Policy = "watchdog"
+	}
+	cfg, opts, err := security.PolicyConfig(req.Policy)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+
+	key := "juliet/" + req.Policy
+	return s.flightDo(w, r, key, req.TimeoutMS, func(ctx context.Context) (int, []byte) {
+		cases := security.Suite()
+		outs, err := security.RunCasesCtx(ctx, cases, cfg, opts, s.cfg.MaxWorkers, &s.julietTiming, nil)
+		if err != nil {
+			return failureStatus(ctx, err)
+		}
+		sum := security.SummarizeRan(cases, outs)
+		return marshalOK(&report.JulietReport{
+			Schema:  report.JulietSchema,
+			Version: report.Version,
+			Juliet:  sum.ReportRecord(req.Policy),
+		})
+	})
+}
+
+// admit applies the drain gate. During drain every request — even one
+// a completed flight could answer — is refused, so the listener
+// empties deterministically.
+func (s *Server) admit(w http.ResponseWriter) (int, bool) {
+	if s.draining.Load() {
+		s.rejectedDraining.Add(1)
+		return writeError(w, http.StatusServiceUnavailable, "server is draining"), false
+	}
+	return 0, true
+}
+
+// flightDo coalesces the request onto the flight for key, creating it
+// (and computing, under the worker semaphore) if absent, then replays
+// the flight's response. compute returns the status and body to store.
+func (s *Server) flightDo(w http.ResponseWriter, r *http.Request, key string, timeoutMS int64, compute func(context.Context) (int, []byte)) int {
+	f, creator, st := s.claimFlight(w, key)
+	if f == nil {
+		return st // rejected: semaphore full
+	}
+	if creator {
+		defer func() { <-s.sem }()
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		// The deadline clock starts at admission, before the test hook,
+		// so a stalled computation burns its own budget.
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout(timeoutMS))
+		defer cancel()
+		// Link the computation to the drain deadline: when the drain
+		// window expires, forceCtx cancels every in-flight simulation.
+		stop := context.AfterFunc(s.forceCtx, cancel)
+		defer stop()
+		if s.computeStarted != nil {
+			s.computeStarted()
+		}
+
+		f.status, f.body = compute(ctx)
+		if f.status != http.StatusOK {
+			// Don't cache failures (cancellations, deadline expiries,
+			// simulator errors): evict so a retry recomputes.
+			s.mu.Lock()
+			if s.flights[key] == f {
+				delete(s.flights, key)
+			}
+			s.mu.Unlock()
+		}
+		close(f.done)
+		return writeRaw(w, f.status, f.body)
+	}
+
+	s.coalesced.Add(1)
+	// Completed flights replay even under an expired context; only a
+	// still-running computation makes the waiter's own deadline race.
+	select {
+	case <-f.done:
+		return writeRaw(w, f.status, f.body)
+	default:
+	}
+	waitCtx, cancel := context.WithTimeout(r.Context(), s.timeout(timeoutMS))
+	defer cancel()
+	select {
+	case <-f.done:
+		return writeRaw(w, f.status, f.body)
+	case <-waitCtx.Done():
+		st, body := failureStatus(waitCtx, waitCtx.Err())
+		return writeRaw(w, st, body)
+	}
+}
+
+// claimFlight returns the flight for key and whether the caller is
+// its creator. Creation passes through the worker semaphore: when it
+// is saturated the request is rejected with 429 + Retry-After instead
+// of queuing. Joining an existing flight never needs a slot.
+func (s *Server) claimFlight(w http.ResponseWriter, key string) (*flight, bool, int) {
+	s.mu.Lock()
+	f, ok := s.flights[key]
+	s.mu.Unlock()
+	if ok {
+		return f, false, 0
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.rejectedBusy.Add(1)
+		w.Header().Set("Retry-After", "1")
+		return nil, false, writeJSON(w, http.StatusTooManyRequests,
+			&ErrorResponse{Error: "all workers busy", RetryAfterSec: 1})
+	}
+	s.mu.Lock()
+	if f, ok = s.flights[key]; ok {
+		// Lost the registration race: someone else created the flight
+		// while we acquired the slot. Join them as a plain waiter.
+		s.mu.Unlock()
+		<-s.sem
+		return f, false, 0
+	}
+	f = &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.mu.Unlock()
+	return f, true, 0
+}
+
+// runner returns the shared runner for a scale, creating it on first
+// use. All requests at a scale share one runner, so the serving layer
+// inherits its once-caches.
+func (s *Server) runner(scale int) (*experiments.Runner, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runners[scale]
+	if !ok {
+		var err error
+		if r, err = experiments.NewRunner(scale); err != nil {
+			return nil, err
+		}
+		s.runners[scale] = r
+	}
+	return r, nil
+}
+
+// timeout resolves a request's timeout_ms against the server cap.
+func (s *Server) timeout(ms int64) time.Duration {
+	d := s.cfg.RequestTimeout
+	if ms > 0 {
+		if t := time.Duration(ms) * time.Millisecond; t < d {
+			d = t
+		}
+	}
+	return d
+}
+
+// failureStatus maps a computation error to a status and error body:
+// an expired deadline is 504, any other cancellation (client gone,
+// drain force-cancel) is 503, everything else is a 500.
+func failureStatus(ctx context.Context, err error) (int, []byte) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, errorBody("deadline exceeded: " + err.Error())
+	case experiments.Canceled(err):
+		return http.StatusServiceUnavailable, errorBody("canceled: " + err.Error())
+	default:
+		return http.StatusInternalServerError, errorBody(err.Error())
+	}
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func errorBody(msg string) []byte {
+	b, _ := json.Marshal(&ErrorResponse{Error: msg})
+	return b
+}
+
+func marshalOK(v any) (int, []byte) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return http.StatusInternalServerError, errorBody(err.Error())
+	}
+	return http.StatusOK, b
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) int {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return writeRaw(w, http.StatusInternalServerError, errorBody(err.Error()))
+	}
+	return writeRaw(w, status, b)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) int {
+	return writeRaw(w, status, errorBody(msg))
+}
+
+func writeRaw(w http.ResponseWriter, status int, body []byte) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// The body slice is shared by every waiter replaying a flight, so
+	// it must be written as-is (appending the newline to it would race).
+	w.Write(body)
+	w.Write([]byte{'\n'})
+	return status
+}

@@ -1,0 +1,513 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testServer returns a Server with a tiny worker pool and its
+// httptest front end.
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+func getMetrics(t *testing.T, base string) Metrics {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestSimCoalescing is the tentpole contract: N identical concurrent
+// requests run exactly one simulation, and every requester gets the
+// identical cell back.
+func TestSimCoalescing(t *testing.T) {
+	_, ts := testServer(t, Config{MaxWorkers: 8})
+	req := SimRequest{Workload: "mcf", Config: "conservative"}
+
+	const n = 8
+	var wg sync.WaitGroup
+	bodies := make([][]byte, n)
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := postJSON(t, ts.URL+"/v1/sim", req)
+			codes[i], bodies[i] = resp.StatusCode, body
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d, body %s", i, codes[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("request %d got a different body:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+	var sr SimResponse
+	if err := json.Unmarshal(bodies[0], &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Schema != Schema || sr.Version != Version {
+		t.Fatalf("schema stamp %q v%d", sr.Schema, sr.Version)
+	}
+	if sr.Cell.Workload != "mcf" || sr.Cell.Config != "conservative" || sr.Cell.Cycles <= 0 {
+		t.Fatalf("bad cell: %+v", sr.Cell)
+	}
+
+	m := getMetrics(t, ts.URL)
+	if m.Harness.Sims != 1 {
+		t.Errorf("%d identical requests ran %d simulations, want 1", n, m.Harness.Sims)
+	}
+	if m.Coalesced != n-1 {
+		t.Errorf("coalesced = %d, want %d", m.Coalesced, n-1)
+	}
+
+	// A later identical request replays the completed flight — still
+	// no new simulation.
+	resp, body := postJSON(t, ts.URL+"/v1/sim", req)
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(body, bodies[0]) {
+		t.Fatalf("replay: status %d, body %s", resp.StatusCode, body)
+	}
+	if m := getMetrics(t, ts.URL); m.Harness.Sims != 1 {
+		t.Errorf("replay ran a new simulation: sims = %d", m.Harness.Sims)
+	}
+}
+
+// TestSimOverheadCell: overhead requests also run the baseline and
+// stamp the slowdown ratio.
+func TestSimOverheadCell(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/sim",
+		SimRequest{Workload: "lbm", Config: "conservative", Overhead: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr SimResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Cell.Overhead <= 1 {
+		t.Fatalf("overhead cell has ratio %v, want > 1", sr.Cell.Overhead)
+	}
+	if m := getMetrics(t, ts.URL); m.Harness.Sims != 2 {
+		t.Errorf("overhead cell ran %d sims, want 2 (cell + baseline)", m.Harness.Sims)
+	}
+}
+
+// TestBackpressure: with one worker slot held, a request for a
+// different cell is rejected 429 + Retry-After instead of queuing,
+// while an identical request coalesces without needing a slot.
+func TestBackpressure(t *testing.T) {
+	s, ts := testServer(t, Config{MaxWorkers: 1})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	s.computeStarted = func() {
+		started <- struct{}{}
+		<-release
+	}
+
+	slow := SimRequest{Workload: "mcf", Config: "conservative"}
+	type result struct {
+		code int
+		body []byte
+	}
+	slowDone := make(chan result, 1)
+	go func() {
+		resp, body := postJSON(t, ts.URL+"/v1/sim", slow)
+		slowDone <- result{resp.StatusCode, body}
+	}()
+	<-started // the only worker slot is now held
+
+	resp, body := postJSON(t, ts.URL+"/v1/sim",
+		SimRequest{Workload: "lbm", Config: "conservative"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated server answered %d (%s), want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.RetryAfterSec <= 0 {
+		t.Errorf("429 body %s (err %v), want retry_after_sec > 0", body, err)
+	}
+
+	// An identical request joins the in-flight computation instead of
+	// being bounced.
+	coDone := make(chan result, 1)
+	go func() {
+		resp, body := postJSON(t, ts.URL+"/v1/sim", slow)
+		coDone <- result{resp.StatusCode, body}
+	}()
+	// The coalesced request must not consume the hook (only creators
+	// call it); give it a moment to join, then release the worker.
+	select {
+	case <-started:
+		t.Fatal("coalesced request started its own computation")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+
+	for _, ch := range []chan result{slowDone, coDone} {
+		r := <-ch
+		if r.code != http.StatusOK {
+			t.Fatalf("held request finished with %d: %s", r.code, r.body)
+		}
+	}
+	m := getMetrics(t, ts.URL)
+	if m.RejectedBusy != 1 {
+		t.Errorf("rejected_busy = %d, want 1", m.RejectedBusy)
+	}
+	if m.Harness.Sims != 1 {
+		t.Errorf("sims = %d, want 1 (429 and coalesced must not simulate)", m.Harness.Sims)
+	}
+}
+
+// TestDeadlineAndEviction: a request whose deadline expires
+// mid-simulation gets 504, and the failed flight is evicted so an
+// identical retry recomputes successfully.
+func TestDeadlineAndEviction(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	// Stall the creator past its 1ms deadline so the cancellation
+	// deterministically lands inside machine.Run's cooperative check.
+	s.computeStarted = func() { time.Sleep(30 * time.Millisecond) }
+
+	req := SimRequest{Workload: "mcf", Config: "conservative", TimeoutMS: 1}
+	resp, body := postJSON(t, ts.URL+"/v1/sim", req)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("expired deadline answered %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "deadline") {
+		t.Errorf("504 body does not mention the deadline: %s", body)
+	}
+
+	s.computeStarted = nil
+	req.TimeoutMS = 0
+	resp, body = postJSON(t, ts.URL+"/v1/sim", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retry after eviction answered %d: %s (stale failure cached?)", resp.StatusCode, body)
+	}
+}
+
+// TestSimValidation: malformed requests are 400 with an explanatory
+// error, and never reach the simulator.
+func TestSimValidation(t *testing.T) {
+	_, ts := testServer(t, Config{MaxScale: 2})
+	for _, tc := range []struct {
+		name string
+		req  SimRequest
+		want string
+	}{
+		{"workload", SimRequest{Workload: "nope", Config: "isa"}, "unknown workload"},
+		{"config", SimRequest{Workload: "mcf", Config: "nope"}, "unknown config"},
+		{"scale", SimRequest{Workload: "mcf", Config: "isa", Scale: 3}, "out of range"},
+	} {
+		resp, body := postJSON(t, ts.URL+"/v1/sim", tc.req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), tc.want) {
+			t.Errorf("%s: body %s does not contain %q", tc.name, body, tc.want)
+		}
+	}
+	resp, _ := http.Post(ts.URL+"/v1/sim", "application/json", strings.NewReader("{garbage"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage body: status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, err := http.Get(ts.URL + "/v1/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/sim: status %d, want 405", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if m := getMetrics(t, ts.URL); m.Harness.Sims != 0 {
+		t.Errorf("invalid requests ran %d simulations", m.Harness.Sims)
+	}
+}
+
+// TestJulietEndpoint: the security endpoint returns the standalone
+// juliet document, byte-compatible with watchdog-juliet -json.
+func TestJulietEndpoint(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/juliet", JulietRequest{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var jr struct {
+		Schema  string `json:"schema"`
+		Version int    `json:"version"`
+		Juliet  struct {
+			Policy      string `json:"policy"`
+			BadTotal    int    `json:"bad_total"`
+			BadDetected int    `json:"bad_detected"`
+			GoodTotal   int    `json:"good_total"`
+			GoodClean   int    `json:"good_clean"`
+		} `json:"juliet"`
+	}
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatal(err)
+	}
+	if jr.Schema != "watchdog-juliet" || jr.Version != 1 {
+		t.Fatalf("schema stamp %q v%d", jr.Schema, jr.Version)
+	}
+	j := jr.Juliet
+	if j.Policy != "watchdog" || j.BadTotal == 0 || j.BadDetected != j.BadTotal || j.GoodClean != j.GoodTotal {
+		t.Fatalf("watchdog policy result: %+v", j)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/juliet", JulietRequest{Policy: "bogus"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus policy: status %d (%s), want 400", resp.StatusCode, body)
+	}
+}
+
+// TestGracefulDrain is the lifecycle contract: cancelling Serve's
+// context rejects new requests while the in-flight one finishes, and
+// Serve returns only after the drain completes.
+func TestGracefulDrain(t *testing.T) {
+	s := New(Config{MaxWorkers: 2, DrainTimeout: 30 * time.Second})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	s.computeStarted = func() {
+		started <- struct{}{}
+		<-release
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + ln.Addr().String()
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ctx, ln) }()
+
+	type result struct {
+		code int
+		body []byte
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		resp, body := postJSON(t, base+"/v1/sim",
+			SimRequest{Workload: "mcf", Config: "conservative"})
+		inflight <- result{resp.StatusCode, body}
+	}()
+	<-started
+
+	// Begin the drain with one request mid-simulation.
+	cancel()
+
+	// New work is refused: either the draining 503 (request raced the
+	// listener close) or a connection error once the listener is gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			break // listener closed
+		}
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server still answering %d after drain began", code)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	select {
+	case <-serveDone:
+		t.Fatal("Serve returned while a request was still in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// The in-flight request must complete normally.
+	close(release)
+	r := <-inflight
+	if r.code != http.StatusOK {
+		t.Fatalf("in-flight request finished with %d during drain: %s", r.code, r.body)
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("Serve: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after the last request drained")
+	}
+}
+
+// TestForcedDrain: an in-flight simulation that outlives DrainTimeout
+// is force-canceled mid-simulation rather than holding shutdown
+// hostage.
+func TestForcedDrain(t *testing.T) {
+	s := New(Config{MaxWorkers: 1, DrainTimeout: 50 * time.Millisecond})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + ln.Addr().String()
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ctx, ln) }()
+
+	started := make(chan struct{})
+	s.computeStarted = func() {
+		close(started)
+		// Park well past DrainTimeout; the force-cancel must cut the
+		// simulation short anyway.
+		time.Sleep(200 * time.Millisecond)
+	}
+	inflight := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/sim", "application/json",
+			strings.NewReader(`{"workload":"mcf","config":"conservative"}`))
+		if err != nil {
+			inflight <- 0 // connection torn down by the forced close
+			return
+		}
+		resp.Body.Close()
+		inflight <- resp.StatusCode
+	}()
+	<-started
+	cancel()
+
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("Serve: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("forced drain did not complete")
+	}
+	if code := <-inflight; code != 0 && code != http.StatusServiceUnavailable && code != http.StatusGatewayTimeout {
+		t.Errorf("force-canceled request answered %d", code)
+	}
+}
+
+// TestHealthzAndMetricsShape: the observability endpoints carry the
+// schema stamp and the endpoint latency windows.
+func TestHealthzAndMetricsShape(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	var hz struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil || hz.Status != "ok" {
+		t.Fatalf("healthz body: %+v (err %v)", hz, err)
+	}
+
+	postJSON(t, ts.URL+"/v1/sim", SimRequest{Workload: "lbm", Config: "baseline"})
+	m := getMetrics(t, ts.URL)
+	if m.Schema != Schema || m.Version != Version {
+		t.Fatalf("metrics stamp %q v%d", m.Schema, m.Version)
+	}
+	sim := m.Endpoints["sim"]
+	if sim.Requests != 1 || sim.Errors != 0 || sim.P50Milli <= 0 {
+		t.Errorf("sim endpoint metrics: %+v", sim)
+	}
+	if m.Harness.Sims != 1 || m.Harness.BusyNanos <= 0 {
+		t.Errorf("harness metrics: %+v", m.Harness)
+	}
+	if m.UptimeNanos <= 0 {
+		t.Error("uptime not recorded")
+	}
+}
+
+// TestPercentileWindow pins the nearest-rank percentile math.
+func TestPercentileWindow(t *testing.T) {
+	var e endpointStats
+	for i := 1; i <= 100; i++ {
+		e.observe(time.Duration(i)*time.Millisecond, i%10 == 0)
+	}
+	m := e.snapshot()
+	if m.Requests != 100 || m.Errors != 10 {
+		t.Fatalf("counts: %+v", m)
+	}
+	for _, tc := range []struct {
+		p    float64
+		want float64
+	}{{m.P50Milli, 50}, {m.P90Milli, 90}, {m.P99Milli, 99}} {
+		if tc.p != tc.want {
+			t.Errorf("percentile %v, want %v (snapshot %+v)", tc.p, tc.want, m)
+		}
+	}
+	// Overflow the ring: the window must slide, not grow.
+	for i := 0; i < latRing+5; i++ {
+		e.observe(time.Millisecond, false)
+	}
+	m = e.snapshot()
+	if m.Requests != int64(100+latRing+5) {
+		t.Fatalf("requests after overflow: %d", m.Requests)
+	}
+	if m.P99Milli != 1 {
+		t.Errorf("p99 after the window slid: %v, want 1", m.P99Milli)
+	}
+}
+
+// TestTimeoutResolution pins the request/server timeout interaction.
+func TestTimeoutResolution(t *testing.T) {
+	s := New(Config{RequestTimeout: time.Second})
+	for _, tc := range []struct {
+		ms   int64
+		want time.Duration
+	}{
+		{0, time.Second},              // default: the server cap
+		{100, 100 * time.Millisecond}, // shorter than the cap: honored
+		{5000, time.Second},           // longer than the cap: clamped
+	} {
+		if got := s.timeout(tc.ms); got != tc.want {
+			t.Errorf("timeout(%d) = %v, want %v", tc.ms, got, tc.want)
+		}
+	}
+}

@@ -5,6 +5,8 @@
 package sim
 
 import (
+	"context"
+
 	"watchdog/internal/asm"
 	"watchdog/internal/bpred"
 	"watchdog/internal/cache"
@@ -70,6 +72,15 @@ func Baseline() Config {
 
 // Run executes the program under the configuration.
 func Run(prog *asm.Program, cfg Config) (*machine.Result, error) {
+	return RunCtx(context.Background(), prog, cfg)
+}
+
+// RunCtx is Run with cooperative cancellation: the machine polls
+// ctx.Done() every machine.CancelCheckInterval macro instructions, so
+// deadlines and SIGINT/SIGTERM land mid-simulation instead of only
+// between runs. A background (uncancellable) context leaves the hot
+// loop untouched — same results, same allocations.
+func RunCtx(ctx context.Context, prog *asm.Program, cfg Config) (*machine.Result, error) {
 	memory := mem.New()
 	// The hierarchy must agree with the engine about the lock cache.
 	hier := cfg.Hier
@@ -110,6 +121,7 @@ func Run(prog *asm.Program, cfg Config) (*machine.Result, error) {
 	if cfg.InstLimit != 0 {
 		m.InstLimit = cfg.InstLimit
 	}
+	m.SetContext(ctx)
 	m.Load()
 	return m.Run()
 }
@@ -120,6 +132,11 @@ func Run(prog *asm.Program, cfg Config) (*machine.Result, error) {
 // returned profile drives ISA-assisted classification of unannotated
 // instructions in subsequent runs.
 func Profile(prog *asm.Program, base core.Config, runtimeEnd int) (*core.Profile, error) {
+	return ProfileCtx(context.Background(), prog, base, runtimeEnd)
+}
+
+// ProfileCtx is Profile with cooperative cancellation (see RunCtx).
+func ProfileCtx(ctx context.Context, prog *asm.Program, base core.Config, runtimeEnd int) (*core.Profile, error) {
 	p := core.NewProfile()
 	cfg := Config{
 		Core:       base,
@@ -129,7 +146,7 @@ func Profile(prog *asm.Program, base core.Config, runtimeEnd int) (*core.Profile
 	cfg.Core.PtrPolicy = core.PtrConservative
 	cfg.Core.Profiling = true
 	cfg.Core.Profile = p
-	res, err := Run(prog, cfg)
+	res, err := RunCtx(ctx, prog, cfg)
 	if err != nil {
 		return nil, err
 	}
