@@ -43,7 +43,7 @@ import (
 // a typo cannot silently select nothing (or be masked by -bars).
 var knownExps = []string{
 	"all", "table1", "table2", "fig5", "fig7", "fig8", "fig9", "fig10",
-	"fig11", "ideal", "ablations", "locksweep", "juliet",
+	"fig11", "ideal", "ablations", "locksweep", "tagsweep", "juliet",
 }
 
 func main() {
@@ -167,6 +167,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		{"ideal", r.Ideal},
 		{"ablations", r.Ablations},
 		{"locksweep", func() (*stats.Table, error) { return r.LockSweep(nil) }},
+		{"tagsweep", func() (*stats.Table, error) { return r.TagSweep(nil) }},
 	}
 
 	// ranFigures collects the overhead figures this invocation swept,

@@ -65,10 +65,11 @@ func TestJSONReportContract(t *testing.T) {
 	if rep.Schema != report.Schema || rep.Version != report.Version {
 		t.Fatalf("unversioned document: schema=%q version=%d", rep.Schema, rep.Version)
 	}
-	// fig7 simulates baseline, conservative and isa for each workload.
+	// fig7 simulates baseline, the paper's two Watchdog configurations
+	// and the two comparator columns for each workload.
 	want := map[string]bool{}
 	for _, w := range []string{"mcf", "perl"} {
-		for _, c := range []string{"baseline", "conservative", "isa"} {
+		for _, c := range []string{"baseline", "conservative", "isa", "xtag", "dangkiller"} {
 			want[w+"/"+c] = true
 		}
 	}
@@ -81,7 +82,7 @@ func TestJSONReportContract(t *testing.T) {
 	if len(want) != 0 {
 		t.Fatalf("cells missing from report: %v", want)
 	}
-	if len(rep.Figures) != 1 || rep.Figures[0].Name != "fig7" || len(rep.Figures[0].Geomeans) != 2 {
+	if len(rep.Figures) != 1 || rep.Figures[0].Name != "fig7" || len(rep.Figures[0].Geomeans) != 4 {
 		t.Fatalf("figure summaries wrong: %+v", rep.Figures)
 	}
 }

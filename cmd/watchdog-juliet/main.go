@@ -1,14 +1,23 @@
-// watchdog-juliet runs the Juliet-style CWE-416/CWE-562 security suite
-// (Section 9.2 of the paper: 291 bad cases, all detected, no false
-// positives) and prints the detection matrix.
+// watchdog-juliet runs the Juliet-style security suite — the generated
+// CWE-416/CWE-562 matrix (Section 9.2 of the paper: 291 bad cases, all
+// detected under Watchdog, no false positives) plus the embedded
+// CWE-415/CWE-590 .wdasm cases — and prints the detection matrix.
 //
 // Usage:
 //
 //	watchdog-juliet                 # Watchdog (the paper's result)
 //	watchdog-juliet -policy location  # the comparator that misses reallocated UAF
+//	watchdog-juliet -policy xtag -tag-bits 2  # pointer tagging at a narrow width
+//	watchdog-juliet -cases ./extra    # append annotated .wdasm cases from a directory
 //	watchdog-juliet -v                # list every case outcome
 //	watchdog-juliet -list             # list case IDs
 //	watchdog-juliet -flight-log <id>  # re-run one case with a flight recorder and dump it
+//
+// The exit code gates on the policy's expectation matrix, not on raw
+// detection: every policy has known blind spots (location misses
+// reallocated UAF, xtag misses CWE-562), and the run fails only when
+// an outcome deviates from what the matrix — or a case's own
+// annotation — says that policy should do.
 //
 // SIGINT/SIGTERM cancel the suite cooperatively: the case mid-flight
 // is interrupted, a partial summary (and a -json document marked
@@ -23,6 +32,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 
 	"watchdog/internal/core"
@@ -46,7 +56,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("watchdog-juliet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		policy  = fs.String("policy", "watchdog", "checking policy: watchdog|location|software|conservative")
+		policy  = fs.String("policy", "watchdog", "checking policy: "+strings.Join(security.Policies(), "|"))
+		tagBits = fs.Int("tag-bits", 0, "tag width for -policy xtag (1..8; 0 = the default 8)")
+		casesIn = fs.String("cases", "", "append annotated .wdasm cases from this directory to the suite")
 		verbose = fs.Bool("v", false, "print each case outcome")
 		list    = fs.Bool("list", false, "list every case ID and exit")
 		jobs    = fs.Int("j", runtime.GOMAXPROCS(0), "parallel workers over the 582 cases (1 = serial; output is identical either way)")
@@ -66,23 +78,42 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
+	if *tagBits != 0 {
+		if *tagBits < 1 || *tagBits > 8 {
+			return fail(fmt.Errorf("-tag-bits %d: tag width must be 1..8", *tagBits))
+		}
+		if cfg.Policy != core.PolicyXTag {
+			return fail(fmt.Errorf("-tag-bits only applies to -policy xtag"))
+		}
+		cfg.TagBits = *tagBits
+	}
+
+	// The built-in suite (the generated CWE-416/562 matrix plus the
+	// embedded .wdasm extensions), optionally extended from disk.
+	cases := append(security.Suite(), security.WdasmCases()...)
+	if *casesIn != "" {
+		extra, err := security.LoadWdasmDir(*casesIn)
+		if err != nil {
+			return fail(err)
+		}
+		cases = append(cases, extra...)
+	}
 
 	if *list {
-		for _, c := range security.Suite() {
+		for _, c := range cases {
 			fmt.Fprintf(stdout, "%-44s CWE-%d %s\n", c.ID, c.CWE, c.Variant)
 		}
 		return 0
 	}
 
 	if *flight != "" {
-		return flightLog(*flight, *flightN, cfg, opts, stdout, stderr)
+		return flightLog(cases, *flight, *flightN, cfg, opts, stdout, stderr)
 	}
 
 	// The cases fan out over -j workers; outcomes are merged in case
 	// order, so the printed report is identical at any worker count.
 	// On cancellation the fan-out stops handing out cases and the
 	// summary below covers exactly the cases that completed.
-	cases := security.Suite()
 	outs, runErr := security.RunCasesCtx(ctx, cases, cfg, opts, *jobs, nil, nil)
 	partial := runErr != nil
 	if *verbose {
@@ -113,7 +144,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if partial {
 		return 1
 	}
-	if len(s.Failures) > 0 && *policy == "watchdog" {
+	// Gate on the expectation matrix: every policy fails on deviation
+	// from its own annotated envelope, not just watchdog on a raw miss.
+	// A location run that suddenly detects a reallocated UAF is as much
+	// a regression as a watchdog run that misses one.
+	if ms := security.Mismatches(*policy, cases, outs); len(ms) > 0 {
+		for _, m := range ms {
+			c := m.Outcome.Case
+			fmt.Fprintf(stderr, "watchdog-juliet: %s (CWE-%d %s): detected=%v, expected detection=%v under %s\n",
+				c.ID, c.CWE, c.Variant, m.Outcome.Detected, m.Expected, *policy)
+		}
+		fmt.Fprintf(stderr, "watchdog-juliet: %d outcomes deviate from the %s expectation matrix\n",
+			len(ms), *policy)
 		return 1
 	}
 	return 0
@@ -122,8 +164,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 // flightLog re-runs one case with a flight recorder attached and dumps
 // the recorded tail — the identifiers, lock values and check outcomes
 // leading up to the detection.
-func flightLog(id string, depth int, cfg core.Config, opts rt.Options, stdout, stderr io.Writer) int {
-	c, ok := security.CaseByID(id)
+func flightLog(cases []security.Case, id string, depth int, cfg core.Config, opts rt.Options, stdout, stderr io.Writer) int {
+	var c security.Case
+	ok := false
+	for _, cand := range cases {
+		if cand.ID == id {
+			c, ok = cand, true
+			break
+		}
+	}
 	if !ok {
 		fmt.Fprintf(stderr, "watchdog-juliet: unknown case %q (see -list)\n", id)
 		return 1

@@ -82,6 +82,86 @@ func TestListCases(t *testing.T) {
 	}
 }
 
+// TestExpectationGateNonWatchdogPolicy: the exit code gates every
+// policy on its expectation matrix, not just watchdog on raw misses.
+// A disk case annotated (wrongly) as location=detect on a reallocated
+// UAF — location's structural blind spot — must fail a -policy
+// location run and name the case, while the same case under watchdog
+// (which really does detect it) passes.
+func TestExpectationGateNonWatchdogPolicy(t *testing.T) {
+	dir := t.TempDir()
+	src := `;; case: cwe=416 variant=read/realloc-cli bad
+;; expect: watchdog=detect conservative=detect location=detect software=detect xtag=detect dangkiller=detect
+    movi r1, 48
+    call malloc
+    mov  r4, r1
+    movi r2, 7
+    st   [r4], r2
+    mov  r1, r4
+    call free
+    movi r1, 48
+    call malloc
+    mov  r5, r1
+    ld   r3, [r4]           ; stale read through the dangling pointer
+    ret
+`
+	if err := os.WriteFile(filepath.Join(dir, "cli_realloc_bad.wdasm"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{"-policy", "location", "-cases", dir, "-j", "8"}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatalf("location run must fail the lying annotation; stderr: %s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "cli_realloc_bad") ||
+		!strings.Contains(stderr.String(), "expectation matrix") {
+		t.Errorf("stderr must name the mismatching case and the matrix:\n%s", stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(context.Background(), []string{"-policy", "watchdog", "-cases", dir, "-j", "8"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("watchdog run exit %d, stderr: %s", code, stderr.String())
+	}
+}
+
+// TestPolicyGateHonorsExpectedMisses: a policy with known blind spots
+// (location misses reallocated UAF and CWE-562) exits 0 on the
+// built-in suite — its misses are expected, so they are not failures.
+func TestPolicyGateHonorsExpectedMisses(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), []string{"-policy", "location", "-j", "8"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("location on the built-in suite: exit %d, stderr: %s", code, stderr.String())
+	}
+}
+
+// TestTagBitsFlagValidation: -tag-bits is range-checked and rejected
+// outside -policy xtag before anything runs.
+func TestTagBitsFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-policy", "watchdog", "-tag-bits", "4"},
+		{"-policy", "xtag", "-tag-bits", "9"},
+		{"-policy", "xtag", "-tag-bits", "-1"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(context.Background(), args, &stdout, &stderr); code == 0 {
+			t.Errorf("%v: want non-zero exit", args)
+		}
+	}
+}
+
+// TestUnknownPolicyListsKnown: a typo'd -policy names the vocabulary.
+func TestUnknownPolicyListsKnown(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), []string{"-policy", "asan"}, &stdout, &stderr); code == 0 {
+		t.Fatal("unknown policy must exit non-zero")
+	}
+	if !strings.Contains(stderr.String(), "dangkiller") || !strings.Contains(stderr.String(), "xtag") {
+		t.Errorf("stderr must list the known policies:\n%s", stderr.String())
+	}
+}
+
 // TestInterruptFlushesPartialSummary: a suite interrupted before the
 // first case still prints a (zero-count) summary, flushes a -json
 // document marked partial, and exits non-zero.

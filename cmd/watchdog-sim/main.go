@@ -24,6 +24,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"syscall"
 
 	"watchdog/internal/asm"
@@ -51,7 +52,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		name     = fs.String("workload", "mcf", "workload name (see -list)")
-		cfg      = fs.String("config", "isa", "configuration: baseline|conservative|isa|isa-nolock|isa-ideal|bounds-1uop|bounds-2uop|location|software|no-copy-elim|monolithic")
+		cfg      = fs.String("config", "isa", "configuration: "+strings.Join(experiments.ConfigNames(), "|"))
 		scale    = fs.Int("scale", 1, "problem-size multiplier")
 		list     = fs.Bool("list", false, "list workloads and exit")
 		verbose  = fs.Bool("v", false, "print per-class µop counts and program output")
@@ -210,6 +211,19 @@ func runAsmFile(ctx context.Context, path, cfgName string, traceN int, timeline 
 	case "bounds-1uop":
 		opts.Bounds = true
 		cc.Bounds = core.BoundsFused
+	case "location":
+		opts.Policy = core.PolicyLocation
+		cc = core.Config{Policy: core.PolicyLocation}
+	case "software":
+		opts.Policy = core.PolicySoftware
+		cc = core.Config{Policy: core.PolicySoftware, PtrPolicy: core.PtrConservative}
+	case "xtag":
+		opts.Policy = core.PolicyXTag
+		cc = core.Config{Policy: core.PolicyXTag, PtrPolicy: core.PtrConservative,
+			TagBits: core.DefaultTagBits}
+	case "dangkiller":
+		opts.Policy = core.PolicyDangKiller
+		cc = core.Config{Policy: core.PolicyDangKiller, PtrPolicy: core.PtrConservative}
 	}
 	build := rt.NewBuild(opts)
 	if err := asm.Parse(build.B, string(src)); err != nil {

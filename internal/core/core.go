@@ -34,6 +34,20 @@ const (
 	// sequences (loads, compares, branches) on the regular pipeline
 	// resources, as a compiler-instrumentation scheme would emit.
 	PolicySoftware
+	// PolicyXTag is the pointer-tagging comparator: a small tag packed
+	// into unused high address bits, matched against a per-word tag
+	// table on every dereference. The tag is the low Config.TagBits
+	// bits of the allocation key, so two allocations whose keys agree
+	// modulo 2^TagBits alias and a dangling dereference into the
+	// reallocated block passes silently (the tag-width false-negative
+	// class the differential harness asserts).
+	PolicyXTag
+	// PolicyDangKiller is the implicit-identifier comparator: the key
+	// is derived from the allocation site and checked without any
+	// shadow-metadata load — the check is a single ALU µop against the
+	// allocation-generation table, and pointer loads/stores carry no
+	// metadata traffic at all.
+	PolicyDangKiller
 )
 
 // String names the policy.
@@ -47,6 +61,10 @@ func (p Policy) String() string {
 		return "location"
 	case PolicySoftware:
 		return "software"
+	case PolicyXTag:
+		return "xtag"
+	case PolicyDangKiller:
+		return "dangkiller"
 	}
 	return fmt.Sprintf("policy?%d", uint8(p))
 }
@@ -118,7 +136,17 @@ type Config struct {
 	// Profile provides the static pointer-op set for ISA-assisted
 	// identification of unannotated instructions.
 	Profile *Profile
+	// TagBits is the xTag pointer-tag width in bits (1..8; 0 selects
+	// DefaultTagBits). Narrower tags alias more often: a dangling
+	// pointer into a reallocated block passes whenever the old and new
+	// keys agree modulo 2^TagBits.
+	TagBits int
 }
+
+// DefaultTagBits is the xTag tag width when Config.TagBits is zero:
+// one full byte per word, the widest tag the scheme's per-word tag
+// table holds.
+const DefaultTagBits = 8
 
 // DefaultConfig returns the paper's primary configuration: Watchdog
 // with ISA-assisted identification, lock location cache, copy

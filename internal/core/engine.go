@@ -44,6 +44,16 @@ type Engine struct {
 	// Location-policy allocation state: allocated heap words.
 	locAlloc map[uint64]bool
 
+	// softMeta is the pointer metadata flowing through memory under the
+	// xtag and dangkiller policies. Neither scheme keeps a simulated
+	// shadow space — xtag's identifier rides the pointer's unused high
+	// bits and dangkiller's is implicit in the allocation site — so the
+	// table lives on the Go side and pointer loads/stores cost no
+	// simulated metadata traffic. The multi-context machine shares one
+	// table across contexts (SetPtrMetaStore) so cross-thread pointer
+	// publication behaves like shared memory.
+	softMeta map[uint64]Meta
+
 	// Instructions in [0, uncheckedBelow) are runtime-library code,
 	// exempt from checking under the software and location policies
 	// (software tools do not instrument the allocator itself). The
@@ -74,7 +84,50 @@ func NewEngine(cfg Config, memory *mem.Memory) *Engine {
 	if cfg.Policy == PolicyLocation {
 		e.locAlloc = make(map[uint64]bool)
 	}
+	if cfg.Policy == PolicyXTag || cfg.Policy == PolicyDangKiller {
+		e.softMeta = make(map[uint64]Meta)
+	}
 	return e
+}
+
+// PtrMetaStore returns the Go-side pointer-metadata table of the
+// xtag/dangkiller policies (nil for policies whose metadata lives in
+// the simulated shadow space).
+func (e *Engine) PtrMetaStore() map[uint64]Meta { return e.softMeta }
+
+// SetPtrMetaStore replaces the pointer-metadata table. The
+// multi-context machine points every context at context 0's table so
+// a pointer stored by one thread checks out when loaded by another.
+// No-op for policies without a table.
+func (e *Engine) SetPtrMetaStore(m map[uint64]Meta) {
+	if e.softMeta != nil && m != nil {
+		e.softMeta = m
+	}
+}
+
+// LocAllocStore returns the location policy's allocation-status table
+// (nil under every other policy).
+func (e *Engine) LocAllocStore() map[uint64]bool { return e.locAlloc }
+
+// SetLocAllocStore replaces the allocation-status table. It models a
+// shadow bit per word of the shared heap, so the multi-context
+// machine points every context at context 0's table — a block
+// malloc'd by one thread is "allocated" when another dereferences it.
+// No-op for policies without the table.
+func (e *Engine) SetLocAllocStore(m map[uint64]bool) {
+	if e.locAlloc != nil && m != nil {
+		e.locAlloc = m
+	}
+}
+
+// tagMask is the xtag comparison mask: the low TagBits bits of the
+// allocation key are the pointer's tag.
+func (e *Engine) tagMask() uint64 {
+	w := e.cfg.TagBits
+	if w <= 0 || w > 8 {
+		w = DefaultTagBits
+	}
+	return 1<<uint(w) - 1
 }
 
 // Config returns the engine configuration.
@@ -142,11 +195,15 @@ func (e *Engine) Init(globalEnd uint64) {
 // segment) check out when loaded (Section 7). Zero-initialized global
 // memory keeps invalid (null-pointer) metadata.
 func (e *Engine) InitShadowRange(addr, size uint64) {
-	if e.cfg.Policy != PolicyWatchdog && e.cfg.Policy != PolicySoftware {
-		return
-	}
-	for a := addr &^ 7; a < addr+size; a += 8 {
-		e.writeShadow(a, e.globalMeta)
+	switch e.cfg.Policy {
+	case PolicyWatchdog, PolicySoftware:
+		for a := addr &^ 7; a < addr+size; a += 8 {
+			e.writeShadow(a, e.globalMeta)
+		}
+	case PolicyXTag, PolicyDangKiller:
+		for a := addr &^ 7; a < addr+size; a += 8 {
+			e.softMeta[a] = e.globalMeta
+		}
 	}
 }
 
@@ -283,6 +340,16 @@ func (e *Engine) Access(pc int, base, index isa.Reg, addr uint64, width uint8, i
 			return nil, nil
 		}
 		return e.softwareAccess(pc, base, index, addr, width, isWrite)
+	case PolicyXTag:
+		if pc < e.uncheckedBelow {
+			return nil, nil
+		}
+		return e.xtagAccess(pc, base, index, addr, width, isWrite)
+	case PolicyDangKiller:
+		if pc < e.uncheckedBelow {
+			return nil, nil
+		}
+		return e.dangKillerAccess(pc, base, index, addr, width, isWrite)
 	}
 	// PolicyWatchdog.
 	meta, ptrReg := e.pickMeta(base, index)
@@ -359,6 +426,9 @@ func (e *Engine) PtrLoad(pc int, dst isa.Reg, addr uint64) []isa.Uop {
 	if e.cfg.Policy == PolicySoftware {
 		return e.softwarePtrLoad(pc, dst, addr)
 	}
+	if e.softMeta != nil {
+		return e.softPtrLoad(pc, dst, addr)
+	}
 	m := e.readShadow(addr)
 	if e.cfg.Profiling && m.Valid() {
 		e.cfg.Profile.Mark(pc)
@@ -386,6 +456,9 @@ func (e *Engine) PtrStore(pc int, src isa.Reg, addr uint64) []isa.Uop {
 	e.stats.PtrStores++
 	if e.cfg.Policy == PolicySoftware {
 		return e.softwarePtrStore(pc, src, addr)
+	}
+	if e.softMeta != nil {
+		return e.softPtrStore(pc, src, addr)
 	}
 	var m Meta
 	if src.IsInt() {
@@ -499,13 +572,26 @@ func (e *Engine) InvalidateReg(dst isa.Reg) {
 
 // --- stack frame identifiers (Figure 3c/d) ---
 
+// framePolicies reports whether the policy maintains per-frame stack
+// identifiers on call/return. Watchdog does it in hardware, the
+// software and dangkiller comparators as function entry/exit
+// instrumentation; xtag tags the heap only, so stale stack
+// dereferences (CWE-562) pass unchecked there.
+func (e *Engine) framePolicies() bool {
+	switch e.cfg.Policy {
+	case PolicyWatchdog, PolicySoftware, PolicyDangKiller:
+		return true
+	}
+	return false
+}
+
 // Call allocates a stack-frame identifier: four injected µops that
 // bump stack_key, push it onto the in-memory lock-location stack, and
 // attach the new identifier to the stack pointer. The software
 // comparator performs the same work as instrumentation emitted at
 // function entry (as CETS does), so it maintains the state too.
 func (e *Engine) Call() []isa.Uop {
-	if e.cfg.Policy != PolicyWatchdog && e.cfg.Policy != PolicySoftware {
+	if !e.framePolicies() {
 		return nil
 	}
 	e.stackKey++
@@ -534,7 +620,7 @@ func (e *Engine) Call() []isa.Uop {
 // stack pointer (function-exit instrumentation under the software
 // comparator).
 func (e *Engine) Ret() []isa.Uop {
-	if e.cfg.Policy != PolicyWatchdog && e.cfg.Policy != PolicySoftware {
+	if !e.framePolicies() {
 		return nil
 	}
 	e.mem.WriteU64(e.stackLock, uint64(InvalidKey))
@@ -601,26 +687,42 @@ func (e *Engine) SetBound(dst isa.Reg, base, bound uint64) {
 	e.regMeta[dst].Bound = bound
 }
 
-// --- location policy (Table 1 comparator) ---
+// --- location/xtag allocation hooks ---
 
-// MarkAlloc records [ptr, ptr+size) as allocated (location policy
-// runtime hook).
+// MarkAlloc records [ptr, ptr+size) as allocated. Under the location
+// policy it sets the allocation-status state; under xtag it writes the
+// new allocation's tag into the per-word tag table (the syscall
+// convention leaves the fresh pointer in R1, whose setident just
+// attached the new key — the tag is its low byte, masked to TagBits at
+// check time).
 func (e *Engine) MarkAlloc(ptr, size uint64) {
-	if e.locAlloc == nil {
-		return
-	}
-	for a := ptr &^ 7; a < ptr+size; a += 8 {
-		e.locAlloc[a] = true
+	switch {
+	case e.locAlloc != nil:
+		for a := ptr &^ 7; a < ptr+size; a += 8 {
+			e.locAlloc[a] = true
+		}
+	case e.cfg.Policy == PolicyXTag:
+		tag := e.regMeta[isa.R1].Key
+		for a := ptr &^ 7; a < ptr+size; a += 8 {
+			e.mem.Write(mem.ShadowAddr(a, 1), 1, tag)
+		}
 	}
 }
 
-// MarkFree records [ptr, ptr+size) as deallocated.
+// MarkFree records [ptr, ptr+size) as deallocated. Under xtag the
+// freed words are retagged (tag+1) so a dangling dereference misses
+// only once the block is reallocated under an aliasing key.
 func (e *Engine) MarkFree(ptr, size uint64) {
-	if e.locAlloc == nil {
-		return
-	}
-	for a := ptr &^ 7; a < ptr+size; a += 8 {
-		delete(e.locAlloc, a)
+	switch {
+	case e.locAlloc != nil:
+		for a := ptr &^ 7; a < ptr+size; a += 8 {
+			delete(e.locAlloc, a)
+		}
+	case e.cfg.Policy == PolicyXTag:
+		for a := ptr &^ 7; a < ptr+size; a += 8 {
+			sa := mem.ShadowAddr(a, 1)
+			e.mem.Write(sa, 1, e.mem.Read(sa, 1)+1)
+		}
 	}
 }
 
@@ -651,6 +753,91 @@ func (e *Engine) locationAccess(pc int, addr uint64, width uint8, isWrite bool) 
 		e.sink.Check(pc, addr, 0, 0, 0, isWrite, trace.OutcomeOK)
 	}
 	return e.buf, nil
+}
+
+// --- xtag policy (pointer tagging comparator) ---
+
+// xtagAccess is the pointer-tagging check: the tag carried in the
+// pointer's unused high bits (modeled as the low TagBits bits of the
+// allocation key) is compared against a per-word tag table, one byte
+// per heap word in the shadow space. The check is a single tag-table
+// byte load; misses happen when a reallocation's key aliases the freed
+// one modulo 2^TagBits. Only the heap is tagged, so stack dereferences
+// after return (CWE-562) pass unchecked.
+func (e *Engine) xtagAccess(pc int, base, index isa.Reg, addr uint64, width uint8, isWrite bool) ([]isa.Uop, error) {
+	meta, ptrReg := e.pickMeta(base, index)
+	u := isa.NewUop(isa.UopCheck, isa.ExecLoad) // tag byte load + fused compare
+	u.Addr = mem.ShadowAddr(addr&^7, 1)
+	u.Shadow = true
+	u.IsMem, u.Width = true, 1
+	u.MSrc = isa.MetaReg(ptrReg)
+	u.Meta = isa.MetaCheck
+	e.stats.Checks++
+	e.buf = append(e.buf[:0], u)
+
+	var err error
+	if mem.RegionOf(addr) == mem.RegionHeap {
+		memTag := e.mem.Read(u.Addr, 1)
+		if (meta.Key^memTag)&e.tagMask() != 0 {
+			err = &MemoryError{Kind: ErrUseAfterFree, PC: pc, Addr: addr, Write: isWrite, Ident: meta.Ident}
+		}
+	}
+	e.traceCheck(pc, meta, addr, isWrite, err)
+	if err != nil {
+		e.stats.Violations++
+	}
+	return e.buf, err
+}
+
+// --- dangkiller policy (implicit-identifier comparator) ---
+
+// dangKillerAccess is the implicit-identifier check: the key is
+// derived from the allocation site, so validating it needs no shadow
+// metadata load — one ALU µop compares the pointer's implicit key
+// against the allocation-generation state (functionally the same
+// lock-and-key oracle Watchdog evaluates, so verdicts match the
+// hardware scheme exactly; only the cost model differs).
+func (e *Engine) dangKillerAccess(pc int, base, index isa.Reg, addr uint64, width uint8, isWrite bool) ([]isa.Uop, error) {
+	meta, ptrReg := e.pickMeta(base, index)
+	u := isa.NewUop(isa.UopCheck, isa.ExecALU) // implicit-id compare, no metadata load
+	u.MSrc = isa.MetaReg(ptrReg)
+	u.Meta = isa.MetaCheck
+	e.stats.Checks++
+	e.buf = append(e.buf[:0], u)
+
+	err := e.evalCheck(pc, meta, addr, width, isWrite)
+	e.traceCheck(pc, meta, addr, isWrite, err)
+	if err != nil {
+		e.stats.Violations++
+	}
+	return e.buf, err
+}
+
+// softPtrLoad propagates metadata through memory for the policies
+// whose identifier rides the pointer itself (xtag, dangkiller): no
+// simulated metadata traffic, just the Go-side table.
+func (e *Engine) softPtrLoad(pc int, dst isa.Reg, addr uint64) []isa.Uop {
+	m := e.softMeta[addr&^7]
+	if e.cfg.Profiling && m.Valid() {
+		e.cfg.Profile.Mark(pc)
+	}
+	if dst.IsInt() {
+		e.regMeta[dst] = m
+	}
+	return nil
+}
+
+// softPtrStore is the store-side counterpart of softPtrLoad.
+func (e *Engine) softPtrStore(pc int, src isa.Reg, addr uint64) []isa.Uop {
+	var m Meta
+	if src.IsInt() {
+		m = e.regMeta[src]
+	}
+	if e.cfg.Profiling && m.Valid() {
+		e.cfg.Profile.Mark(pc)
+	}
+	e.softMeta[addr&^7] = m
+	return nil
 }
 
 // --- software policy (Table 1 comparator) ---

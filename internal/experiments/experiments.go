@@ -41,6 +41,8 @@ const (
 	CfgSoftware     ConfigName = "software"     // software-only comparator
 	CfgNoCopyElim   ConfigName = "no-copy-elim" // ablation: rename copy elimination off
 	CfgMonolithic   ConfigName = "monolithic"   // ablation: monolithic register metadata
+	CfgXTag         ConfigName = "xtag"         // pointer-tagging comparator
+	CfgDangKiller   ConfigName = "dangkiller"   // implicit-identifier comparator
 )
 
 // AllConfigs lists every predefined configuration, in sweep order.
@@ -48,7 +50,7 @@ const (
 var AllConfigs = []ConfigName{
 	CfgBaseline, CfgConservative, CfgISA, CfgISANoLock, CfgISAIdeal,
 	CfgBounds1, CfgBounds2, CfgLocation, CfgSoftware, CfgNoCopyElim,
-	CfgMonolithic,
+	CfgMonolithic, CfgXTag, CfgDangKiller,
 }
 
 // IsConfig reports whether name is a predefined configuration.
@@ -178,6 +180,10 @@ func rtOptions(name ConfigName) rt.Options {
 		return rt.Options{Policy: core.PolicyLocation}
 	case CfgSoftware:
 		return rt.Options{Policy: core.PolicySoftware}
+	case CfgXTag:
+		return rt.Options{Policy: core.PolicyXTag}
+	case CfgDangKiller:
+		return rt.Options{Policy: core.PolicyDangKiller}
 	case CfgBounds1, CfgBounds2:
 		return rt.Options{Policy: core.PolicyWatchdog, Bounds: true}
 	default:
@@ -212,6 +218,11 @@ func simConfig(name ConfigName, prof *core.Profile) sim.Config {
 		cfg.Core = core.Config{Policy: core.PolicyLocation}
 	case CfgSoftware:
 		cfg.Core = core.Config{Policy: core.PolicySoftware, PtrPolicy: core.PtrConservative}
+	case CfgXTag:
+		cfg.Core = core.Config{Policy: core.PolicyXTag, PtrPolicy: core.PtrConservative,
+			TagBits: core.DefaultTagBits}
+	case CfgDangKiller:
+		cfg.Core = core.Config{Policy: core.PolicyDangKiller, PtrPolicy: core.PtrConservative}
 	case CfgNoCopyElim:
 		cfg.Core.PtrPolicy = core.PtrConservative
 		cfg.Core.CopyElim = false

@@ -44,11 +44,13 @@ func (r *Runner) Fig5() (*stats.Table, error) {
 }
 
 // Fig7 reproduces Figure 7: runtime overhead with conservative vs
-// ISA-assisted pointer identification (paper: 25% and 15% geomean).
+// ISA-assisted pointer identification (paper: 25% and 15% geomean),
+// extended with the pointer-tagging and implicit-identifier
+// comparators (additive columns; the paper's two stay as-is).
 func (r *Runner) Fig7() (*stats.Table, error) {
 	return r.overheadTable(
 		"Figure 7: runtime overhead of use-after-free checking (% slowdown)",
-		CfgConservative, CfgISA)
+		CfgConservative, CfgISA, CfgXTag, CfgDangKiller)
 }
 
 // Fig8 reproduces Figure 8: µop overhead breakdown under ISA-assisted
@@ -92,26 +94,40 @@ func (r *Runner) Fig9() (*stats.Table, error) {
 
 // Fig10 reproduces Figure 10: memory overhead measured in words
 // touched and in 4 KB pages touched (paper: 32% and 56% average).
+// The unadorned "words"/"pages" columns are the paper's ISA-assisted
+// numbers; the suffixed columns measure the comparators' metadata
+// footprints (xtag: one tag byte per heap word plus the lock arena;
+// dangkiller: lock arena only, no shadow space).
 func (r *Runner) Fig10() (*stats.Table, error) {
-	if err := r.RunAll(CfgISA); err != nil {
+	cfgs := []ConfigName{CfgISA, CfgXTag, CfgDangKiller}
+	if err := r.RunAll(cfgs...); err != nil {
 		return nil, err
 	}
 	t := stats.NewTable("Figure 10: memory overhead of the metadata spaces",
-		"bench", "words", "pages")
-	var wordsOv, pagesOv []float64
+		"bench", "words", "pages", "xtag-words", "xtag-pages",
+		"dangkiller-words", "dangkiller-pages")
+	sums := make([][]float64, 2*len(cfgs))
 	for _, w := range r.Workloads {
-		res, err := r.Run(w, CfgISA)
-		if err != nil {
-			return nil, err
+		cells := []any{w.Name}
+		for i, cfg := range cfgs {
+			res, err := r.Run(w, cfg)
+			if err != nil {
+				return nil, err
+			}
+			appW, appP, metaW, metaP := splitFootprint(res.Footprint)
+			wo := frac(metaW, appW)
+			po := frac(metaP, appP)
+			sums[2*i] = append(sums[2*i], wo)
+			sums[2*i+1] = append(sums[2*i+1], po)
+			cells = append(cells, stats.Pct(wo), stats.Pct(po))
 		}
-		appW, appP, metaW, metaP := splitFootprint(res.Footprint)
-		wo := frac(metaW, appW)
-		po := frac(metaP, appP)
-		wordsOv = append(wordsOv, wo)
-		pagesOv = append(pagesOv, po)
-		t.Row(w.Name, stats.Pct(wo), stats.Pct(po))
+		t.Row(cells...)
 	}
-	t.Row("avg", stats.Pct(stats.Mean(wordsOv)), stats.Pct(stats.Mean(pagesOv)))
+	avg := []any{"avg"}
+	for _, s := range sums {
+		avg = append(avg, stats.Pct(stats.Mean(s)))
+	}
+	t.Row(avg...)
 	return t, nil
 }
 
@@ -160,14 +176,19 @@ func (r *Runner) Table1() (*stats.Table, error) {
 	}{
 		{"location (MemTracker-like)", CfgLocation, "location", "disjoint", "Y",
 			"N — misses reallocated UAF", core.PolicyLocation, core.PtrConservative},
+		{"xTag (pointer tagging)", CfgXTag, "tag", "in-pointer", "Y",
+			"N — tag aliasing, heap only", core.PolicyXTag, core.PtrConservative},
 		{"software id-based (CETS-like)", CfgSoftware, "identifier", "disjoint", "Y",
 			"Y", core.PolicySoftware, core.PtrConservative},
+		{"DangKiller (implicit id)", CfgDangKiller, "identifier", "implicit", "Y",
+			"Y", core.PolicyDangKiller, core.PtrConservative},
 		{"Watchdog (this work)", CfgConservative, "identifier", "disjoint", "Y",
 			"Y", core.PolicyWatchdog, core.PtrConservative},
 		{"Watchdog + ISA assist", CfgISA, "identifier", "disjoint", "Y",
 			"Y", core.PolicyWatchdog, core.PtrISAAssisted},
 	}
-	if err := r.RunAll(CfgBaseline, CfgLocation, CfgSoftware, CfgConservative, CfgISA); err != nil {
+	if err := r.RunAll(CfgBaseline, CfgLocation, CfgXTag, CfgSoftware,
+		CfgDangKiller, CfgConservative, CfgISA); err != nil {
 		return nil, err
 	}
 	cases := security.Suite()

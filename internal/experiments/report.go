@@ -22,7 +22,7 @@ var overheadFigures = []struct {
 	name string
 	cfgs []ConfigName
 }{
-	{"fig7", []ConfigName{CfgConservative, CfgISA}},
+	{"fig7", []ConfigName{CfgConservative, CfgISA, CfgXTag, CfgDangKiller}},
 	{"fig9", []ConfigName{CfgISA, CfgISANoLock}},
 	{"fig11", []ConfigName{CfgISA, CfgBounds1, CfgBounds2}},
 	{"ideal", []ConfigName{CfgISA, CfgISAIdeal}},

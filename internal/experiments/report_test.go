@@ -12,14 +12,14 @@ import (
 // ratios line up with the Sweep values.
 func TestReportCells(t *testing.T) {
 	r := runner(t)
-	if err := r.RunAll(CfgBaseline, CfgConservative, CfgISA); err != nil {
+	if err := r.RunAll(CfgBaseline, CfgConservative, CfgISA, CfgXTag, CfgDangKiller); err != nil {
 		t.Fatal(err)
 	}
 	rep, err := r.Report([]string{"fig7"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := len(testSet) * 3; len(rep.Cells) != want {
+	if want := len(testSet) * 5; len(rep.Cells) != want {
 		t.Fatalf("%d cells, want %d", len(rep.Cells), want)
 	}
 	if len(rep.Workloads) != len(testSet) {

@@ -153,10 +153,18 @@ func (m *Machine) feed(uops []isa.Uop) {
 	if !m.timingOn() {
 		return
 	}
-	software := m.eng.Config().Policy == core.PolicySoftware
+	// Software-scheme policies (software, xtag, dangkiller) execute
+	// their checking work as real instructions, so each metadata µop
+	// also occupies a fetch slot; Watchdog's injected µops ride the
+	// macro instruction's own slot.
+	var swScheme bool
+	switch m.eng.Config().Policy {
+	case core.PolicySoftware, core.PolicyXTag, core.PolicyDangKiller:
+		swScheme = true
+	}
 	ca := mem.CodeAddr(m.pc)
 	for i := range uops {
-		if software && uops[i].Meta != isa.MetaNone {
+		if swScheme && uops[i].Meta != isa.MetaNone {
 			m.model.OnInst(ca)
 		}
 		m.model.OnUop(&uops[i])

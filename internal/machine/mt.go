@@ -62,16 +62,36 @@ func NewMT(prog *asm.Program, memory *mem.Memory, cfg core.Config, n int) (*MT, 
 		mt.Contexts = append(mt.Contexts, m)
 	}
 	// Shared memory is initialized once; each engine then takes its
-	// per-context identifier state.
+	// per-context identifier state. Policies that keep metadata in a
+	// Go-side table — pointer metadata under xtag/dangkiller,
+	// allocation status under location — additionally share context
+	// 0's table, so state published by one thread is visible when
+	// another thread checks against it — the same sharing the
+	// simulated shadow space gives the other policies for free.
+	shared := mt.Contexts[0].eng.PtrMetaStore()
+	sharedLoc := mt.Contexts[0].eng.LocAllocStore()
 	for tid, m := range mt.Contexts {
 		if tid == 0 {
 			m.Load()
 		} else {
 			m.eng.Init(prog.GlobalEnd)
+			m.eng.SetPtrMetaStore(shared)
+			m.eng.SetLocAllocStore(sharedLoc)
 		}
 		m.eng.SetContext(tid)
 	}
 	return mt, nil
+}
+
+// SetRuntimeEnd marks instructions below end as runtime-library code
+// in every context — the multi-context equivalent of
+// sim.Config.RuntimeEnd. The policies that exempt the runtime from
+// checking (software, location, xtag) need this before Run, or the
+// allocator's own bookkeeping writes fault.
+func (mt *MT) SetRuntimeEnd(end int) {
+	for _, c := range mt.Contexts {
+		c.eng.SetUncheckedBelow(end)
+	}
 }
 
 // Run interleaves the contexts until all halt, any context faults, or

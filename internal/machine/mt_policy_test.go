@@ -1,0 +1,235 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+
+	"watchdog/internal/asm"
+	"watchdog/internal/core"
+	"watchdog/internal/isa"
+	"watchdog/internal/mem"
+	"watchdog/internal/rt"
+)
+
+// The policy family under multithreading. Mirrors
+// security.PolicyConfig (machine cannot import security — it is a
+// dependency of it): same core configs, same runtime policies.
+var mtPolicies = []struct {
+	name string
+	cfg  core.Config
+	rtp  core.Policy
+}{
+	{"watchdog", core.DefaultConfig(), core.PolicyWatchdog},
+	{"conservative", conservativeCfg(), core.PolicyWatchdog},
+	{"location", core.Config{Policy: core.PolicyLocation}, core.PolicyLocation},
+	{"software", core.Config{Policy: core.PolicySoftware, PtrPolicy: core.PtrConservative}, core.PolicySoftware},
+	{"xtag", core.Config{Policy: core.PolicyXTag, PtrPolicy: core.PtrConservative, TagBits: core.DefaultTagBits}, core.PolicyXTag},
+	{"dangkiller", core.Config{Policy: core.PolicyDangKiller, PtrPolicy: core.PtrConservative}, core.PolicyDangKiller},
+}
+
+func conservativeCfg() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.PtrPolicy = core.PtrConservative
+	return cfg
+}
+
+// buildMTPolicy is buildMT with the runtime built for a specific
+// policy, so malloc/free maintain whichever metadata that policy
+// keys its checks on. It also returns the runtime end for
+// MT.SetRuntimeEnd — the policies that exempt runtime code need it.
+func buildMTPolicy(t *testing.T, n int, pol core.Policy, build func(b *asm.Builder)) (*asm.Program, int) {
+	t.Helper()
+	r := rt.NewBuild(rt.Options{Policy: pol, MT: true})
+	r.EmitMTStart(n)
+	build(r.B)
+	prog, err := r.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, r.RuntimeEnd()
+}
+
+func runMTCfg(t *testing.T, prog *asm.Program, rtEnd, n int, cfg core.Config) ([]*Result, *mem.Memory) {
+	t.Helper()
+	memory := mem.New()
+	mt, err := NewMT(prog, memory, cfg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt.SetRuntimeEnd(rtEnd)
+	results, err := mt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results, memory
+}
+
+// emitPublishConsumeRing emits an n-thread pointer-handoff ring: each
+// iteration every thread allocates a block, writes a per-(thread,
+// iteration) value, publishes the pointer through a shared slot, then
+// consumes its neighbour's published pointer and only frees its own
+// block once its consumer is done with it. Every cross-thread use goes
+// through LdP on a pointer another context produced, so the check hits
+// whatever metadata store the policy keeps — the shared shadow space
+// for the in-memory schemes, the shared Go-side table for the
+// table-backed ones (xtag, dangkiller).
+//
+// Synchronization is an exact-phase ring barrier on per-thread
+// ready/done words holding the iteration number: thread t can only
+// republish slot t after its consumer (t-1 mod n) has advanced, so no
+// consumer ever sees a stale or next-iteration pointer.
+func emitPublishConsumeRing(b *asm.Builder, n, tid int, iters int64) {
+	next := (tid + 1) % n
+	prev := (tid - 1 + n) % n
+	lbl := func(s string) string { return fmt.Sprintf("%s%d", s, tid) }
+
+	b.Label(lbl("thread"))
+	b.Movi(isa.R7, 1) // iteration, 1-based
+	b.Movi(isa.R6, 0) // checksum
+	b.Label(lbl("ring.loop"))
+
+	// Produce: allocate, write value = tid*1000 + iter, publish.
+	b.Movi(isa.R1, 64)
+	b.Call("malloc")
+	b.Mov(isa.R4, isa.R1)
+	b.Movi(isa.R2, int64(tid*1000))
+	b.Add(isa.R2, isa.R2, isa.R7)
+	b.St(asm.Mem(isa.R4, 0, 8), isa.R2)
+	b.MoviGlobal(isa.R3, "slot", int64(tid*8))
+	b.StP(asm.Mem(isa.R3, 0, 8), isa.R4)
+	b.MoviGlobal(isa.R3, "ready", int64(tid*8))
+	b.St(asm.Mem(isa.R3, 0, 8), isa.R7)
+
+	// Consume the neighbour's pointer once published this iteration.
+	b.Label(lbl("ring.w1"))
+	b.MoviGlobal(isa.R3, "ready", int64(next*8))
+	b.Ld(isa.R9, asm.Mem(isa.R3, 0, 8))
+	b.Br(isa.CondNE, isa.R9, isa.R7, lbl("ring.w1"))
+	b.MoviGlobal(isa.R3, "slot", int64(next*8))
+	b.LdP(isa.R5, asm.Mem(isa.R3, 0, 8))
+	b.Ld(isa.R2, asm.Mem(isa.R5, 0, 8)) // cross-thread use
+	b.Add(isa.R6, isa.R6, isa.R2)
+	b.MoviGlobal(isa.R3, "done", int64(tid*8))
+	b.St(asm.Mem(isa.R3, 0, 8), isa.R7)
+
+	// Free own block only after its consumer finished this iteration.
+	b.Label(lbl("ring.w2"))
+	b.MoviGlobal(isa.R3, "done", int64(prev*8))
+	b.Ld(isa.R9, asm.Mem(isa.R3, 0, 8))
+	b.Br(isa.CondNE, isa.R9, isa.R7, lbl("ring.w2"))
+	b.Mov(isa.R1, isa.R4)
+	b.Call("free")
+
+	b.Addi(isa.R7, isa.R7, 1)
+	b.Movi(isa.R9, iters+1)
+	b.Br(isa.CondNE, isa.R7, isa.R9, lbl("ring.loop"))
+	b.Sys(isa.SysPutInt, isa.R6)
+	b.Ret()
+}
+
+// TestPolicySharedMetaContention: the clean pointer-handoff ring runs
+// under every policy with zero violations and a deterministic
+// checksum, across parallel repeats (`go test -race -j > 1` covers
+// the shared-metadata plumbing; within one machine the contexts
+// interleave deterministically, so any verdict flap is a bug).
+func TestPolicySharedMetaContention(t *testing.T) {
+	const n, iters, repeats = 4, 12, 3
+	for _, pol := range mtPolicies {
+		pol := pol
+		prog, rtEnd := buildMTPolicy(t, n, pol.rtp, func(b *asm.Builder) {
+			b.Global("slot", 8*n)
+			b.GlobalWords("ready", make([]uint64, n))
+			b.GlobalWords("done", make([]uint64, n))
+			for tid := 0; tid < n; tid++ {
+				emitPublishConsumeRing(b, n, tid, iters)
+			}
+		})
+		for rep := 0; rep < repeats; rep++ {
+			t.Run(fmt.Sprintf("%s/rep%d", pol.name, rep), func(t *testing.T) {
+				t.Parallel()
+				results, _ := runMTCfg(t, prog, rtEnd, n, pol.cfg)
+				if i, v := FirstViolation(results); v != nil {
+					t.Fatalf("context %d faulted under %s: %v", i, pol.name, v)
+				}
+				for tid, r := range results {
+					if r.Aborted {
+						t.Fatalf("thread %d aborted (%d) under %s", tid, r.AbortCode, pol.name)
+					}
+					// Each thread sums its neighbour's values:
+					// sum over iter of (next*1000 + iter).
+					next := int64((tid + 1) % n)
+					want := iters*next*1000 + iters*(iters+1)/2
+					if len(r.Output) != 1 || r.Output[0] != want {
+						t.Fatalf("thread %d checksum %v under %s, want %d",
+							tid, r.Output, pol.name, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPolicyCrossThreadUAFVerdicts: the cross-thread
+// free-then-reallocate UAF gets the policy family's signature
+// verdicts, and they are stable across parallel repeats. The
+// identifier-based checkers (watchdog, conservative, software,
+// dangkiller) and the pointer tagger all flag the stale use in thread
+// 1; the location-based checker runs clean because the reallocation
+// makes the address "allocated" again — exactly its single-thread
+// blind spot, unchanged by the handoff crossing threads.
+func TestPolicyCrossThreadUAFVerdicts(t *testing.T) {
+	const repeats = 2
+	for _, pol := range mtPolicies {
+		pol := pol
+		prog, rtEnd := buildMTPolicy(t, 2, pol.rtp, func(b *asm.Builder) {
+			b.Global("slot", 8)
+			b.GlobalWords("stage", []uint64{0})
+
+			b.Label("thread0")
+			b.Movi(isa.R1, 64)
+			b.Call("malloc")
+			b.Mov(isa.R4, isa.R1)
+			b.Movi(isa.R2, 7)
+			b.St(asm.Mem(isa.R4, 0, 8), isa.R2)
+			b.MoviGlobal(isa.R3, "slot", 0)
+			b.StP(asm.Mem(isa.R3, 0, 8), isa.R4) // publish
+			emitSetStage(b, 1)
+			emitWaitStage(b, "u0", 2) // wait for thread 1's first use
+			b.Mov(isa.R1, isa.R4)
+			b.Call("free") // the published pointer dangles
+			b.Movi(isa.R1, 64)
+			b.Call("malloc") // same-size reallocation claims the block
+			emitSetStage(b, 3)
+			b.Ret()
+
+			b.Label("thread1")
+			emitWaitStage(b, "u1a", 1)
+			b.MoviGlobal(isa.R3, "slot", 0)
+			b.LdP(isa.R4, asm.Mem(isa.R3, 0, 8))
+			b.Ld(isa.R2, asm.Mem(isa.R4, 0, 8)) // valid use
+			emitSetStage(b, 2)
+			emitWaitStage(b, "u1b", 3)
+			b.Ld(isa.R2, asm.Mem(isa.R4, 0, 8)) // use after cross-thread free
+			b.Ret()
+		})
+		wantDetect := pol.name != "location"
+		for rep := 0; rep < repeats; rep++ {
+			t.Run(fmt.Sprintf("%s/rep%d", pol.name, rep), func(t *testing.T) {
+				t.Parallel()
+				results, _ := runMTCfg(t, prog, rtEnd, 2, pol.cfg)
+				tid, v := FirstViolation(results)
+				if wantDetect {
+					if v == nil || v.Kind != core.ErrUseAfterFree {
+						t.Fatalf("%s: want cross-thread UAF, got %v", pol.name, v)
+					}
+					if tid != 1 {
+						t.Fatalf("%s: violation attributed to thread %d, want 1", pol.name, tid)
+					}
+				} else if v != nil {
+					t.Fatalf("%s: reallocated block must mask the UAF, got context %d: %v",
+						pol.name, tid, v)
+				}
+			})
+		}
+	}
+}

@@ -75,8 +75,16 @@ func (r *Build) RuntimeEnd() int { return r.runtimeEnd }
 func (r *Build) Finish() (*asm.Program, error) { return r.B.Build() }
 
 // watchdogIdents reports whether this variant maintains identifiers.
+// The xtag and dangkiller comparators run the same Figure 3a/3b
+// allocation protocol — xtag's pointer tag and dangkiller's implicit
+// key are both modeled as views of the allocation key — so their
+// runtimes convey identifiers too.
 func (r *Build) watchdogIdents() bool {
-	return r.opts.Policy == core.PolicyWatchdog || r.opts.Policy == core.PolicySoftware
+	switch r.opts.Policy {
+	case core.PolicyWatchdog, core.PolicySoftware, core.PolicyXTag, core.PolicyDangKiller:
+		return true
+	}
+	return false
 }
 
 func (r *Build) emitGlobals() {
@@ -276,6 +284,11 @@ func (r *Build) emitMalloc() {
 	switch {
 	case r.watchdogIdents():
 		r.emitMallocIdent()
+		if r.opts.Policy == core.PolicyXTag {
+			// Write the fresh allocation's tag into the per-word tag
+			// table (R1 = tagged ptr, R2 = rounded size).
+			b.Sys(isa.SysMarkAlloc, isa.R1)
+		}
 	case r.opts.Policy == core.PolicyLocation:
 		b.Sys(isa.SysMarkAlloc, isa.R1) // R1 = ptr, R2 = size
 	}
@@ -376,8 +389,8 @@ func (r *Build) emitFree() {
 	b.Subi(isa.R9, isa.R9, 1)  // clear allocated bit -> size
 	b.St(asm.MemIdx(isa.R10, isa.R8, 1, 0, 8), isa.R9)
 
-	if r.opts.Policy == core.PolicyLocation {
-		b.Mov(isa.R2, isa.R9) // size for the hook
+	if r.opts.Policy == core.PolicyLocation || r.opts.Policy == core.PolicyXTag {
+		b.Mov(isa.R2, isa.R9) // size for the hook (xtag: retag the freed words)
 		b.Sys(isa.SysMarkFree, isa.R1)
 	}
 

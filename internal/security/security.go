@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,6 +44,12 @@ type Case struct {
 	Bad bool
 	// Build emits the body of main plus any helper functions.
 	Build func(b *asm.Builder, uid string)
+	// Expect, when non-nil, overrides the built-in per-policy
+	// expectation for this case: policy name -> whether that policy is
+	// expected to detect the violation. Annotation-driven .wdasm cases
+	// carry their expectations here; generated cases rely on the
+	// ExpectedDetected matrix.
+	Expect map[string]bool
 }
 
 // Suite returns all cases: exactly 291 bad cases (matching the
@@ -139,8 +146,85 @@ func PolicyConfig(name string) (core.Config, rt.Options, error) {
 	case "software":
 		return core.Config{Policy: core.PolicySoftware, PtrPolicy: core.PtrConservative},
 			rt.Options{Policy: core.PolicySoftware}, nil
+	case "xtag":
+		return core.Config{Policy: core.PolicyXTag, PtrPolicy: core.PtrConservative, TagBits: core.DefaultTagBits},
+			rt.Options{Policy: core.PolicyXTag}, nil
+	case "dangkiller":
+		return core.Config{Policy: core.PolicyDangKiller, PtrPolicy: core.PtrConservative},
+			rt.Options{Policy: core.PolicyDangKiller}, nil
 	}
-	return core.Config{}, rt.Options{}, fmt.Errorf("unknown policy %q (known: watchdog, conservative, location, software)", name)
+	return core.Config{}, rt.Options{}, fmt.Errorf("unknown policy %q (known: %s)", name, strings.Join(Policies(), ", "))
+}
+
+// Policies lists the -policy vocabulary in presentation order.
+func Policies() []string {
+	return []string{"watchdog", "conservative", "location", "software", "xtag", "dangkiller"}
+}
+
+// ExpectedDetected reports whether the named policy is expected to
+// flag the bad case c — the comparative ground truth of the policy
+// family. Watchdog, its conservative variant, the software scheme and
+// dangkiller share the full lock-and-key oracle and detect everything.
+// The location-based checker misses a use-after-free once the freed
+// block has been reallocated (realloc-same-size, and realloc-twice
+// whose first reallocation claims the block) and cannot see stack
+// lifetimes at all. xTag tags the heap only, so it misses CWE-562; the
+// Juliet allocation sequences never alias modulo the default 8-bit
+// tag, so its CWE-416 coverage is complete here. Case annotations
+// (Case.Expect) override the matrix.
+func ExpectedDetected(policy string, c Case) bool {
+	if v, ok := c.Expect[policy]; ok {
+		return v
+	}
+	switch policy {
+	case "location":
+		if c.CWE == 562 {
+			return false
+		}
+		if c.CWE == 416 && (strings.Contains(c.Variant, "realloc-same-size") ||
+			strings.Contains(c.Variant, "realloc-twice")) {
+			return false
+		}
+		return true
+	case "xtag":
+		return c.CWE != 562
+	}
+	return true
+}
+
+// Mismatch is one deviation from the per-policy expectations.
+type Mismatch struct {
+	Outcome Outcome
+	// Expected reports whether detection was expected.
+	Expected bool
+}
+
+// Mismatches compares outcomes (indexed like cases) against the
+// per-policy expectations: good cases must run clean under every
+// policy, bad cases must be detected exactly when the policy's
+// expectation says so. Cases that never ran (interrupted fan-out) are
+// skipped. This — not the ideal-coverage Failures list — is what gates
+// the watchdog-juliet exit code for every policy.
+func Mismatches(policy string, cases []Case, outs []Outcome) []Mismatch {
+	var ms []Mismatch
+	for i, c := range cases {
+		o := outs[i]
+		if o.Case.ID == "" {
+			continue // never claimed
+		}
+		if o.Err != nil {
+			if errors.Is(o.Err, context.Canceled) || errors.Is(o.Err, context.DeadlineExceeded) {
+				continue // interrupted mid-run
+			}
+			ms = append(ms, Mismatch{Outcome: o, Expected: c.Bad && ExpectedDetected(policy, c)})
+			continue
+		}
+		want := c.Bad && ExpectedDetected(policy, c)
+		if o.Detected != want {
+			ms = append(ms, Mismatch{Outcome: o, Expected: want})
+		}
+	}
+	return ms
 }
 
 func outcomeOf(c Case, res *machine.Result) Outcome {

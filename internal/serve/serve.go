@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"watchdog/internal/core"
 	"watchdog/internal/experiments"
 	"watchdog/internal/report"
 	"watchdog/internal/security"
@@ -118,10 +119,14 @@ type SimResponse struct {
 // JulietRequest is the POST /v1/juliet body. The response is a
 // report.JulietReport, byte-compatible with `watchdog-juliet -json`.
 type JulietRequest struct {
-	// Policy is the checking policy (watchdog|location|software|
-	// conservative). Default: watchdog.
-	Policy    string `json:"policy,omitempty"`
-	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+	// Policy is the checking policy (any of security.Policies():
+	// watchdog|conservative|location|software|xtag|dangkiller).
+	// Default: watchdog.
+	Policy string `json:"policy,omitempty"`
+	// TagBits selects the tag width for the xtag policy (1..8; 0 = the
+	// default 8). Rejected for other policies.
+	TagBits   int   `json:"tag_bits,omitempty"`
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.
@@ -392,8 +397,20 @@ func (s *Server) handleJuliet(w http.ResponseWriter, r *http.Request) int {
 	if err != nil {
 		return writeError(w, http.StatusBadRequest, err.Error())
 	}
+	if req.TagBits != 0 {
+		if req.TagBits < 1 || req.TagBits > 8 {
+			return writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("tag_bits %d out of range [1, 8]", req.TagBits))
+		}
+		if cfg.Policy != core.PolicyXTag {
+			return writeError(w, http.StatusBadRequest, "tag_bits only applies to the xtag policy")
+		}
+		cfg.TagBits = req.TagBits
+	}
 
-	key := "juliet/" + req.Policy
+	// The tag width is a flight dimension: juliet/xtag/2 and
+	// juliet/xtag/8 are different computations.
+	key := fmt.Sprintf("juliet/%s/%d", req.Policy, req.TagBits)
 	return s.flightDo(w, r, key, req.TimeoutMS, func(ctx context.Context) (int, []byte) {
 		cases := security.Suite()
 		outs, err := security.RunCasesCtx(ctx, cases, cfg, opts, s.cfg.MaxWorkers, &s.julietTiming, nil)

@@ -304,6 +304,62 @@ func TestJulietEndpoint(t *testing.T) {
 	}
 }
 
+// TestJulietPolicyDimension: the comparator policies are first-class
+// request dimensions — xtag honors tag_bits (CWE-562 stays invisible
+// to the heap-only scheme even at full width), dangkiller matches
+// Watchdog's full detection, and tag_bits is validated.
+func TestJulietPolicyDimension(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	var jr struct {
+		Juliet struct {
+			Policy        string      `json:"policy"`
+			BadTotal      int         `json:"bad_total"`
+			BadDetected   int         `json:"bad_detected"`
+			GoodTotal     int         `json:"good_total"`
+			GoodClean     int         `json:"good_clean"`
+			ByCWEDetected map[int]int `json:"by_cwe_detected"`
+			ByCWETotal    map[int]int `json:"by_cwe_total"`
+		} `json:"juliet"`
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/juliet", JulietRequest{Policy: "xtag", TagBits: 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("xtag: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatal(err)
+	}
+	j := jr.Juliet
+	if j.Policy != "xtag" || j.GoodClean != j.GoodTotal {
+		t.Fatalf("xtag result: %+v", j)
+	}
+	if j.ByCWEDetected[562] != 0 || j.ByCWEDetected[416] != j.ByCWETotal[416] {
+		t.Fatalf("xtag per-CWE split: %+v", j)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/juliet", JulietRequest{Policy: "dangkiller"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dangkiller: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatal(err)
+	}
+	j = jr.Juliet
+	if j.Policy != "dangkiller" || j.BadDetected != j.BadTotal || j.GoodClean != j.GoodTotal {
+		t.Fatalf("dangkiller result: %+v", j)
+	}
+
+	for _, req := range []JulietRequest{
+		{Policy: "xtag", TagBits: 9},
+		{Policy: "watchdog", TagBits: 4},
+	} {
+		resp, body := postJSON(t, ts.URL+"/v1/juliet", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%+v: status %d (%s), want 400", req, resp.StatusCode, body)
+		}
+	}
+}
+
 // TestGracefulDrain is the lifecycle contract: cancelling Serve's
 // context rejects new requests while the in-flight one finishes, and
 // Serve returns only after the drain completes.

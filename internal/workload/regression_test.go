@@ -1,0 +1,97 @@
+package workload_test
+
+import (
+	"testing"
+
+	"watchdog/internal/core"
+	"watchdog/internal/fuzzgen"
+	"watchdog/internal/security"
+	"watchdog/internal/sim"
+	"watchdog/internal/workload"
+)
+
+// TestRegressionGoldenVerdicts replays every promoted fuzzer find
+// under every check policy and holds it to its golden verdict: the
+// policies annotated as detecting must fault at exactly the planted
+// instruction, and the policies annotated as missing must complete
+// silently with the golden checksum. The baseline anchors the
+// checksum. Any drift — a blind spot closing, a detection regressing,
+// a fault moving — fails.
+func TestRegressionGoldenVerdicts(t *testing.T) {
+	regs := workload.Regressions()
+	if len(regs) < 2 {
+		t.Fatalf("%d promoted finds, want at least 2 (one per divergence class)", len(regs))
+	}
+	for _, reg := range regs {
+		reg := reg
+		t.Run(reg.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, p := range security.Policies() {
+				if _, ok := reg.Detects[p]; !ok {
+					t.Errorf("no golden verdict for policy %s", p)
+				}
+			}
+
+			// Baseline: silent completion with the golden checksum.
+			ck := runRegression(t, reg, core.Config{Policy: core.PolicyBaseline}, -1)
+			if ck != reg.Checksum {
+				t.Fatalf("baseline checksum %d, want golden %d", ck, reg.Checksum)
+			}
+
+			for policy, detect := range reg.Detects {
+				cfg, _, err := security.PolicyConfig(policy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if reg.TagBits != 0 && cfg.Policy == core.PolicyXTag {
+					cfg.TagBits = reg.TagBits
+				}
+				want := -1
+				if detect {
+					want = 0 // any planted pc; resolved inside runRegression
+				}
+				ck := runRegression(t, reg, cfg, want)
+				if !detect && ck != reg.Checksum {
+					t.Errorf("%s: miss checksum %d, want golden %d", policy, ck, reg.Checksum)
+				}
+			}
+		})
+	}
+}
+
+// runRegression rebuilds and runs one find under cfg. wantDetect >= 0
+// asserts a use-after-free fault at the planted pc and returns 0;
+// wantDetect < 0 asserts silent completion and returns the checksum.
+func runRegression(t *testing.T, reg workload.Regression, cfg core.Config, wantDetect int) int64 {
+	t.Helper()
+	prog, rtEnd, bugPC, err := reg.Build(fuzzgen.Options{Policy: cfg.Policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bugPC < 0 {
+		t.Fatalf("%s: no planted bug", reg.Name)
+	}
+	res, err := sim.Run(prog, sim.Config{Core: cfg, RuntimeEnd: rtEnd, InstLimit: 10_000_000})
+	if err != nil {
+		t.Fatalf("%s under %s: %v", reg.Name, cfg.Policy, err)
+	}
+	if res.Aborted {
+		t.Fatalf("%s under %s: runtime abort %d", reg.Name, cfg.Policy, res.AbortCode)
+	}
+	if wantDetect >= 0 {
+		if res.MemErr == nil {
+			t.Fatalf("%s under %s: expected detection, program completed", reg.Name, cfg.Policy)
+		}
+		if res.MemErr.Kind != core.ErrUseAfterFree || res.MemErr.PC != bugPC {
+			t.Fatalf("%s under %s: fault %v, want use-after-free at pc %d", reg.Name, cfg.Policy, res.MemErr, bugPC)
+		}
+		return 0
+	}
+	if res.MemErr != nil {
+		t.Fatalf("%s under %s: expected silent miss, got %v", reg.Name, cfg.Policy, res.MemErr)
+	}
+	if len(res.Output) != 1 {
+		t.Fatalf("%s under %s: no checksum emitted", reg.Name, cfg.Policy)
+	}
+	return res.Output[0]
+}
