@@ -34,6 +34,7 @@ import (
 	"watchdog/internal/experiments"
 	"watchdog/internal/report"
 	"watchdog/internal/security"
+	"watchdog/internal/sim"
 	"watchdog/internal/stats"
 	"watchdog/internal/trace"
 	"watchdog/internal/workload"
@@ -44,6 +45,7 @@ import (
 var knownExps = []string{
 	"all", "table1", "table2", "fig5", "fig7", "fig8", "fig9", "fig10",
 	"fig11", "ideal", "ablations", "locksweep", "tagsweep", "juliet",
+	"fidelity-drift",
 }
 
 func main() {
@@ -74,6 +76,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile (go tool pprof) to this path")
 		memProf   = fs.String("memprofile", "", "write an allocation profile (go tool pprof) to this path when done")
 		benchOut  = fs.String("bench-out", "", "write the harness timing record (wall/busy time per experiment, schema v1 JSON) to this path")
+		fidelity  = fs.String("fidelity", "exact", "timing fidelity: exact|sampled|memoized (fidelity-drift runs all three regardless)")
+		sampleFF  = fs.Uint64("sample-ff", 0, "sampled fidelity: fast-forward instructions per period (0 = paper default)")
+		sampleWU  = fs.Uint64("sample-warmup", 0, "sampled fidelity: warmup instructions per period (0 = paper default)")
+		sampleWin = fs.Uint64("sample", 0, "sampled fidelity: measured instructions per period (0 = paper default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -90,6 +96,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return fail(fmt.Errorf("-scale %d: the problem-size multiplier must be >= 1", *scale))
 	}
 	names, err := workloadSubset(*wls)
+	if err != nil {
+		return fail(err)
+	}
+	fid, err := sim.ParseFidelity(*fidelity)
+	if err != nil {
+		return fail(err)
+	}
+	sampling, err := sim.SamplingOverride(fid, *sampleFF, *sampleWU, *sampleWin)
 	if err != nil {
 		return fail(err)
 	}
@@ -112,6 +126,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 	r.Jobs = *jobs
+	r.Fidelity = fid
+	r.Sampling = sampling
 	// The signal context rides the runner: every sweep below cancels
 	// cooperatively on SIGINT/SIGTERM, mid-simulation.
 	r.Ctx = ctx
@@ -226,6 +242,30 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 		addFigure(f.name)
 	}
+	// The fidelity-drift experiment is deliberately not part of "all":
+	// it sweeps the fig7 configurations three times (once per
+	// fidelity), and its point — quantifying the approximations — only
+	// matters when asked for.
+	var driftRows []report.Drift
+	if *exp == "fidelity-drift" && !partial {
+		t0 := time.Now()
+		t, d, err := r.FidelityDrift()
+		if err != nil {
+			if !interrupted(err) {
+				return fail(err)
+			}
+			partial = true
+			fmt.Fprintln(stderr, "watchdog-bench: interrupted during fidelity-drift; flushing partial outputs")
+		} else {
+			timed("fidelity-drift", t0)
+			if *csv {
+				fmt.Fprintf(stdout, "# fidelity-drift\n%s\n", t.CSV())
+			} else {
+				fmt.Fprintln(stdout, t)
+			}
+			driftRows = d
+		}
+	}
 	if *bars && !partial {
 		for _, bc := range []struct {
 			name string
@@ -276,6 +316,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 		rep.Partial = partial
+		rep.Drift = driftRows
 		if *jsonOut != "" {
 			if err := report.WriteFile(*jsonOut, rep); err != nil {
 				return fail(err)
@@ -295,7 +336,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				if err != nil {
 					return fail(err)
 				}
-				cmp := report.Compare(base, rep, *threshold)
+				// A mixed-fidelity comparison (e.g. a sampled run against
+				// an exact baseline) is refused with an error: the exit is
+				// non-zero and no threshold can launder it into a pass.
+				cmp, err := report.Compare(base, rep, *threshold)
+				if err != nil {
+					return fail(err)
+				}
 				fmt.Fprint(stdout, cmp)
 				if cmp.Regressed() {
 					fmt.Fprintln(stderr, "watchdog-bench: performance regressed past threshold against", *baseline)
@@ -310,6 +357,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			Exp:         *exp,
 			Scale:       *scale,
 			Jobs:        *jobs,
+			Fidelity:    string(fid.OrExact()),
 			Workloads:   names,
 			WallNanos:   int64(r.Timing.Wall()),
 			BusyNanos:   int64(r.Timing.BusyTime()),

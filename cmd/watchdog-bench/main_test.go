@@ -155,6 +155,108 @@ func TestBaselineMissingFile(t *testing.T) {
 	}
 }
 
+// TestFidelityFlagValidation: a bad -fidelity and a sampling override
+// on a non-sampled fidelity are both rejected before any simulation.
+func TestFidelityFlagValidation(t *testing.T) {
+	var stderr bytes.Buffer
+	if code := run(context.Background(), []string{"-exp", "fig7", "-workloads", "mcf",
+		"-fidelity", "bogus"}, io.Discard, &stderr); code == 0 {
+		t.Fatal("unknown fidelity must exit non-zero")
+	}
+	if !strings.Contains(stderr.String(), "fidelity") {
+		t.Fatalf("stderr %q does not name the fidelity flag", stderr.String())
+	}
+	stderr.Reset()
+	if code := run(context.Background(), []string{"-exp", "fig7", "-workloads", "mcf",
+		"-sample", "1000"}, io.Discard, &stderr); code == 0 {
+		t.Fatal("sampling override at exact fidelity must exit non-zero")
+	}
+	if !strings.Contains(stderr.String(), "sampled") {
+		t.Fatalf("stderr %q does not explain the sampled-only override", stderr.String())
+	}
+}
+
+// TestMixedFidelityBaselineRefused is the acceptance gate: a sampled
+// run compared against an exact baseline exits non-zero with a
+// fidelity error, while the same comparison at matching fidelity
+// passes cleanly.
+func TestMixedFidelityBaselineRefused(t *testing.T) {
+	dir := t.TempDir()
+	exact := filepath.Join(dir, "exact.json")
+	if code := run(context.Background(), []string{"-exp", "fig7", "-workloads", "mcf",
+		"-json", exact}, io.Discard, io.Discard); code != 0 {
+		t.Fatalf("exact report generation failed: %d", code)
+	}
+
+	var stderr bytes.Buffer
+	code := run(context.Background(), []string{"-exp", "fig7", "-workloads", "mcf",
+		"-fidelity", "sampled", "-baseline", exact}, io.Discard, &stderr)
+	if code == 0 {
+		t.Fatal("sampled run against exact baseline must exit non-zero")
+	}
+	if !strings.Contains(stderr.String(), "fidelit") {
+		t.Fatalf("stderr %q does not name the fidelity mismatch", stderr.String())
+	}
+
+	// No threshold can launder the refusal into a pass.
+	if code := run(context.Background(), []string{"-exp", "fig7", "-workloads", "mcf",
+		"-fidelity", "sampled", "-baseline", exact, "-threshold", "1000"},
+		io.Discard, io.Discard); code == 0 {
+		t.Fatal("threshold must not bypass the mixed-fidelity refusal")
+	}
+
+	// Matching fidelity on both sides compares fine (determinism makes
+	// the self-comparison exact).
+	sampled := filepath.Join(dir, "sampled.json")
+	if code := run(context.Background(), []string{"-exp", "fig7", "-workloads", "mcf",
+		"-fidelity", "sampled", "-json", sampled}, io.Discard, io.Discard); code != 0 {
+		t.Fatalf("sampled report generation failed: %d", code)
+	}
+	var stdout bytes.Buffer
+	code = run(context.Background(), []string{"-exp", "fig7", "-workloads", "mcf",
+		"-fidelity", "sampled", "-baseline", sampled}, &stdout, io.Discard)
+	if code != 0 {
+		t.Fatalf("sampled vs sampled self-comparison: exit %d\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "RESULT: ok") {
+		t.Fatalf("expected clean comparison, got:\n%s", stdout.String())
+	}
+}
+
+// TestFidelityDriftExperiment: -exp fidelity-drift prints the drift
+// table and records one Drift row per (approximate fidelity, config)
+// in the JSON report.
+func TestFidelityDriftExperiment(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "drift.json")
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{"-exp", "fidelity-drift", "-workloads", "mcf,perl",
+		"-json", path}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "Fidelity drift") {
+		t.Fatalf("drift table missing from output:\n%s", stdout.String())
+	}
+	rep, err := report.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Drift) != 8 { // {sampled, memoized} x 4 configs
+		t.Fatalf("%d drift rows, want 8: %+v", len(rep.Drift), rep.Drift)
+	}
+	for _, d := range rep.Drift {
+		if d.Fidelity != "sampled" && d.Fidelity != "memoized" {
+			t.Errorf("drift row for fidelity %q", d.Fidelity)
+		}
+		if d.SpeedupX <= 0 {
+			t.Errorf("%s/%s: non-positive speedup %v", d.Fidelity, d.Config, d.SpeedupX)
+		}
+		if d.ExactPct == 0 {
+			t.Errorf("%s/%s: zero exact overhead reference", d.Fidelity, d.Config)
+		}
+	}
+}
+
 // TestJulietStats: -exp juliet -stats must report one sim per case,
 // not "0 sims" (the Timing plumbing bug).
 func TestJulietStats(t *testing.T) {

@@ -63,6 +63,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		asmFile  = fs.String("asm", "", "run a WD64 assembly file (expects a \"main\" function) instead of a workload")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile (go tool pprof) to this path")
 		memProf  = fs.String("memprofile", "", "write an allocation profile (go tool pprof) to this path when done")
+		fidelity = fs.String("fidelity", "exact", "timing fidelity: exact|sampled|memoized")
+		sampFF   = fs.Uint64("sample-ff", 0, "sampled fidelity: fast-forward instructions per period (0 = paper default)")
+		sampWU   = fs.Uint64("sample-warmup", 0, "sampled fidelity: warmup instructions per period (0 = paper default)")
+		sampWin  = fs.Uint64("sample", 0, "sampled fidelity: measured instructions per period (0 = paper default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -81,6 +85,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *flightN < 0 {
 		return fail(fmt.Errorf("-flight-log %d: the event count must be >= 0", *flightN))
+	}
+	fid, err := sim.ParseFidelity(*fidelity)
+	if err != nil {
+		return fail(err)
+	}
+	sampling, err := sim.SamplingOverride(fid, *sampFF, *sampWU, *sampWin)
+	if err != nil {
+		return fail(err)
 	}
 
 	if *cpuProf != "" {
@@ -148,6 +160,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// cancels cooperatively inside machine.Run, the error path below
 	// returns non-zero, and the profile defers still flush.
 	r.Ctx = ctx
+	r.Fidelity = fid
+	r.Sampling = sampling
 	if *timeline != "" || *flightN > 0 {
 		r.Trace = &trace.Config{Timeline: *timeline != "", FlightN: *flightN}
 	}
@@ -171,12 +185,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	fmt.Fprintf(stdout, "workload   %s (%s)\n", w.Name, w.Kernel)
-	fmt.Fprintf(stdout, "config     %s, scale %d\n", *cfg, *scale)
+	fmt.Fprintf(stdout, "config     %s, scale %d, fidelity %s\n", *cfg, *scale, fid.OrExact())
 	fmt.Fprintf(stdout, "insts      %d macro, %d µops\n", res.Insts, res.Timing.Uops)
 	fmt.Fprintf(stdout, "cycles     %d (IPC %.2f)\n", res.Timing.Cycles, res.Timing.IPC())
+	if res.SampledInsts > 0 && res.SampledInsts < res.Insts {
+		// A sampled run's raw cycle counter covers only the measured
+		// windows; the extrapolation is the whole-program estimate.
+		fmt.Fprintf(stdout, "sampled    %d of %d insts (%.1f%%), estimated %d cycles\n",
+			res.SampledInsts, res.Insts,
+			100*float64(res.SampledInsts)/float64(res.Insts), res.EstimatedCycles())
+	}
 	if base, err := r.Run(w, experiments.CfgBaseline); err == nil && *cfg != "baseline" {
-		ratio := float64(res.Timing.Cycles) / float64(base.Timing.Cycles)
-		fmt.Fprintf(stdout, "overhead   %.1f%% over baseline (%d cycles)\n", (ratio-1)*100, base.Timing.Cycles)
+		ratio := float64(res.EstimatedCycles()) / float64(base.EstimatedCycles())
+		fmt.Fprintf(stdout, "overhead   %.1f%% over baseline (%d cycles)\n", (ratio-1)*100, base.EstimatedCycles())
 	}
 	fmt.Fprintf(stdout, "mem ops    %d checked, %d classified as pointer ops (%.1f%%)\n",
 		res.Engine.MemAccesses, res.Engine.PtrOps,

@@ -94,6 +94,15 @@ type Runner struct {
 	// (RunAll, Sweep, the figure methods); <= 0 means GOMAXPROCS.
 	Jobs int
 
+	// Fidelity is the timing methodology for every cell this runner
+	// simulates (empty = exact). It is a result-cache dimension: cells
+	// of different fidelities never alias, so a runner used at several
+	// fidelities (the fidelity-drift experiment) keeps them apart.
+	Fidelity sim.Fidelity
+	// Sampling overrides the sampled fidelity's default parameters
+	// (nil = sim.DefaultSampling()). Ignored at other fidelities.
+	Sampling *machine.Sampling
+
 	// Timing counts executed simulations, profiling passes and cache
 	// hits (observability for the parallel harness).
 	Timing stats.Timing
@@ -191,6 +200,27 @@ func rtOptions(name ConfigName) rt.Options {
 	}
 }
 
+// cellKey is the result-cache key of one (workload, configuration,
+// fidelity) cell. Fidelity is part of the key so cells simulated at
+// different fidelities coexist in one cache; report assembly parses
+// the key back with splitCellKey.
+func cellKey(wname string, name ConfigName, fid sim.Fidelity) string {
+	return wname + "/" + string(name) + "@" + string(fid.OrExact())
+}
+
+// splitCellKey inverts cellKey. ok is false for malformed keys.
+func splitCellKey(key string) (wname, cname string, fid sim.Fidelity, ok bool) {
+	wname, rest, ok := strings.Cut(key, "/")
+	if !ok {
+		return "", "", "", false
+	}
+	cname, f, ok := strings.Cut(rest, "@")
+	if !ok {
+		return "", "", "", false
+	}
+	return wname, cname, sim.Fidelity(f), true
+}
+
 // simConfig maps a configuration name to the full simulation config.
 // The profile argument is used by ISA-assisted configurations.
 func simConfig(name ConfigName, prof *core.Profile) sim.Config {
@@ -266,9 +296,17 @@ func (r *Runner) Run(w workload.Workload, name ConfigName) (*machine.Result, err
 // the cache, so a later request recomputes instead of being served
 // the stale cancellation error.
 func (r *Runner) RunCtx(ctx context.Context, w workload.Workload, name ConfigName) (*machine.Result, error) {
-	key := w.Name + "/" + string(name)
+	return r.RunFidelityCtx(ctx, w, name, r.Fidelity)
+}
+
+// RunFidelityCtx is RunCtx at an explicit fidelity, overriding the
+// runner's default. The fidelity-drift experiment uses it to simulate
+// the same cell at every fidelity within one runner (and one program/
+// profile cache).
+func (r *Runner) RunFidelityCtx(ctx context.Context, w workload.Workload, name ConfigName, fid sim.Fidelity) (*machine.Result, error) {
+	key := cellKey(w.Name, name, fid)
 	return r.cachedResult(ctx, key, func() (*machine.Result, error) {
-		return r.runUncached(ctx, w, name)
+		return r.runUncached(ctx, w, name, fid)
 	})
 }
 
@@ -317,8 +355,11 @@ func (r *Runner) cachedResult(ctx context.Context, key string, compute func() (*
 	}
 }
 
-// runUncached is the uncached simulation of one cell.
-func (r *Runner) runUncached(ctx context.Context, w workload.Workload, name ConfigName) (*machine.Result, error) {
+// runUncached is the uncached simulation of one cell. The profiling
+// pass is functional and therefore fidelity-invariant, so its cache
+// key deliberately omits the fidelity — every fidelity of a cell
+// shares one profile.
+func (r *Runner) runUncached(ctx context.Context, w workload.Workload, name ConfigName, fid sim.Fidelity) (*machine.Result, error) {
 	opts := rtOptions(name)
 	prog, rtEnd, err := workload.BuildProgram(w, opts, r.Scale)
 	if err != nil {
@@ -334,6 +375,10 @@ func (r *Runner) runUncached(ctx context.Context, w workload.Workload, name Conf
 	}
 	cfg := simConfig(name, prof)
 	cfg.RuntimeEnd = rtEnd
+	cfg.Fidelity = fid
+	if fid.OrExact() == sim.FidelitySampled {
+		cfg.Sampling = r.Sampling
+	}
 	if r.Trace != nil {
 		cfg.Sink = trace.New(*r.Trace)
 	}
@@ -407,17 +452,24 @@ func (r *Runner) Overhead(w workload.Workload, name ConfigName) (float64, error)
 	return r.OverheadCtx(r.ctx(), w, name)
 }
 
-// OverheadCtx is Overhead under an explicit context.
+// OverheadCtx is Overhead under an explicit context. Cycle counts go
+// through Result.EstimatedCycles, so at the sampled fidelity the ratio
+// compares whole-program extrapolations (for exact and memoized runs
+// EstimatedCycles is the measured count and nothing changes).
 func (r *Runner) OverheadCtx(ctx context.Context, w workload.Workload, name ConfigName) (float64, error) {
-	base, err := r.RunCtx(ctx, w, CfgBaseline)
+	return r.overheadFidelity(ctx, w, name, r.Fidelity)
+}
+
+func (r *Runner) overheadFidelity(ctx context.Context, w workload.Workload, name ConfigName, fid sim.Fidelity) (float64, error) {
+	base, err := r.RunFidelityCtx(ctx, w, CfgBaseline, fid)
 	if err != nil {
 		return 0, err
 	}
-	res, err := r.RunCtx(ctx, w, name)
+	res, err := r.RunFidelityCtx(ctx, w, name, fid)
 	if err != nil {
 		return 0, err
 	}
-	return float64(res.Timing.Cycles) / float64(base.Timing.Cycles), nil
+	return float64(res.EstimatedCycles()) / float64(base.EstimatedCycles()), nil
 }
 
 // Sweep runs every workload under the configuration, returning the

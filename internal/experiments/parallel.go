@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"watchdog/internal/sim"
 	"watchdog/internal/workload"
 )
 
@@ -103,6 +104,12 @@ func (r *Runner) RunAll(cfgs ...ConfigName) error {
 // the fan-out from claiming new cells and interrupts the cells
 // already simulating.
 func (r *Runner) RunAllCtx(ctx context.Context, cfgs ...ConfigName) error {
+	return r.runAllFidelityCtx(ctx, r.Fidelity, cfgs...)
+}
+
+// runAllFidelityCtx is the fan-out at an explicit fidelity (the
+// fidelity-drift experiment warms each fidelity's cells separately).
+func (r *Runner) runAllFidelityCtx(ctx context.Context, fid sim.Fidelity, cfgs ...ConfigName) error {
 	type pair struct {
 		w workload.Workload
 		c ConfigName
@@ -117,7 +124,7 @@ func (r *Runner) RunAllCtx(ctx context.Context, cfgs ...ConfigName) error {
 		r.Progress.AddTotal(len(pairs))
 	}
 	return r.parallelDo(ctx, len(pairs), func(i int) error {
-		_, err := r.RunCtx(ctx, pairs[i].w, pairs[i].c)
+		_, err := r.RunFidelityCtx(ctx, pairs[i].w, pairs[i].c, fid)
 		if r.Progress != nil {
 			r.Progress.CellDone()
 		}

@@ -3,8 +3,8 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
-	"strings"
 
 	"watchdog/internal/core"
 	"watchdog/internal/isa"
@@ -12,6 +12,7 @@ import (
 	"watchdog/internal/report"
 	"watchdog/internal/rt"
 	"watchdog/internal/security"
+	"watchdog/internal/sim"
 	"watchdog/internal/workload"
 )
 
@@ -70,7 +71,7 @@ func (r *Runner) JulietCtx(ctx context.Context) (security.Summary, error) {
 // result cache, so calling Report after the figures ran adds no
 // simulations.
 func (r *Runner) Report(figures []string, juliet *security.Summary) (*report.Report, error) {
-	rep := &report.Report{Scale: r.Scale}
+	rep := &report.Report{Scale: r.Scale, Fidelity: string(r.Fidelity.OrExact())}
 	for _, w := range r.Workloads {
 		rep.Workloads = append(rep.Workloads, w.Name)
 	}
@@ -129,16 +130,20 @@ func (r *Runner) Report(figures []string, juliet *security.Summary) (*report.Rep
 	}
 	sort.Strings(keys)
 	for _, key := range keys {
-		wname, cname, ok := strings.Cut(key, "/")
+		wname, cname, fid, ok := splitCellKey(key)
 		if !ok {
 			continue
 		}
+		// The baseline for the overhead ratio is the same workload's
+		// baseline cell at the same fidelity: an extrapolated cycle
+		// count divided by an exact one would be a mixed-fidelity ratio.
 		var base *machine.Result
-		if b, ok := cells[wname+"/"+string(CfgBaseline)]; ok && cname != string(CfgBaseline) {
+		if b, ok := cells[cellKey(wname, CfgBaseline, fid)]; ok && cname != string(CfgBaseline) {
 			base = b
 		}
-		rep.Cells = append(rep.Cells, buildCell(wname, cname, cells[key], base))
+		rep.Cells = append(rep.Cells, buildCell(wname, cname, fid, cells[key], base))
 	}
+	annotateDrift(rep.Cells)
 
 	if juliet != nil {
 		j := juliet.ReportRecord(core.PolicyWatchdog.String())
@@ -163,21 +168,38 @@ func (r *Runner) CellCtx(ctx context.Context, w workload.Workload, name ConfigNa
 			return report.Cell{}, err
 		}
 	}
-	return buildCell(w.Name, string(name), res, base), nil
+	return buildCell(w.Name, string(name), r.Fidelity, res, base), nil
 }
 
 // buildCell flattens one simulation result into the report schema.
-func buildCell(wname, cname string, res, base *machine.Result) report.Cell {
+// For a sampled result the cycle counts are the whole-program
+// extrapolation: the measured CPI-stack buckets scale by the same
+// factor and the base bucket absorbs the rounding remainder, so the
+// schema's bucket-sum invariant (the four buckets sum to Cycles)
+// holds at every fidelity.
+func buildCell(wname, cname string, fid sim.Fidelity, res, base *machine.Result) report.Cell {
 	t := &res.Timing
+	cycles := res.EstimatedCycles()
+	check, lockMiss, meta := t.CheckCycles, t.LockMissCycles, t.MetaCycles
+	if cycles != t.Cycles && t.Cycles > 0 {
+		f := float64(cycles) / float64(t.Cycles)
+		check = int64(math.Round(float64(check) * f))
+		lockMiss = int64(math.Round(float64(lockMiss) * f))
+		meta = int64(math.Round(float64(meta) * f))
+	}
 	c := report.Cell{
 		Workload: wname,
 		Config:   cname,
+		Fidelity: string(fid.OrExact()),
+		Partial:  res.Partial,
 
-		Cycles:         t.Cycles,
-		BaseCycles:     t.BaseCycles,
-		CheckCycles:    t.CheckCycles,
-		LockMissCycles: t.LockMissCycles,
-		MetaCycles:     t.MetaCycles,
+		Cycles:         cycles,
+		BaseCycles:     cycles - check - lockMiss - meta,
+		CheckCycles:    check,
+		LockMissCycles: lockMiss,
+		MetaCycles:     meta,
+
+		SampledInsts: res.SampledInsts,
 
 		Insts:        res.Insts,
 		Uops:         t.Uops,
@@ -212,8 +234,31 @@ func buildCell(wname, cname string, res, base *machine.Result) report.Cell {
 			c.UopsByOp[op.String()] = n
 		}
 	}
-	if base != nil && base.Timing.Cycles > 0 {
-		c.Overhead = float64(t.Cycles) / float64(base.Timing.Cycles)
+	if base != nil && base.EstimatedCycles() > 0 {
+		c.Overhead = float64(cycles) / float64(base.EstimatedCycles())
 	}
 	return c
+}
+
+// annotateDrift fills Cell.DriftVsExactPct on every non-exact cell
+// whose exact counterpart (same workload and configuration) is present
+// in the document: the signed percentage by which the approximate
+// cycle count strays from the exact one. Cells without an exact
+// counterpart stay unannotated (zero).
+func annotateDrift(cells []report.Cell) {
+	exact := make(map[[2]string]int64)
+	for _, c := range cells {
+		if sim.Fidelity(c.Fidelity).OrExact() == sim.FidelityExact {
+			exact[[2]string{c.Workload, c.Config}] = c.Cycles
+		}
+	}
+	for i := range cells {
+		c := &cells[i]
+		if sim.Fidelity(c.Fidelity).OrExact() == sim.FidelityExact {
+			continue
+		}
+		if e, ok := exact[[2]string{c.Workload, c.Config}]; ok && e > 0 {
+			c.DriftVsExactPct = 100 * float64(c.Cycles-e) / float64(e)
+		}
+	}
 }

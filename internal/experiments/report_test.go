@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"testing"
 
 	"watchdog/internal/report"
+	"watchdog/internal/sim"
 )
 
 // TestReportCells: every simulated cell appears in the report, the
@@ -86,9 +88,85 @@ func TestReportDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ca := report.Compare(a, b, 0)
+	ca, err := report.Compare(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ca.Regressed() || len(ca.Notes) != 0 {
 		t.Fatalf("self-comparison not clean: %s", ca)
+	}
+}
+
+// TestReportFidelityCellsCoexist: fidelity is part of the result-cache
+// identity, so the same (workload, config) pair simulated at exact and
+// sampled fidelity yields two distinct cells in one report — each with
+// a same-fidelity overhead baseline — and every sampled cell with an
+// exact counterpart carries the measured drift annotation.
+func TestReportFidelityCellsCoexist(t *testing.T) {
+	r := runner(t)
+	ctx := context.Background()
+	for _, fid := range []sim.Fidelity{sim.FidelityExact, sim.FidelitySampled} {
+		for _, w := range r.Workloads {
+			for _, cfg := range []ConfigName{CfgBaseline, CfgISA} {
+				if _, err := r.RunFidelityCtx(ctx, w, cfg, fid); err != nil {
+					t.Fatalf("%s/%s@%s: %v", w.Name, cfg, fid, err)
+				}
+			}
+		}
+	}
+	rep, err := r.Report(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(testSet) * 2 * 2; len(rep.Cells) != want {
+		t.Fatalf("%d cells, want %d (both fidelities)", len(rep.Cells), want)
+	}
+
+	baseCycles := map[[2]string]int64{} // (workload, fidelity) -> baseline cycles
+	for _, c := range rep.Cells {
+		if c.Config == string(CfgBaseline) {
+			baseCycles[[2]string{c.Workload, c.Fidelity}] = c.Cycles
+		}
+	}
+	exactISA := map[string]int64{}
+	for _, c := range rep.Cells {
+		switch c.Fidelity {
+		case "exact":
+			if c.SampledInsts != 0 || c.DriftVsExactPct != 0 {
+				t.Errorf("%s/%s: exact cell carries sampling fields (%d insts, %v%% drift)",
+					c.Workload, c.Config, c.SampledInsts, c.DriftVsExactPct)
+			}
+			if c.Config == string(CfgISA) {
+				exactISA[c.Workload] = c.Cycles
+			}
+		case "sampled":
+			if c.SampledInsts == 0 || c.SampledInsts >= c.Insts {
+				t.Errorf("%s/%s: sampled cell measured %d of %d insts, want a strict subset",
+					c.Workload, c.Config, c.SampledInsts, c.Insts)
+			}
+			if sum := c.BaseCycles + c.CheckCycles + c.LockMissCycles + c.MetaCycles; sum != c.Cycles {
+				t.Errorf("%s/%s: sampled breakdown sums to %d, want %d", c.Workload, c.Config, sum, c.Cycles)
+			}
+			if c.Config != string(CfgBaseline) {
+				want := float64(c.Cycles) / float64(baseCycles[[2]string{c.Workload, "sampled"}])
+				if math.Abs(c.Overhead-want) > 1e-12 {
+					t.Errorf("%s/%s: sampled overhead %v not over the sampled baseline (want %v)",
+						c.Workload, c.Config, c.Overhead, want)
+				}
+			}
+		default:
+			t.Errorf("%s/%s: unexpected fidelity %q", c.Workload, c.Config, c.Fidelity)
+		}
+	}
+	for _, c := range rep.Cells {
+		if c.Fidelity != "sampled" || c.Config != string(CfgISA) {
+			continue
+		}
+		e := exactISA[c.Workload]
+		want := 100 * float64(c.Cycles-e) / float64(e)
+		if c.DriftVsExactPct != want {
+			t.Errorf("%s/%s: drift %v%%, want %v%%", c.Workload, c.Config, c.DriftVsExactPct, want)
+		}
 	}
 }
 

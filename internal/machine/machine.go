@@ -27,6 +27,14 @@ type Result struct {
 	SampledInsts  uint64
 	SampledUops   uint64
 
+	// Partial marks a run that did not reach its natural end (halt,
+	// fault, or abort) — today that means cooperative cancellation
+	// landed mid-flight. The statistics are whatever had accumulated
+	// when the run stopped; for a sampled run canceled mid-fast-forward
+	// the Sampled* counters may cover no window at all, so consumers
+	// must never present a Partial result as a completed measurement.
+	Partial bool
+
 	// MemErr is the memory-safety exception that stopped the run, nil
 	// if the program ran to completion.
 	MemErr *core.MemoryError
@@ -80,6 +88,13 @@ type Machine struct {
 	// sampler, when set, gates the timing model per the paper's
 	// periodic-sampling methodology (see SetSampling).
 	sampler *sampler
+
+	// memo, when set, replays recorded basic-block timing deltas
+	// instead of feeding the model µop by µop (see EnableMemo).
+	// skipTiming is its per-instruction verdict: true while the
+	// current instruction's timing is covered by a replayed delta.
+	memo       *memoizer
+	skipTiming bool
 
 	// cancel is the cooperative-cancellation state (see SetContext).
 	// cancelDone is nil when no cancellable context is attached, which
@@ -150,7 +165,27 @@ func (m *Machine) effAddr(mr isa.MemRef) uint64 {
 // bandwidth as its own macro instruction.
 func (m *Machine) feed(uops []isa.Uop) {
 	m.res.Uops += uint64(len(uops))
+	if m.skipTiming {
+		// Covered by a replayed block delta (memoized fidelity). The
+		// cycles are folded by Advance, but the cache hierarchy must
+		// still see the access stream — a frozen hierarchy across
+		// replayed spans starves later live blocks and revalidations of
+		// current cache state, and the memo's deltas drift arbitrarily
+		// far from the exact run on cache-sensitive workloads.
+		for i := range uops {
+			m.model.Warm(&uops[i])
+		}
+		return
+	}
 	if !m.timingOn() {
+		if m.model != nil && m.sampler != nil {
+			// Fast-forward functional warming: replay the access stream
+			// against the cache hierarchy with timing off, so the next
+			// warmup window opens on architecturally current cache state.
+			for i := range uops {
+				m.model.Warm(&uops[i])
+			}
+		}
 		return
 	}
 	// Software-scheme policies (software, xtag, dangkiller) execute
@@ -225,6 +260,12 @@ func (m *Machine) Run() (*Result, error) {
 			m.nextCheck = m.res.Insts + CancelCheckInterval
 			select {
 			case <-m.cancelDone:
+				// Close out the run as partial: fold whatever sample
+				// window was open and capture the stats accumulated so
+				// far, but flag them so no consumer mistakes an
+				// interrupted sampled run for a completed measurement.
+				m.res.Partial = true
+				m.finish()
 				return &m.res, fmt.Errorf("machine: canceled after %d instructions at pc %d: %w",
 					m.res.Insts, m.pc, m.cancelErr())
 			default:
@@ -275,8 +316,19 @@ func (m *Machine) step() error {
 	if m.sampler != nil {
 		m.sampleTick()
 	}
+	if m.memo != nil {
+		m.memoStep(pc, in.Op)
+	}
 	if m.timingOn() {
-		m.model.OnInst(ca)
+		if !m.skipTiming {
+			m.model.OnInst(ca)
+		} else {
+			// Memo replay: keep the I-side hierarchy warm so post-replay
+			// live blocks fetch against current cache state.
+			m.model.WarmFetch(ca)
+		}
+	} else if m.model != nil && m.sampler != nil {
+		m.model.WarmFetch(ca) // fast-forward functional warming (I-side)
 	}
 	next := pc + 1
 

@@ -1,0 +1,244 @@
+package machine
+
+import (
+	"watchdog/internal/isa"
+	"watchdog/internal/pipeline"
+)
+
+// The memoized fidelity: a basic-block timing memo layered on the
+// crack cache. A block runs from a block start (program entry or the
+// instruction after a control transfer) through the next control-
+// transfer instruction, inclusive; the instruction sequence is a
+// static property of the start pc, so a replayed block can never
+// diverge from the recording's instruction stream. The terminator's
+// dynamic outcome (taken direction, mispredict penalty) is part of the
+// recorded delta; the branch-history component of the key correlates
+// context with outcome, and the stability/revalidation machinery
+// refuses to replay blocks whose terminator behavior is not
+// reproducible under the key.
+//
+// Memo entries are keyed on (block start pc, branch-history digest,
+// pipeline-pressure bucket). An entry becomes replayable only after
+// the same key has produced the exact same timing delta
+// memoStableStreak times in a row, and every revalidateEvery-th visit
+// to a replayable entry runs live anyway and compares: a mismatch
+// drops the entry back to unstable. Functional execution — memory,
+// engine metadata, checks, branch-predictor training — always runs,
+// so detection stays exact; only the per-µop timing feed is replaced
+// by folding the recorded delta (pipeline.Model.Advance).
+
+const (
+	// memoStableStreak is how many consecutive identical deltas a key
+	// must produce before replay is allowed.
+	memoStableStreak = 3
+	// revalidateEvery forces every Nth visit to a replayable entry to
+	// execute against the live model and re-verify the recorded delta.
+	revalidateEvery = 64
+	// memoMaxEntries bounds the table (blocks × contexts can explode on
+	// history-noisy code); beyond it, new keys simply run live.
+	memoMaxEntries = 1 << 16
+	// memoWarmBlocks is how many consecutive live blocks must precede a
+	// recording for it to enter the memo. A block measured right after
+	// a replay sees the model's synthetic boundary state, not a flowing
+	// pipeline, and its delta carries the restart transient; admitting
+	// such deltas lets the memo converge on transient costs instead of
+	// steady-state marginal costs.
+	memoWarmBlocks = 2
+)
+
+type memoKey struct {
+	pc  int32
+	ctx uint64
+}
+
+type memoEntry struct {
+	delta  pipeline.BlockDelta
+	ninsts uint32
+	streak uint8
+	hits   uint32
+}
+
+func (e *memoEntry) stable() bool { return e.streak >= memoStableStreak }
+
+// memoizer is the per-run memo state machine.
+type memoizer struct {
+	entries map[memoKey]*memoEntry
+
+	blockStart bool // the current instruction begins a block
+
+	// Recording state: measuring the current block against the live model.
+	recording  bool
+	key        memoKey
+	snap       pipeline.Snap
+	ninsts     uint32
+	revalidate bool
+	// liveStreak counts consecutive blocks completed against the live
+	// model since the last replay; recWarm captures whether the block
+	// being recorded started with a warm (≥ memoWarmBlocks) streak.
+	liveStreak uint32
+	recWarm    bool
+
+	// Replay state: skipping the timing feed for the rest of a prefix.
+	replayLeft  uint32
+	replayDelta pipeline.BlockDelta
+
+	// MemoStats counters.
+	replayedInsts  uint64
+	recordedBlocks uint64
+	invalidations  uint64
+}
+
+// MemoStats reports the memoizer's effectiveness for diagnostics.
+type MemoStats struct {
+	ReplayedInsts  uint64 // macro instructions whose timing came from the memo
+	RecordedBlocks uint64 // distinct (block, context) entries recorded
+	Invalidations  uint64 // revalidations that caught a drifted delta
+	Entries        int
+}
+
+// EnableMemo switches the machine to memoized timing. It requires a
+// timing model and is mutually exclusive with sampling (the memo
+// replaces µop-level feeding; the sampler gates it — stacking the two
+// would measure sample windows with replayed, unmeasured gaps).
+func (m *Machine) EnableMemo() {
+	if m.model == nil {
+		panic("machine.EnableMemo: no timing model attached")
+	}
+	if m.sampler != nil {
+		panic("machine.EnableMemo: memoized timing cannot be combined with sampling")
+	}
+	m.memo = &memoizer{
+		entries:    make(map[memoKey]*memoEntry),
+		blockStart: true,
+	}
+}
+
+// MemoStats returns nil-safe memo diagnostics.
+func (m *Machine) MemoStats() MemoStats {
+	if m.memo == nil {
+		return MemoStats{}
+	}
+	return MemoStats{
+		ReplayedInsts:  m.memo.replayedInsts,
+		RecordedBlocks: m.memo.recordedBlocks,
+		Invalidations:  m.memo.invalidations,
+		Entries:        len(m.memo.entries),
+	}
+}
+
+// isTerminator reports whether an opcode ends a straight-line block.
+// Syscalls terminate blocks too: their work (output append, abort,
+// allocator marking) is not time-stable.
+func isTerminator(op isa.Opcode) bool {
+	switch op {
+	case isa.OpBr, isa.OpJmp, isa.OpJmpr, isa.OpCall, isa.OpCallr, isa.OpRet, isa.OpSys, isa.OpHalt:
+		return true
+	}
+	return false
+}
+
+// memoStep runs once per macro instruction, before the timing feed,
+// and decides whether this instruction's µops go to the live model
+// (m.skipTiming = false) or are covered by a replayed delta. A block's
+// recording is finalized when the first instruction of the NEXT block
+// arrives, so the delta includes the terminator's own feeds.
+func (m *Machine) memoStep(pc int, op isa.Opcode) {
+	mo := m.memo
+	if mo.replayLeft > 0 {
+		// Mid-replay: the block's interior contains no terminators by
+		// construction, so no control-flow check is needed. The final
+		// replayed instruction is the block's terminator; folding the
+		// delta there lands the model exactly at the block boundary.
+		mo.replayLeft--
+		mo.replayedInsts++
+		m.skipTiming = true
+		mo.blockStart = mo.replayLeft == 0
+		if mo.replayLeft == 0 {
+			m.model.Advance(mo.replayDelta)
+		}
+		return
+	}
+	m.skipTiming = false
+	if mo.blockStart {
+		if mo.recording {
+			mo.recording = false
+			mo.finalize(m.model.DeltaSince(mo.snap))
+		}
+		if e := mo.lookup(m, pc); e != nil {
+			// Replay the whole block, this instruction included.
+			mo.replayDelta = e.delta
+			mo.replayLeft = e.ninsts - 1
+			mo.replayedInsts++
+			mo.liveStreak = 0
+			m.skipTiming = true
+			mo.blockStart = mo.replayLeft == 0
+			if mo.replayLeft == 0 {
+				m.model.Advance(e.delta)
+			}
+			return
+		}
+		mo.recording = true
+		mo.snap = m.model.Snapshot()
+		mo.ninsts = 1
+	} else if mo.recording {
+		mo.ninsts++
+	}
+	mo.blockStart = isTerminator(op)
+}
+
+// lookup keys the block starting at pc and returns its entry when it
+// is stable enough to replay; it returns nil when the block must run
+// live (unknown, unstable, or a forced revalidation turn), leaving
+// mo.key/mo.revalidate set for the finalize that follows.
+func (mo *memoizer) lookup(m *Machine, pc int) *memoEntry {
+	ctx := m.model.CtxBucket() << 32
+	if m.bp != nil {
+		ctx |= m.bp.HistoryDigest()
+	}
+	mo.key = memoKey{pc: int32(pc), ctx: ctx}
+	mo.recWarm = mo.liveStreak >= memoWarmBlocks
+	e := mo.entries[mo.key]
+	if e == nil || !e.stable() {
+		mo.revalidate = false
+		return nil
+	}
+	e.hits++
+	if e.hits%revalidateEvery == 0 {
+		// Revalidation turn: record live and compare in finalize.
+		mo.revalidate = true
+		return nil
+	}
+	return e
+}
+
+// finalize folds a completed recording into the memo table. Blocks
+// recorded inside a post-replay transient (cold liveStreak) still
+// contribute their live cycles to the run but are never admitted as
+// memo entries or used to judge existing ones.
+func (mo *memoizer) finalize(d pipeline.BlockDelta) {
+	mo.liveStreak++
+	if !mo.recWarm {
+		return
+	}
+	e := mo.entries[mo.key]
+	if e == nil {
+		if len(mo.entries) >= memoMaxEntries {
+			return
+		}
+		e = &memoEntry{}
+		mo.entries[mo.key] = e
+		mo.recordedBlocks++
+	}
+	if e.ninsts == mo.ninsts && e.delta == d {
+		if e.streak < 255 {
+			e.streak++
+		}
+		return
+	}
+	if mo.revalidate && e.stable() {
+		mo.invalidations++
+	}
+	e.ninsts = mo.ninsts
+	e.delta = d
+	e.streak = 1
+}

@@ -1,5 +1,12 @@
 package machine
 
+import (
+	"fmt"
+	"math"
+
+	"watchdog/internal/pipeline"
+)
+
 // Sampling implements the paper's simulation methodology (Section
 // 9.1): periodic sampling, where each measured sample is preceded by a
 // functional fast-forward (no timing model) and a timing warmup whose
@@ -9,8 +16,26 @@ package machine
 // During fast-forward the machine still executes the Watchdog engine's
 // functional semantics (metadata propagation, checks), so detection
 // remains exact; only the microarchitectural timing is skipped. The
-// branch predictor and caches keep training during warmup, as in
-// functional-warming samplers.
+// branch predictor trains on every branch regardless of phase, and the
+// machine warms the cache hierarchy during fast-forward (functional
+// warming), so the timing-visible microarchitectural state is
+// architecturally current when a warmup window opens.
+//
+// Phase boundaries are exact: every macro instruction is bucketed in
+// exactly one phase, a phase with quota N receives exactly N
+// instructions, and a sample window measures the cycles of exactly its
+// own instructions. Zero-length phases are skipped without consuming
+// an instruction, so e.g. {FastForward: 0, Warmup: 0, Sample: N}
+// measures every instruction and reproduces the exact run's cycle
+// count bit-for-bit.
+//
+// The first period starts at its warmup phase rather than its
+// fast-forward (an offset start, in the spirit of SMARTS' randomized
+// sampling offset): a run begins warmup -> sample and only then falls
+// into the steady fast-forward -> warmup -> sample rotation. This
+// guarantees that any program longer than Warmup measures at least
+// one window, so a program shorter than a full period still produces
+// a cycle estimate instead of silently measuring nothing.
 type Sampling struct {
 	FastForward uint64 // instructions per period with timing off
 	Warmup      uint64 // instructions with timing on, cycles discarded
@@ -19,17 +44,53 @@ type Sampling struct {
 
 // PaperSampling returns the paper's parameters scaled down by the
 // given factor (the paper's 480M/10M/10M period is far larger than the
-// synthetic kernels).
+// synthetic kernels). Division rounds to nearest rather than
+// truncating, so the 48:1:1 fast-forward:warmup:sample ratio is
+// preserved for factors that do not divide the paper's numbers, and
+// every phase is clamped to at least one instruction so no scale
+// factor can silently produce a sampler that measures nothing.
 func PaperSampling(scaleDown uint64) Sampling {
 	if scaleDown == 0 {
 		scaleDown = 1
 	}
+	div := func(n uint64) uint64 {
+		v := (n + scaleDown/2) / scaleDown
+		if v == 0 {
+			v = 1
+		}
+		return v
+	}
 	return Sampling{
-		FastForward: 480_000_000 / scaleDown,
-		Warmup:      10_000_000 / scaleDown,
-		Sample:      10_000_000 / scaleDown,
+		FastForward: div(480_000_000),
+		Warmup:      div(10_000_000),
+		Sample:      div(10_000_000),
 	}
 }
+
+// Period returns the total instructions per sampling period.
+func (s Sampling) Period() uint64 { return s.FastForward + s.Warmup + s.Sample }
+
+// Validate checks the configuration for use as a measurement: the
+// period must be non-empty (a sampler with an all-zero period can
+// never advance past an instruction), and a zero-length sample window
+// measures nothing while reporting success, which is a silent lie.
+// The machine itself accepts Sample == 0 (a pure fast-forward run is
+// a meaningful degenerate for functional-only work); callers that
+// intend to measure should insist on Validate.
+func (s Sampling) Validate() error {
+	if s.Period() == 0 {
+		return fmt.Errorf("machine: %s", zeroPeriodInvariant)
+	}
+	if s.Sample == 0 {
+		return fmt.Errorf("machine: sampling config %+v has a zero-length sample window: every period fast-forwards and nothing is ever measured", s)
+	}
+	return nil
+}
+
+// zeroPeriodInvariant names the sampler's liveness invariant: at least
+// one phase must be non-empty or the phase machine could never assign
+// the current instruction to a bucket.
+const zeroPeriodInvariant = "sampling invariant violated: FastForward+Warmup+Sample == 0 (empty period, sampler cannot advance)"
 
 type samplePhase int
 
@@ -55,37 +116,57 @@ type sampler struct {
 // timingOn reports whether the timing model should be fed.
 func (s *sampler) timingOn() bool { return s.phase != phaseFastForward }
 
-// tick advances the phase machine by one macro instruction; the
-// machine consults it before feeding the timing model.
-func (m *Machine) sampleTick() {
-	s := m.sampler
-	s.phaseInsts++
+// quota returns the current phase's instruction budget.
+func (s *sampler) quota() uint64 {
 	switch s.phase {
 	case phaseFastForward:
-		if s.phaseInsts >= s.cfg.FastForward {
-			s.phase = phaseWarmup
-			s.phaseInsts = 0
-		}
+		return s.cfg.FastForward
 	case phaseWarmup:
-		if s.phaseInsts >= s.cfg.Warmup {
-			s.phase = phaseSample
-			s.phaseInsts = 0
-			if m.model != nil {
-				s.startCycles = m.model.Cycles()
-				s.startUops = m.model.Stats().Uops
-			}
+		return s.cfg.Warmup
+	}
+	return s.cfg.Sample
+}
+
+// sampleTick advances the phase machine by one macro instruction. The
+// machine calls it at the top of step, before the timing decision for
+// the instruction, so the tick first retires any phase that has
+// already received its full quota (skipping zero-length phases
+// entirely) and then buckets the current instruction in the phase
+// that results. Transition bookkeeping therefore happens between
+// instructions: the cycle snapshot taken on entering the sample phase
+// excludes the last warmup instruction and includes the first sample
+// instruction, and the fold on leaving it counts exactly the sample's
+// own instructions — the boundary instruction lands in one bucket,
+// never two, never zero.
+func (m *Machine) sampleTick() {
+	s := m.sampler
+	for s.phaseInsts >= s.quota() {
+		s.advancePhase(m.model)
+	}
+	s.phaseInsts++
+}
+
+// advancePhase moves to the next phase, folding or snapshotting the
+// model's cycle counter at the two measurement edges.
+func (s *sampler) advancePhase(model *pipeline.Model) {
+	switch s.phase {
+	case phaseFastForward:
+		s.phase = phaseWarmup
+	case phaseWarmup:
+		s.phase = phaseSample
+		if model != nil {
+			s.startCycles = model.Cycles()
+			s.startUops = model.Uops()
 		}
 	case phaseSample:
-		if s.phaseInsts >= s.cfg.Sample {
-			if m.model != nil {
-				s.sampledCycles += m.model.Cycles() - s.startCycles
-				s.sampledUops += m.model.Stats().Uops - s.startUops
-			}
-			s.sampledInsts += s.cfg.Sample
-			s.phase = phaseFastForward
-			s.phaseInsts = 0
+		if model != nil {
+			s.sampledCycles += model.Cycles() - s.startCycles
+			s.sampledUops += model.Uops() - s.startUops
 		}
+		s.sampledInsts += s.phaseInsts
+		s.phase = phaseFastForward
 	}
+	s.phaseInsts = 0
 }
 
 // closeSampling folds a partially measured sample at program end.
@@ -96,28 +177,42 @@ func (m *Machine) closeSampling() {
 	}
 	if s.phase == phaseSample && s.phaseInsts > 0 && m.model != nil {
 		s.sampledCycles += m.model.Cycles() - s.startCycles
-		s.sampledUops += m.model.Stats().Uops - s.startUops
+		s.sampledUops += m.model.Uops() - s.startUops
 		s.sampledInsts += s.phaseInsts
+		s.phaseInsts = 0
+		s.phase = phaseFastForward
 	}
 	m.res.SampledCycles = s.sampledCycles
 	m.res.SampledInsts = s.sampledInsts
 	m.res.SampledUops = s.sampledUops
 }
 
-// SetSampling enables periodic sampling; call before Run.
+// SetSampling enables periodic sampling; call before Run. It panics if
+// the period is empty (see zeroPeriodInvariant) — such a sampler could
+// never bucket an instruction and the run would spin forever.
 func (m *Machine) SetSampling(cfg Sampling) {
-	m.sampler = &sampler{cfg: cfg, phase: phaseFastForward}
-	if cfg.FastForward == 0 {
-		m.sampler.phase = phaseWarmup
+	if cfg.Period() == 0 {
+		panic("machine.SetSampling: " + zeroPeriodInvariant)
 	}
+	if m.memo != nil {
+		panic("machine.SetSampling: sampling cannot be combined with memoized timing")
+	}
+	// Offset start: the first period opens at its warmup so short
+	// programs still reach a sample window (see the Sampling comment).
+	m.sampler = &sampler{cfg: cfg, phase: phaseWarmup}
 }
 
 // EstimatedCycles extrapolates whole-program cycles from the sampled
 // windows (CPI of the samples applied to the full instruction count).
+// Full coverage short-circuits: a 100%-sampled run returns the
+// measured count exactly, with no float round-trip.
 func (r *Result) EstimatedCycles() int64 {
 	if r.SampledInsts == 0 {
 		return r.Timing.Cycles
 	}
+	if r.SampledInsts >= r.Insts {
+		return r.SampledCycles
+	}
 	cpi := float64(r.SampledCycles) / float64(r.SampledInsts)
-	return int64(cpi * float64(r.Insts))
+	return int64(math.Round(cpi * float64(r.Insts)))
 }

@@ -17,9 +17,20 @@ type page struct {
 // Memory is the sparse simulated physical/virtual memory. Pages are
 // allocated on first touch, mirroring on-demand allocation of shadow
 // pages by the operating system.
+//
+// A small direct-mapped translation cache in front of the page map
+// (cpn/cp, indexed by low page-number bits) serves the common case —
+// loops touching a handful of pages: program data, stack, and the
+// corresponding shadow pages — without a map lookup. The map lookup
+// dominated the functional interpreter's profile, and the functional
+// loop is the floor under the sampled fidelity's fast-forward speed.
 type Memory struct {
 	pages map[uint64]*page
+	cpn   [pageCacheWays]uint64 // cached page number + 1 (0 = empty)
+	cp    [pageCacheWays]*page
 }
+
+const pageCacheWays = 8
 
 // New returns an empty memory.
 func New() *Memory {
@@ -28,11 +39,16 @@ func New() *Memory {
 
 func (m *Memory) pageFor(addr uint64) *page {
 	pn := addr / PageSize
+	w := pn % pageCacheWays
+	if m.cpn[w] == pn+1 {
+		return m.cp[w]
+	}
 	p := m.pages[pn]
 	if p == nil {
 		p = &page{}
 		m.pages[pn] = p
 	}
+	m.cpn[w], m.cp[w] = pn+1, p
 	return p
 }
 

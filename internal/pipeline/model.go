@@ -459,5 +459,9 @@ func (m *Model) InvalidateMeta(dst isa.Reg) {
 // running cycle counter, used by the sampling methodology).
 func (m *Model) Cycles() int64 { return m.lastRetire }
 
+// Uops returns the retired-µop counter without materializing a full
+// Stats snapshot (the sampler reads it at every phase edge).
+func (m *Model) Uops() uint64 { return m.stats.Uops }
+
 // Clock returns the configured clock in GHz (for ns conversions).
 func (m *Model) Clock() float64 { return m.cfg.ClockGHz }

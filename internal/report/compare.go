@@ -37,9 +37,26 @@ type CellDelta struct {
 	Regressed            bool
 }
 
+// normFidelity maps a cell or report fidelity to its comparison form:
+// the empty string (pre-fidelity documents) means exact.
+func normFidelity(f string) string {
+	if f == "" {
+		return "exact"
+	}
+	return f
+}
+
 // Compare diffs current against baseline. Only entries present on
-// both sides are compared; one-sided entries become Notes.
-func Compare(baseline, current *Report, thresholdPct float64) *Comparison {
+// both sides are compared; one-sided entries become Notes. Mixed-
+// fidelity comparisons are refused with an error rather than noted:
+// an extrapolated cycle count diffed against an exact one produces a
+// delta that is all methodology and no regression, so such a gate
+// would be meaningless at any threshold.
+func Compare(baseline, current *Report, thresholdPct float64) (*Comparison, error) {
+	if bf, cf := normFidelity(baseline.Fidelity), normFidelity(current.Fidelity); bf != cf {
+		return nil, fmt.Errorf(
+			"report: refusing to compare reports of different fidelities (baseline %s vs current %s)", bf, cf)
+	}
 	c := &Comparison{ThresholdPct: thresholdPct}
 	if baseline.Scale != current.Scale {
 		c.Notes = append(c.Notes, fmt.Sprintf(
@@ -80,18 +97,32 @@ func Compare(baseline, current *Report, thresholdPct float64) *Comparison {
 		}
 	}
 
-	type cellKey struct{ w, cfg string }
+	// Cells match on (workload, config, fidelity). A cell present on
+	// both sides but only at different fidelities is the mixed-fidelity
+	// case Compare refuses.
+	type cellKey struct{ w, cfg, fid string }
 	baseCells := make(map[cellKey]Cell, len(baseline.Cells))
+	baseFid := make(map[[2]string]string, len(baseline.Cells))
 	for _, cell := range baseline.Cells {
-		baseCells[cellKey{cell.Workload, cell.Config}] = cell
+		baseCells[cellKey{cell.Workload, cell.Config, normFidelity(cell.Fidelity)}] = cell
+		baseFid[[2]string{cell.Workload, cell.Config}] = normFidelity(cell.Fidelity)
 	}
 	seenCells := make(map[cellKey]bool)
 	for _, cell := range current.Cells {
-		k := cellKey{cell.Workload, cell.Config}
+		k := cellKey{cell.Workload, cell.Config, normFidelity(cell.Fidelity)}
 		seenCells[k] = true
 		old, ok := baseCells[k]
 		if !ok {
+			if bf, there := baseFid[[2]string{cell.Workload, cell.Config}]; there && bf != k.fid {
+				return nil, fmt.Errorf(
+					"report: cell %s/%s: refusing to compare fidelity %s against baseline fidelity %s",
+					cell.Workload, cell.Config, k.fid, bf)
+			}
 			c.Notes = append(c.Notes, fmt.Sprintf("cell %s/%s: not in baseline", cell.Workload, cell.Config))
+			continue
+		}
+		if cell.Partial || old.Partial {
+			c.Notes = append(c.Notes, fmt.Sprintf("cell %s/%s: partial on one side, not compared", cell.Workload, cell.Config))
 			continue
 		}
 		var pct float64
@@ -106,11 +137,11 @@ func Compare(baseline, current *Report, thresholdPct float64) *Comparison {
 		})
 	}
 	for _, cell := range baseline.Cells {
-		if !seenCells[cellKey{cell.Workload, cell.Config}] {
+		if !seenCells[cellKey{cell.Workload, cell.Config, normFidelity(cell.Fidelity)}] {
 			c.Notes = append(c.Notes, fmt.Sprintf("cell %s/%s: in baseline but not in this run", cell.Workload, cell.Config))
 		}
 	}
-	return c
+	return c, nil
 }
 
 // Regressed reports whether any compared entry exceeded the threshold.

@@ -31,9 +31,14 @@ const (
 
 // Report is the top-level document.
 type Report struct {
-	Schema    string   `json:"schema"`
-	Version   int      `json:"version"`
-	Scale     int      `json:"scale"`
+	Schema  string `json:"schema"`
+	Version int    `json:"version"`
+	Scale   int    `json:"scale"`
+	// Fidelity is the run's default timing methodology ("exact",
+	// "sampled", "memoized"; empty in pre-fidelity documents means
+	// exact). Individual cells carry their own fidelity — a document
+	// can mix them (the fidelity-drift experiment does).
+	Fidelity  string   `json:"fidelity,omitempty"`
 	Workloads []string `json:"workloads"`
 	// Cells holds one record per simulated (workload, configuration)
 	// pair, sorted by workload then configuration.
@@ -43,6 +48,10 @@ type Report struct {
 	Figures []Figure `json:"figures,omitempty"`
 	// Juliet summarizes the Section 9.2 security suite when it ran.
 	Juliet *Juliet `json:"juliet,omitempty"`
+	// Drift holds the fidelity-drift experiment's records when it ran:
+	// per (fidelity, configuration), the approximate geomean overhead
+	// against the exact one, and the measured wall-clock speedup.
+	Drift []Drift `json:"drift,omitempty"`
 	// Partial marks a document flushed by an interrupted run (SIGINT
 	// mid-sweep): it holds every cell that completed, but absent cells
 	// are unfinished work, not zero — do not gate regressions on it.
@@ -53,13 +62,34 @@ type Report struct {
 type Cell struct {
 	Workload string `json:"workload"`
 	Config   string `json:"config"`
+	// Fidelity is the timing methodology that produced this cell
+	// (empty in pre-fidelity documents means exact). Cells of
+	// different fidelities are never comparable: Compare refuses to
+	// diff them.
+	Fidelity string `json:"fidelity,omitempty"`
+	// Partial marks a cell whose simulation was interrupted; its
+	// numbers cover only the instructions executed before the stop and
+	// must not be gated on.
+	Partial bool `json:"partial,omitempty"`
 
-	// Cycle counts. The four breakdown buckets sum to Cycles.
+	// Cycle counts. The four breakdown buckets sum to Cycles. At the
+	// sampled fidelity Cycles is the whole-program extrapolation from
+	// the sample windows (and the buckets are scaled to match); at
+	// exact and memoized fidelities it is the measured count.
 	Cycles         int64 `json:"cycles"`
 	BaseCycles     int64 `json:"base_cycles"`
 	CheckCycles    int64 `json:"check_cycles"`
 	LockMissCycles int64 `json:"lock_miss_cycles"`
 	MetaCycles     int64 `json:"meta_cycles"`
+
+	// SampledInsts is how many instructions landed inside measured
+	// sample windows (sampled fidelity only; zero otherwise).
+	SampledInsts uint64 `json:"sampled_insts,omitempty"`
+	// DriftVsExactPct is the signed percentage by which this cell's
+	// cycle count strays from its exact counterpart, filled only when
+	// the same document holds an exact cell for the same (workload,
+	// configuration).
+	DriftVsExactPct float64 `json:"drift_vs_exact_pct,omitempty"`
 
 	Insts        uint64  `json:"insts"`
 	Uops         uint64  `json:"uops"`
@@ -101,6 +131,24 @@ type Figure struct {
 type Geomean struct {
 	Config      string  `json:"config"`
 	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// Drift is one fidelity-drift measurement: how far an approximate
+// fidelity's geomean overhead strays from the exact one for a
+// configuration, and how much faster the approximate sweep ran.
+type Drift struct {
+	Fidelity string `json:"fidelity"`
+	Config   string `json:"config"`
+	// ExactPct / ApproxPct are the geomean overhead percentages at the
+	// exact and the approximate fidelity; DriftPP is their signed
+	// difference in percentage points.
+	ExactPct  float64 `json:"exact_pct"`
+	ApproxPct float64 `json:"approx_pct"`
+	DriftPP   float64 `json:"drift_pp"`
+	// SpeedupX is the wall-clock speedup of the approximate fidelity's
+	// whole sweep over the exact one (shared per fidelity, repeated on
+	// each of its rows).
+	SpeedupX float64 `json:"speedup_x"`
 }
 
 // Juliet is the security-suite summary record.
@@ -166,6 +214,10 @@ type BenchReport struct {
 	Exp     string `json:"exp"`
 	Scale   int    `json:"scale"`
 	Jobs    int    `json:"jobs"`
+	// Fidelity is the timing fidelity the run used (empty = exact), so
+	// a sampled timing record is never mistaken for an exact one when
+	// wall-clocks are compared.
+	Fidelity string `json:"fidelity,omitempty"`
 	// Workloads is the -workloads subset (empty = all).
 	Workloads []string `json:"workloads,omitempty"`
 

@@ -89,11 +89,22 @@ func TestReadFileRejectsBadDocuments(t *testing.T) {
 	}
 }
 
+// mustCompare is Compare for the tests where no fidelity mismatch is
+// in play, so the error return is noise.
+func mustCompare(t *testing.T, baseline, current *Report, thresholdPct float64) *Comparison {
+	t.Helper()
+	c, err := Compare(baseline, current, thresholdPct)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	return c
+}
+
 // TestCompareIdentical: a report diffed against itself has zero
 // deltas and does not regress.
 func TestCompareIdentical(t *testing.T) {
 	r := sampleReport()
-	c := Compare(r, r, 1.0)
+	c := mustCompare(t, r, r, 1.0)
 	if c.Regressed() {
 		t.Fatalf("identical reports regressed: %s", c)
 	}
@@ -126,17 +137,17 @@ func TestCompareRegression(t *testing.T) {
 
 	// Geomean up by 0.5 pp: inside a 1.0 threshold, outside 0.1.
 	cur.Figures[0].Geomeans[1].OverheadPct += 0.5
-	if c := Compare(base, cur, 1.0); c.Regressed() {
+	if c := mustCompare(t, base, cur, 1.0); c.Regressed() {
 		t.Fatalf("0.5 pp inside threshold 1.0 must pass: %s", c)
 	}
-	if c := Compare(base, cur, 0.1); !c.Regressed() {
+	if c := mustCompare(t, base, cur, 0.1); !c.Regressed() {
 		t.Fatal("0.5 pp past threshold 0.1 must regress")
 	}
 
 	// Cell cycles up 10%: regression at threshold 1.0.
 	cur2 := sampleReport()
 	cur2.Cells[1].Cycles = 1320
-	c := Compare(base, cur2, 1.0)
+	c := mustCompare(t, base, cur2, 1.0)
 	if !c.Regressed() {
 		t.Fatal("10% cycle growth must regress at threshold 1.0")
 	}
@@ -148,8 +159,60 @@ func TestCompareRegression(t *testing.T) {
 	cur3 := sampleReport()
 	cur3.Cells[1].Cycles = 600
 	cur3.Figures[0].Geomeans[0].OverheadPct = 1.0
-	if c := Compare(base, cur3, 1.0); c.Regressed() {
+	if c := mustCompare(t, base, cur3, 1.0); c.Regressed() {
 		t.Fatalf("improvement flagged as regression: %s", c)
+	}
+}
+
+// TestCompareRefusesMixedFidelity: an extrapolated cycle count diffed
+// against an exact one is methodology, not regression — Compare must
+// error instead of producing a threshold-gateable delta. The empty
+// fidelity of pre-fidelity documents means exact and stays comparable.
+func TestCompareRefusesMixedFidelity(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	cur.Fidelity = "sampled"
+	for i := range cur.Cells {
+		cur.Cells[i].Fidelity = "sampled"
+	}
+	if _, err := Compare(base, cur, 1.0); err == nil ||
+		!strings.Contains(err.Error(), "fidelit") {
+		t.Fatalf("sampled vs exact documents must be refused, got %v", err)
+	}
+
+	// Same top-level fidelity but a cell pair of different fidelities:
+	// refused at the cell level.
+	cur2 := sampleReport()
+	cur2.Cells[1].Fidelity = "memoized"
+	if _, err := Compare(base, cur2, 1.0); err == nil ||
+		!strings.Contains(err.Error(), "mcf/isa") {
+		t.Fatalf("mixed-fidelity cell pair must be refused, got %v", err)
+	}
+
+	// Explicit "exact" against the empty legacy fidelity compares fine.
+	cur3 := sampleReport()
+	cur3.Fidelity = "exact"
+	for i := range cur3.Cells {
+		cur3.Cells[i].Fidelity = "exact"
+	}
+	if c := mustCompare(t, base, cur3, 1.0); c.Regressed() || len(c.Cells) != 2 {
+		t.Fatalf("legacy-vs-explicit exact must compare cleanly: %s", c)
+	}
+}
+
+// TestCompareSkipsPartialCells: an interrupted cell's numbers are not
+// a measurement; the pair becomes a note instead of a delta.
+func TestCompareSkipsPartialCells(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	cur.Cells[1].Partial = true
+	cur.Cells[1].Cycles = 1 // wildly off, but partial
+	c := mustCompare(t, base, cur, 1.0)
+	if c.Regressed() {
+		t.Fatalf("partial cell must not be gated: %s", c)
+	}
+	if joined := strings.Join(c.Notes, "\n"); !strings.Contains(joined, "partial") {
+		t.Errorf("notes %q missing partial skip", joined)
 	}
 }
 
@@ -162,7 +225,7 @@ func TestCompareStructuralNotes(t *testing.T) {
 	cur.Figures = append(cur.Figures, Figure{Name: "fig9", Geomeans: []Geomean{{Config: "isa", OverheadPct: 1}}})
 	cur.Scale = 2
 
-	c := Compare(base, cur, 1.0)
+	c := mustCompare(t, base, cur, 1.0)
 	if c.Regressed() {
 		t.Fatalf("structural differences must not regress: %s", c)
 	}

@@ -42,6 +42,7 @@ import (
 	"watchdog/internal/experiments"
 	"watchdog/internal/report"
 	"watchdog/internal/security"
+	"watchdog/internal/sim"
 	"watchdog/internal/stats"
 	"watchdog/internal/workload"
 )
@@ -96,6 +97,11 @@ type SimRequest struct {
 	// Scale is the workload scale factor (default 1, capped by the
 	// server's MaxScale).
 	Scale int `json:"scale,omitempty"`
+	// Fidelity selects the timing methodology (exact|sampled|memoized;
+	// empty = exact, so old clients keep their meaning). It is a flight
+	// and runner dimension: cells of different fidelities never share
+	// a computation.
+	Fidelity string `json:"fidelity,omitempty"`
 	// Overhead additionally runs the workload's baseline cell so the
 	// response carries the slowdown ratio.
 	Overhead bool `json:"overhead,omitempty"`
@@ -170,6 +176,13 @@ type HarnessMetrics struct {
 	CacheHitRatio float64 `json:"cache_hit_ratio"`
 }
 
+// runnerKey identifies one shared runner: requests at the same scale
+// but different fidelities get different runners.
+type runnerKey struct {
+	scale int
+	fid   sim.Fidelity
+}
+
 // flight is one in-flight (or completed) computation keyed by the
 // request tuple. The creator computes, fills status/body and closes
 // done; everyone else waits on done or their own context. Failed
@@ -203,7 +216,7 @@ type Server struct {
 	forceStop context.CancelFunc
 
 	mu      sync.Mutex
-	runners map[int]*experiments.Runner
+	runners map[runnerKey]*experiments.Runner
 	flights map[string]*flight
 
 	simMet    endpointStats
@@ -226,7 +239,7 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		start:   time.Now(),
 		sem:     make(chan struct{}, cfg.MaxWorkers),
-		runners: make(map[int]*experiments.Runner),
+		runners: make(map[runnerKey]*experiments.Runner),
 		flights: make(map[string]*flight),
 	}
 	s.forceCtx, s.forceStop = context.WithCancel(context.Background())
@@ -357,10 +370,17 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) int {
 		return writeError(w, http.StatusBadRequest,
 			fmt.Sprintf("scale %d out of range [1, %d]", req.Scale, s.cfg.MaxScale))
 	}
+	fid, err := sim.ParseFidelity(req.Fidelity)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
 
-	key := fmt.Sprintf("sim/%s/%s/%d/%t", req.Workload, req.Config, req.Scale, req.Overhead)
+	// Fidelity is a flight dimension: an exact and a sampled request
+	// for the same cell are different computations and must not
+	// coalesce onto each other.
+	key := fmt.Sprintf("sim/%s/%s/%d/%s/%t", req.Workload, req.Config, req.Scale, fid, req.Overhead)
 	return s.flightDo(w, r, key, req.TimeoutMS, func(ctx context.Context) (int, []byte) {
-		rn, err := s.runner(req.Scale)
+		rn, err := s.runner(req.Scale, fid)
 		if err != nil {
 			return http.StatusInternalServerError, errorBody(err.Error())
 		}
@@ -527,19 +547,24 @@ func (s *Server) claimFlight(w http.ResponseWriter, key string) (*flight, bool, 
 	return f, true, 0
 }
 
-// runner returns the shared runner for a scale, creating it on first
-// use. All requests at a scale share one runner, so the serving layer
-// inherits its once-caches.
-func (s *Server) runner(scale int) (*experiments.Runner, error) {
+// runner returns the shared runner for a (scale, fidelity), creating
+// it on first use. All requests at a (scale, fidelity) share one
+// runner, so the serving layer inherits its once-caches. The runner's
+// own result cache also keys on fidelity, but separate runners keep
+// the timing counters (and any future per-runner tuning) per
+// methodology.
+func (s *Server) runner(scale int, fid sim.Fidelity) (*experiments.Runner, error) {
+	key := runnerKey{scale: scale, fid: fid.OrExact()}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	r, ok := s.runners[scale]
+	r, ok := s.runners[key]
 	if !ok {
 		var err error
 		if r, err = experiments.NewRunner(scale); err != nil {
 			return nil, err
 		}
-		s.runners[scale] = r
+		r.Fidelity = fid
+		s.runners[key] = r
 	}
 	return r, nil
 }

@@ -268,6 +268,55 @@ func TestSimValidation(t *testing.T) {
 	}
 }
 
+// TestSimFidelity: fidelity is part of the flight identity — the same
+// (workload, config) at a different fidelity is a new simulation, not
+// a cache replay — and an unknown fidelity is rejected up front.
+func TestSimFidelity(t *testing.T) {
+	_, ts := testServer(t, Config{MaxWorkers: 2})
+
+	resp, body := postJSON(t, ts.URL+"/v1/sim",
+		SimRequest{Workload: "mcf", Config: "isa", Fidelity: "bogus"})
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "fidelity") {
+		t.Fatalf("bogus fidelity: status %d, body %s", resp.StatusCode, body)
+	}
+
+	exact := SimRequest{Workload: "mcf", Config: "isa"}
+	sampled := SimRequest{Workload: "mcf", Config: "isa", Fidelity: "sampled"}
+	var cells [2]SimResponse
+	for i, req := range []SimRequest{exact, sampled} {
+		resp, body := postJSON(t, ts.URL+"/v1/sim", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d, body %s", i, resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &cells[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := getMetrics(t, ts.URL); m.Harness.Sims != 2 {
+		t.Fatalf("exact + sampled ran %d sims, want 2 (distinct flights)", m.Harness.Sims)
+	}
+	if got := cells[0].Cell.Fidelity; got != "exact" {
+		t.Errorf("exact cell labeled %q", got)
+	}
+	if got := cells[1].Cell.Fidelity; got != "sampled" {
+		t.Errorf("sampled cell labeled %q", got)
+	}
+	if cells[1].Cell.SampledInsts == 0 || cells[1].Cell.SampledInsts >= cells[1].Cell.Insts {
+		t.Errorf("sampled cell measured %d of %d insts, want a strict subset",
+			cells[1].Cell.SampledInsts, cells[1].Cell.Insts)
+	}
+
+	// Replaying the sampled request coalesces onto its completed
+	// flight: still two simulations total.
+	resp, body = postJSON(t, ts.URL+"/v1/sim", sampled)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replay: status %d, body %s", resp.StatusCode, body)
+	}
+	if m := getMetrics(t, ts.URL); m.Harness.Sims != 2 {
+		t.Errorf("sampled replay ran a new simulation: sims = %d", m.Harness.Sims)
+	}
+}
+
 // TestJulietEndpoint: the security endpoint returns the standalone
 // juliet document, byte-compatible with watchdog-juliet -json.
 func TestJulietEndpoint(t *testing.T) {

@@ -49,8 +49,13 @@ type Config struct {
 	// shadow-traffic events (timeline export, flight recorder).
 	Sink *trace.Sink
 	// Sampling, when non-nil, enables the paper's periodic-sampling
-	// methodology (Section 9.1).
+	// methodology (Section 9.1). With Fidelity unset this is honored
+	// as-is (pre-fidelity behavior); with FidelitySampled it overrides
+	// the default sampling parameters.
 	Sampling *machine.Sampling
+	// Fidelity selects the timing methodology (exact when empty; see
+	// the Fidelity type). Functional-only runs ignore it.
+	Fidelity Fidelity
 }
 
 // Default returns the paper's primary configuration with timing.
@@ -115,8 +120,8 @@ func RunCtx(ctx context.Context, prog *asm.Program, cfg Config) (*machine.Result
 			model.SetSink(sink)
 		}
 	}
-	if cfg.Sampling != nil {
-		m.SetSampling(*cfg.Sampling)
+	if err := applyFidelity(m, &cfg); err != nil {
+		return nil, err
 	}
 	if cfg.InstLimit != 0 {
 		m.InstLimit = cfg.InstLimit
