@@ -11,6 +11,12 @@
 //	watchdog-bench -baseline old.json  # diff against a previous report
 //	watchdog-bench -exp fig7 -bench-out BENCH_fig7.json   # harness timing record
 //	watchdog-bench -exp fig7 -cpuprofile cpu.pprof        # profile the harness
+//	watchdog-bench -exp fig7 -workers :8081,:8082         # shard cells across watchdog-serve workers
+//
+// With -workers the cell simulations run on watchdog-serve processes
+// (the /v1/sim wire format) instead of in-process: the coordinator
+// shards cells across the fleet with hedged retries and health-based
+// ejection, and the output stays byte-identical to a local run.
 //
 // SIGINT/SIGTERM cancel the sweep cooperatively — mid-simulation, not
 // just between cells. An interrupted run still flushes its partial
@@ -32,6 +38,7 @@ import (
 	"time"
 
 	"watchdog/internal/experiments"
+	"watchdog/internal/fabric"
 	"watchdog/internal/report"
 	"watchdog/internal/security"
 	"watchdog/internal/sim"
@@ -46,6 +53,16 @@ var knownExps = []string{
 	"all", "table1", "table2", "fig5", "fig7", "fig8", "fig9", "fig10",
 	"fig11", "ideal", "ablations", "locksweep", "tagsweep", "juliet",
 	"fidelity-drift",
+}
+
+// remotableExps is the -workers vocabulary: the experiments whose
+// every cell is expressible as a /v1/sim request (a standard
+// configuration at the run's scale and fidelity). The others either
+// sweep non-standard configurations (locksweep, tagsweep), run the
+// security suite (juliet), or compose several of these (all,
+// fidelity-drift), so they stay local-only.
+var remotableExps = []string{
+	"fig5", "fig7", "fig8", "fig9", "fig10", "fig11", "ideal", "ablations",
 }
 
 func main() {
@@ -80,6 +97,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		sampleFF  = fs.Uint64("sample-ff", 0, "sampled fidelity: fast-forward instructions per period (0 = paper default)")
 		sampleWU  = fs.Uint64("sample-warmup", 0, "sampled fidelity: warmup instructions per period (0 = paper default)")
 		sampleWin = fs.Uint64("sample", 0, "sampled fidelity: measured instructions per period (0 = paper default)")
+		workers   = fs.String("workers", "", "comma-separated watchdog-serve workers (host:port,...): shard cell simulations across them instead of simulating locally")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -107,6 +125,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
+	workerAddrs, err := workerList(*workers)
+	if err != nil {
+		return fail(err)
+	}
+	if len(workerAddrs) > 0 {
+		if !remotableExp(*exp) {
+			return fail(fmt.Errorf("-exp %s cannot run with -workers; distributable experiments: %s",
+				*exp, strings.Join(remotableExps, ", ")))
+		}
+		if sampling != nil {
+			return fail(fmt.Errorf("-sample-ff/-sample-warmup/-sample cannot run with -workers: sampling overrides are not part of the wire format, so workers would simulate different cells"))
+		}
+	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
@@ -128,6 +159,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	r.Jobs = *jobs
 	r.Fidelity = fid
 	r.Sampling = sampling
+	var fab *fabric.Coordinator
+	if len(workerAddrs) > 0 {
+		fab, err = fabric.New(workerAddrs, fabric.Options{Scale: *scale})
+		if err != nil {
+			return fail(err)
+		}
+		defer fab.Close()
+		// The runner's fan-out, caches and workload-order merge are
+		// unchanged; only the uncached-cell computation is replaced by
+		// the fabric, so the rendered figures are byte-identical to a
+		// local run.
+		r.Remote = fab
+	}
 	// The signal context rides the runner: every sweep below cancels
 	// cooperatively on SIGINT/SIGTERM, mid-simulation.
 	r.Ctx = ctx
@@ -367,6 +411,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			Experiments: expTimes,
 			Partial:     partial,
 		}
+		if fab != nil {
+			fs := fab.Stats()
+			rec.Fabric = &fs
+		}
 		if err := report.WriteBenchFile(*benchOut, rec); err != nil {
 			return fail(err)
 		}
@@ -380,6 +428,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *timing {
 		fmt.Fprintf(stderr, "watchdog-bench: %s (-j %d)\n", r.Timing.String(), *jobs)
+		if fab != nil {
+			fs := fab.Stats()
+			fmt.Fprintf(stderr, "watchdog-bench: fabric: %d cells sent, %d hedged, %d retried, %d cache hits, %d ejections\n",
+				fs.CellsSent, fs.Hedged, fs.Retried, fs.CacheHits, fs.Ejections)
+			for _, w := range fs.Workers {
+				state := "alive"
+				if !w.Alive {
+					state = "dead"
+				}
+				fmt.Fprintf(stderr, "watchdog-bench: fabric worker %s: %s, %d requests, %d errors, p50 %.1fms, p99 %.1fms\n",
+					w.Addr, state, w.Requests, w.Errors, w.P50Milli, w.P99Milli)
+			}
+		}
 	}
 	if partial {
 		return 1
@@ -406,6 +467,39 @@ func knownExp(name string) bool {
 		}
 	}
 	return false
+}
+
+func remotableExp(name string) bool {
+	for _, k := range remotableExps {
+		if k == name {
+			return true
+		}
+	}
+	return false
+}
+
+// workerList parses the -workers flag: a comma-separated address
+// list, each normalized eagerly (so a malformed address fails the run
+// before any sweep starts, not mid-sweep).
+func workerList(list string) ([]string, error) {
+	if strings.TrimSpace(list) == "" {
+		return nil, nil
+	}
+	var addrs []string
+	for _, a := range strings.Split(list, ",") {
+		if strings.TrimSpace(a) == "" {
+			continue
+		}
+		n, err := fabric.NormalizeAddr(a)
+		if err != nil {
+			return nil, fmt.Errorf("-workers: %w", err)
+		}
+		addrs = append(addrs, n)
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("-workers %q selects no workers", list)
+	}
+	return addrs, nil
 }
 
 // workloadSubset parses the -workloads flag and validates every name

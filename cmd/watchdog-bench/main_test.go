@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"io"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -11,6 +12,7 @@ import (
 	"testing"
 
 	"watchdog/internal/report"
+	"watchdog/internal/serve"
 )
 
 // TestUnknownExpRejected: a bad -exp must exit non-zero and name the
@@ -429,5 +431,88 @@ func TestInterruptStopsCPUProfile(t *testing.T) {
 	}
 	if fi.Size() == 0 {
 		t.Error("cpu profile is empty: StopCPUProfile did not run on the interrupt path")
+	}
+}
+
+// TestWorkersFlagValidation: -workers is validated eagerly — bad
+// addresses, non-distributable experiments and sampling overrides all
+// fail before any sweep starts.
+func TestWorkersFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-workers", "ftp://h:1", "-exp", "fig7"}, "scheme"},
+		{[]string{"-workers", " , ", "-exp", "fig7"}, "selects no workers"},
+		{[]string{"-workers", "h:1", "-exp", "juliet"}, "cannot run with -workers"},
+		{[]string{"-workers", "h:1", "-exp", "all"}, "cannot run with -workers"},
+		{[]string{"-workers", "h:1", "-exp", "locksweep"}, "cannot run with -workers"},
+		{[]string{"-workers", "h:1", "-exp", "fig7", "-fidelity", "sampled", "-sample", "512"}, "sampling overrides"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(context.Background(), tc.args, &stdout, &stderr); code == 0 {
+			t.Errorf("run(%v) = 0, want non-zero", tc.args)
+		}
+		if !strings.Contains(stderr.String(), tc.want) {
+			t.Errorf("run(%v) stderr %q, want mention of %q", tc.args, stderr.String(), tc.want)
+		}
+	}
+}
+
+// TestWorkersEndToEnd: a distributed fig7 over two in-process workers
+// renders byte-identical stdout to the local run, and the timing
+// record carries the fabric counters.
+func TestWorkersEndToEnd(t *testing.T) {
+	w1 := httptest.NewServer(serve.New(serve.Config{MaxWorkers: 4}).Handler())
+	w2 := httptest.NewServer(serve.New(serve.Config{MaxWorkers: 4}).Handler())
+	defer w1.Close()
+	defer w2.Close()
+
+	base := []string{"-exp", "fig7", "-workloads", "lbm,mcf"}
+	var localOut, localErr bytes.Buffer
+	if code := run(context.Background(), base, &localOut, &localErr); code != 0 {
+		t.Fatalf("local run failed: %s", localErr.String())
+	}
+
+	benchOut := filepath.Join(t.TempDir(), "bench.json")
+	args := append(append([]string{}, base...),
+		"-workers", w1.URL+","+w2.URL, "-bench-out", benchOut, "-stats")
+	var distOut, distErr bytes.Buffer
+	if code := run(context.Background(), args, &distOut, &distErr); code != 0 {
+		t.Fatalf("distributed run failed: %s", distErr.String())
+	}
+	if distOut.String() != localOut.String() {
+		t.Errorf("distributed stdout differs from local:\n%s\nvs\n%s", distOut.String(), localOut.String())
+	}
+
+	rec, err := report.ReadBenchFile(benchOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Fabric == nil {
+		t.Fatal("timing record has no fabric counters")
+	}
+	if rec.Fabric.CellsSent < 10 {
+		t.Errorf("CellsSent = %d, want >= 10 (2 workloads x 5 cells)", rec.Fabric.CellsSent)
+	}
+	if len(rec.Fabric.Workers) != 2 {
+		t.Errorf("workers in record: %d, want 2", len(rec.Fabric.Workers))
+	}
+	if !strings.Contains(distErr.String(), "fabric:") {
+		t.Errorf("-stats did not print fabric counters: %s", distErr.String())
+	}
+
+	// The local timing record must NOT carry fabric counters.
+	localBench := filepath.Join(t.TempDir(), "local.json")
+	var o, e bytes.Buffer
+	if code := run(context.Background(), append(append([]string{}, base...), "-bench-out", localBench), &o, &e); code != 0 {
+		t.Fatalf("local bench-out run failed: %s", e.String())
+	}
+	lrec, err := report.ReadBenchFile(localBench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lrec.Fabric != nil {
+		t.Error("local run's timing record carries fabric counters")
 	}
 }

@@ -21,6 +21,11 @@
 // then reports how many simulations the server actually ran (one).
 //
 //	watchdog-serve -load 32 -c 8 -addr localhost:8080
+//
+// A fleet of these servers is also the worker pool of the distributed
+// sweep fabric: `watchdog-bench -workers host:port,...` shards a
+// figure sweep's cells across them over the same /v1/sim format,
+// byte-identical to a local run (see DESIGN.md §13).
 package main
 
 import (

@@ -17,7 +17,10 @@ import (
 
 	"watchdog/internal/asm"
 	"watchdog/internal/core"
+	"watchdog/internal/isa"
 	"watchdog/internal/machine"
+	"watchdog/internal/mem"
+	"watchdog/internal/report"
 	"watchdog/internal/rt"
 	"watchdog/internal/sim"
 	"watchdog/internal/stats"
@@ -125,9 +128,30 @@ type Runner struct {
 	// passes a per-request context to the *Ctx variants instead.
 	Ctx context.Context
 
+	// Remote, when non-nil, replaces local simulation entirely: every
+	// uncached cell is fetched through it (the distributed sweep
+	// fabric) instead of being simulated in-process. The runner's
+	// caches, fan-out and workload-order merge are unchanged, so a
+	// remote sweep assembles figures through exactly the code path a
+	// local one does — byte-identical output, because the workers run
+	// the same deterministic simulations. Remote cells are kept
+	// verbatim for Report (see resultFromCell for what the figure
+	// assembly reads).
+	Remote RemoteCellRunner
+
 	mu       sync.Mutex
 	profiles map[string]*profileEntry
 	results  map[string]*resultEntry
+}
+
+// RemoteCellRunner fetches one simulated cell from somewhere other
+// than the local simulator — the distributed sweep fabric, which
+// shards cells across watchdog-serve workers. The returned cell is
+// the /v1/sim wire record; overhead asks for the slowdown ratio over
+// the workload's baseline (the runner requests it for every
+// non-baseline cell so remote reports match local ones).
+type RemoteCellRunner interface {
+	RemoteCell(ctx context.Context, workload string, config ConfigName, fid sim.Fidelity, overhead bool) (report.Cell, error)
 }
 
 // resultEntry is one result-cache slot. The creator (the goroutine
@@ -140,6 +164,11 @@ type Runner struct {
 type resultEntry struct {
 	done chan struct{}
 	res  *machine.Result
+	// cell is the wire record a remote fetch produced (nil for local
+	// simulations): Report emits it verbatim so a distributed report
+	// is byte-identical to the local one, while res holds the
+	// reconstruction the figure math reads.
+	cell *report.Cell
 	err  error
 }
 
@@ -305,14 +334,28 @@ func (r *Runner) RunCtx(ctx context.Context, w workload.Workload, name ConfigNam
 // profile cache).
 func (r *Runner) RunFidelityCtx(ctx context.Context, w workload.Workload, name ConfigName, fid sim.Fidelity) (*machine.Result, error) {
 	key := cellKey(w.Name, name, fid)
-	return r.cachedResult(ctx, key, func() (*machine.Result, error) {
-		return r.runUncached(ctx, w, name, fid)
+	return r.cachedResult(ctx, key, func() (*machine.Result, *report.Cell, error) {
+		if r.Remote != nil {
+			// Ask for the overhead ratio on every non-baseline cell so
+			// the worker computes it against its own baseline — the
+			// exact float64 division the local path would perform — and
+			// the verbatim cell matches a local report bit-for-bit.
+			cell, err := r.Remote.RemoteCell(ctx, w.Name, name, fid, name != CfgBaseline)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s under %s (remote): %w", w.Name, name, err)
+			}
+			return resultFromCell(&cell), &cell, nil
+		}
+		res, err := r.runUncached(ctx, w, name, fid)
+		return res, nil, err
 	})
 }
 
 // cachedResult serves key from the result cache, computing it exactly
-// once under concurrent requests (per-key coalescing).
-func (r *Runner) cachedResult(ctx context.Context, key string, compute func() (*machine.Result, error)) (*machine.Result, error) {
+// once under concurrent requests (per-key coalescing). compute returns
+// the result plus, for remote fetches, the verbatim wire cell (nil for
+// local simulations).
+func (r *Runner) cachedResult(ctx context.Context, key string, compute func() (*machine.Result, *report.Cell, error)) (*machine.Result, error) {
 	r.mu.Lock()
 	if r.results == nil {
 		r.results = make(map[string]*resultEntry)
@@ -323,7 +366,7 @@ func (r *Runner) cachedResult(ctx context.Context, key string, compute func() (*
 		r.results[key] = e
 		r.mu.Unlock()
 		start := time.Now()
-		e.res, e.err = compute()
+		e.res, e.cell, e.err = compute()
 		r.Timing.AddSim(time.Since(start))
 		if e.err != nil && Canceled(e.err) {
 			// Don't let a canceled computation poison the cache: the
@@ -353,6 +396,60 @@ func (r *Runner) cachedResult(ctx context.Context, key string, compute func() (*
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+}
+
+// resultFromCell inverts buildCell far enough for the figure assembly:
+// the reconstructed Result reproduces every number the figures and
+// sweeps read (EstimatedCycles, the CPI-stack buckets, µop breakdowns,
+// engine counters, cache counters, the Figure 10 footprint split). The
+// Sampled* counters stay zero on purpose — the wire Cycles value is
+// already the extrapolation at any fidelity, so EstimatedCycles must
+// return it unscaled. Report never re-flattens a reconstruction: the
+// verbatim wire cell is emitted instead (resultEntry.cell), so
+// lossiness here (e.g. the exact per-region footprint spread) cannot
+// leak into a document.
+func resultFromCell(c *report.Cell) *machine.Result {
+	res := &machine.Result{
+		Partial: c.Partial,
+		Insts:   c.Insts,
+		Uops:    c.Uops,
+	}
+	t := &res.Timing
+	t.Cycles = c.Cycles
+	t.BaseCycles = c.BaseCycles
+	t.CheckCycles = c.CheckCycles
+	t.LockMissCycles = c.LockMissCycles
+	t.MetaCycles = c.MetaCycles
+	t.Uops = c.Uops
+	for m := isa.MetaClass(0); m < isa.NumMetaClasses; m++ {
+		t.UopsByMeta[m] = c.UopsByMeta[m.String()]
+	}
+	for op := isa.UopOp(0); op < isa.NumUopOps; op++ {
+		t.UopsByOp[op] = c.UopsByOp[op.String()]
+	}
+	t.Cache.Lock.Accesses = c.LockCacheAccesses
+	t.Cache.Lock.Misses = c.LockCacheMisses
+	t.Cache.L1D.Accesses = c.L1DAccesses
+	t.Cache.L1D.Misses = c.L1DMisses
+	t.Cache.L2.Misses = c.L2Misses
+	t.Cache.L3.Misses = c.L3Misses
+	res.Engine = core.Stats{
+		MemAccesses: c.MemAccesses,
+		PtrOps:      c.PtrLoads + c.PtrStores,
+		PtrLoads:    c.PtrLoads,
+		PtrStores:   c.PtrStores,
+		Checks:      c.Checks,
+	}
+	// The wire carries the footprint pre-split into app/meta totals.
+	// Park them in one representative region per side so splitFootprint
+	// recovers the same four numbers.
+	if c.AppWords|c.AppPages|c.MetaWords|c.MetaPages != 0 {
+		res.Footprint = map[mem.Region]mem.Footprint{
+			mem.RegionHeap:   {Words: c.AppWords, Pages: c.AppPages},
+			mem.RegionShadow: {Words: c.MetaWords, Pages: c.MetaPages},
+		}
+	}
+	return res
 }
 
 // runUncached is the uncached simulation of one cell. The profiling

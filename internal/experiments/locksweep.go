@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"watchdog/internal/machine"
+	"watchdog/internal/report"
 	"watchdog/internal/sim"
 	"watchdog/internal/stats"
 	"watchdog/internal/workload"
@@ -88,27 +89,27 @@ func (r *Runner) LockSweep(sizes []int) (*stats.Table, error) {
 // for concurrent use).
 func (r *Runner) runLockSize(ctx context.Context, w workload.Workload, size int) (*machine.Result, error) {
 	key := fmt.Sprintf("%s/lock%d", w.Name, size)
-	return r.cachedResult(ctx, key, func() (*machine.Result, error) {
+	return r.cachedResult(ctx, key, func() (*machine.Result, *report.Cell, error) {
 		opts := rtOptions(CfgISA)
 		prog, rtEnd, err := workload.BuildProgram(w, opts, r.Scale)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		pkey := fmt.Sprintf("%s/%s/%v", w.Name, opts.Policy, opts.Bounds)
 		prof, err := r.profileFor(ctx, pkey, prog, rtEnd, opts)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		cfg := simConfig(CfgISA, prof)
 		cfg.Hier.Lock.SizeBytes = size
 		cfg.RuntimeEnd = rtEnd
 		res, err := sim.RunCtx(ctx, prog, cfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if res.MemErr != nil || res.Aborted {
-			return nil, fmt.Errorf("%s at lock size %d: violation/abort", w.Name, size)
+			return nil, nil, fmt.Errorf("%s at lock size %d: violation/abort", w.Name, size)
 		}
-		return res, nil
+		return res, nil, nil
 	})
 }

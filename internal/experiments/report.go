@@ -111,7 +111,11 @@ func (r *Runner) Report(figures []string, juliet *security.Summary) (*report.Rep
 	// non-blocking poll of each entry's done channel keeps the
 	// snapshot race-clean even while other requests are in flight).
 	r.mu.Lock()
-	cells := make(map[string]*machine.Result, len(r.results))
+	type snap struct {
+		res  *machine.Result
+		cell *report.Cell
+	}
+	cells := make(map[string]snap, len(r.results))
 	for key, e := range r.results {
 		select {
 		case <-e.done:
@@ -119,7 +123,7 @@ func (r *Runner) Report(figures []string, juliet *security.Summary) (*report.Rep
 			continue
 		}
 		if e.err == nil && e.res != nil {
-			cells[key] = e.res
+			cells[key] = snap{res: e.res, cell: e.cell}
 		}
 	}
 	r.mu.Unlock()
@@ -134,14 +138,21 @@ func (r *Runner) Report(figures []string, juliet *security.Summary) (*report.Rep
 		if !ok {
 			continue
 		}
+		// A remote fetch stored the worker's wire cell: emit it
+		// verbatim, so a distributed report is byte-identical to the
+		// local one (the reconstruction is for figure math only).
+		if s := cells[key]; s.cell != nil {
+			rep.Cells = append(rep.Cells, *s.cell)
+			continue
+		}
 		// The baseline for the overhead ratio is the same workload's
 		// baseline cell at the same fidelity: an extrapolated cycle
 		// count divided by an exact one would be a mixed-fidelity ratio.
 		var base *machine.Result
 		if b, ok := cells[cellKey(wname, CfgBaseline, fid)]; ok && cname != string(CfgBaseline) {
-			base = b
+			base = b.res
 		}
-		rep.Cells = append(rep.Cells, buildCell(wname, cname, fid, cells[key], base))
+		rep.Cells = append(rep.Cells, buildCell(wname, cname, fid, cells[key].res, base))
 	}
 	annotateDrift(rep.Cells)
 
@@ -218,6 +229,7 @@ func buildCell(wname, cname string, fid sim.Fidelity, res, base *machine.Result)
 		L2Misses:          t.Cache.L2.Misses,
 		L3Misses:          t.Cache.L3.Misses,
 	}
+	c.AppWords, c.AppPages, c.MetaWords, c.MetaPages = splitFootprint(res.Footprint)
 	for m := isa.MetaClass(0); m < isa.NumMetaClasses; m++ {
 		if n := t.UopsByMeta[m]; n > 0 {
 			if c.UopsByMeta == nil {

@@ -108,6 +108,16 @@ type Cell struct {
 	PtrStores   uint64 `json:"ptr_stores"`
 	Checks      uint64 `json:"checks"`
 
+	// Memory-footprint accounting (the Figure 10 inputs): words and
+	// 4 KB pages touched, split into application memory (globals, heap,
+	// stack) and metadata memory (shadow space, lock locations). Added
+	// in PR 8 so a wire cell carries everything the figure assembly
+	// needs; absent in older documents.
+	AppWords  uint64 `json:"app_words,omitempty"`
+	AppPages  uint64 `json:"app_pages,omitempty"`
+	MetaWords uint64 `json:"meta_words,omitempty"`
+	MetaPages uint64 `json:"meta_pages,omitempty"`
+
 	// Cache counters.
 	LockCacheAccesses uint64 `json:"lock_cache_accesses"`
 	LockCacheMisses   uint64 `json:"lock_cache_misses"`
@@ -232,6 +242,9 @@ type BenchReport struct {
 	// Experiments breaks the wall time down per rendered experiment,
 	// in execution order.
 	Experiments []BenchExperiment `json:"experiments,omitempty"`
+	// Fabric carries the distributed-sweep counters when the run routed
+	// cells through `-workers` (nil for local runs).
+	Fabric *FabricStats `json:"fabric,omitempty"`
 	// Partial marks a record flushed by an interrupted run; wall and
 	// busy times cover only the work done before the signal.
 	Partial bool `json:"partial,omitempty"`
@@ -241,6 +254,42 @@ type BenchReport struct {
 type BenchExperiment struct {
 	Name      string `json:"name"`
 	WallNanos int64  `json:"wall_nanos"`
+}
+
+// FabricStats is the distributed-sweep coordinator's counter record:
+// what the fabric did to complete a sweep across its workers. It rides
+// the BenchReport and the `-stats` output.
+type FabricStats struct {
+	// CellsSent counts HTTP cell requests issued to workers, hedges
+	// and retries included.
+	CellsSent int64 `json:"cells_sent"`
+	// Hedged counts cells that got a second, racing request after the
+	// hedge delay; Retried counts re-issues after a worker failed.
+	Hedged  int64 `json:"hedged"`
+	Retried int64 `json:"retried"`
+	// CacheHits counts cells answered from the fabric's
+	// content-addressed result cache without any request.
+	CacheHits int64 `json:"cache_hits"`
+	// Ejections counts workers marked dead (connection failures or
+	// failed health probes); a worker can be ejected and readmitted
+	// repeatedly over one sweep.
+	Ejections int64 `json:"ejections"`
+	// Workers is the per-worker request/latency breakdown, in the
+	// configured worker order.
+	Workers []FabricWorker `json:"workers,omitempty"`
+}
+
+// FabricWorker is one worker's slice of the fabric record.
+type FabricWorker struct {
+	Addr  string `json:"addr"`
+	Alive bool   `json:"alive"`
+	// Requests/Errors and the latency percentiles cover the cell
+	// requests this worker actually received (a bounded recent window
+	// for the percentiles).
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	P50Milli float64 `json:"p50_ms"`
+	P99Milli float64 `json:"p99_ms"`
 }
 
 // WriteBenchFile serializes the timing document, stamping schema and

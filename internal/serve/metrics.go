@@ -1,78 +1,17 @@
 package serve
 
 import (
-	"sort"
-	"sync"
-	"time"
+	"watchdog/internal/stats"
 )
 
-// latRing is the per-endpoint latency window behind the /metrics
-// percentiles. A fixed ring keeps the handler allocation-free in
-// steady state and bounds the memory of a long-lived server; the
-// percentiles describe the most recent latRing requests.
-const latRing = 512
-
 // endpointStats accumulates one endpoint's request counters and a
-// ring of recent latencies. observe is called once per request from
-// the handler wrapper; snapshot is called by /metrics.
-type endpointStats struct {
-	mu     sync.Mutex
-	count  int64
-	errs   int64
-	lat    [latRing]int64 // nanoseconds, ring-indexed by count
-	window int            // valid entries in lat (saturates at latRing)
-	next   int            // ring cursor
-}
-
-func (e *endpointStats) observe(d time.Duration, failed bool) {
-	e.mu.Lock()
-	e.count++
-	if failed {
-		e.errs++
-	}
-	e.lat[e.next] = int64(d)
-	e.next = (e.next + 1) % latRing
-	if e.window < latRing {
-		e.window++
-	}
-	e.mu.Unlock()
-}
+// bounded ring of recent latencies; the shared ring/percentile
+// machinery (also used for the sweep fabric's per-worker accounting)
+// lives in stats.LatencyWindow. Observe is called once per request
+// from the handler wrapper; Snapshot is called by /metrics.
+type endpointStats = stats.LatencyWindow
 
 // EndpointMetrics is one endpoint's slice of the /metrics document.
 // Percentiles cover the most recent requests (a bounded window) and
 // are zero until the endpoint has served at least one.
-type EndpointMetrics struct {
-	Requests int64 `json:"requests"`
-	// Errors counts requests answered with a 4xx/5xx status,
-	// including backpressure rejections.
-	Errors   int64   `json:"errors"`
-	P50Milli float64 `json:"p50_ms"`
-	P90Milli float64 `json:"p90_ms"`
-	P99Milli float64 `json:"p99_ms"`
-}
-
-func (e *endpointStats) snapshot() EndpointMetrics {
-	e.mu.Lock()
-	m := EndpointMetrics{Requests: e.count, Errors: e.errs}
-	window := make([]int64, e.window)
-	copy(window, e.lat[:e.window])
-	e.mu.Unlock()
-	if len(window) == 0 {
-		return m
-	}
-	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
-	m.P50Milli = percentileMilli(window, 50)
-	m.P90Milli = percentileMilli(window, 90)
-	m.P99Milli = percentileMilli(window, 99)
-	return m
-}
-
-// percentileMilli reads the p-th percentile from a sorted window of
-// nanosecond latencies, in milliseconds (nearest-rank).
-func percentileMilli(sorted []int64, p int) float64 {
-	idx := (p*len(sorted) + 99) / 100 // ceil(p/100 * n)
-	if idx > 0 {
-		idx--
-	}
-	return float64(sorted[idx]) / float64(time.Millisecond)
-}
+type EndpointMetrics = stats.LatencySnapshot

@@ -18,7 +18,10 @@
 //     without bound. Coalesced waiters do not hold slots.
 //   - Deadlines and drain. Every computation runs under a context
 //     capped by the request's timeout_ms and the server-wide
-//     RequestTimeout; an expired deadline is a 504 and the aborted
+//     RequestTimeout — and detached from its creator's connection, so
+//     a disconnecting client (a canceled CLI, a hedged retry's
+//     abandoned loser) never kills a flight that coalesced waiters are
+//     still blocked on. An expired deadline is a 504 and the aborted
 //     computation is evicted so a retry recomputes. On shutdown the
 //     server stops admitting work (503), lets in-flight requests
 //     finish within DrainTimeout, then force-cancels whatever is
@@ -293,7 +296,7 @@ func (s *Server) timed(met *endpointStats, fn func(http.ResponseWriter, *http.Re
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		status := fn(w, r)
-		met.observe(time.Since(start), status >= 400)
+		met.Observe(time.Since(start), status >= 400)
 	}
 }
 
@@ -323,8 +326,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Coalesced:        s.coalesced.Load(),
 
 		Endpoints: map[string]EndpointMetrics{
-			"sim":    s.simMet.snapshot(),
-			"juliet": s.julietMet.snapshot(),
+			"sim":    s.simMet.Snapshot(),
+			"juliet": s.julietMet.Snapshot(),
 		},
 	}
 	h := &m.Harness
@@ -351,8 +354,8 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) int {
 		return st
 	}
 	var req SimRequest
-	if err := decodeBody(r, &req); err != nil {
-		return writeError(w, http.StatusBadRequest, err.Error())
+	if st, err := decodeBody(r, &req); err != nil {
+		return writeError(w, st, err.Error())
 	}
 	wl, ok := workload.ByName(req.Workload)
 	if !ok {
@@ -374,11 +377,15 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) int {
 	if err != nil {
 		return writeError(w, http.StatusBadRequest, err.Error())
 	}
+	// A baseline cell's overhead ratio is meaningless (it would be 1 by
+	// definition) and the runner never computes it, so the flag is
+	// normalized away: with and without it the request is the same
+	// computation and must share one flight.
+	if req.Config == string(experiments.CfgBaseline) {
+		req.Overhead = false
+	}
 
-	// Fidelity is a flight dimension: an exact and a sampled request
-	// for the same cell are different computations and must not
-	// coalesce onto each other.
-	key := fmt.Sprintf("sim/%s/%s/%d/%s/%t", req.Workload, req.Config, req.Scale, fid, req.Overhead)
+	key := SimFlightKey(req.Workload, req.Config, req.Scale, fid, req.Overhead)
 	return s.flightDo(w, r, key, req.TimeoutMS, func(ctx context.Context) (int, []byte) {
 		rn, err := s.runner(req.Scale, fid)
 		if err != nil {
@@ -407,8 +414,8 @@ func (s *Server) handleJuliet(w http.ResponseWriter, r *http.Request) int {
 		return st
 	}
 	var req JulietRequest
-	if err := decodeBody(r, &req); err != nil {
-		return writeError(w, http.StatusBadRequest, err.Error())
+	if st, err := decodeBody(r, &req); err != nil {
+		return writeError(w, st, err.Error())
 	}
 	if req.Policy == "" {
 		req.Policy = "watchdog"
@@ -427,10 +434,14 @@ func (s *Server) handleJuliet(w http.ResponseWriter, r *http.Request) int {
 		}
 		cfg.TagBits = req.TagBits
 	}
+	// Normalize the tag-width default before the key is built:
+	// juliet/xtag/0 and juliet/xtag/8 are the same computation (the
+	// default width is 8) and must coalesce onto one flight.
+	if cfg.Policy == core.PolicyXTag && req.TagBits == 0 {
+		req.TagBits = core.DefaultTagBits
+	}
 
-	// The tag width is a flight dimension: juliet/xtag/2 and
-	// juliet/xtag/8 are different computations.
-	key := fmt.Sprintf("juliet/%s/%d", req.Policy, req.TagBits)
+	key := JulietFlightKey(req.Policy, req.TagBits)
 	return s.flightDo(w, r, key, req.TimeoutMS, func(ctx context.Context) (int, []byte) {
 		cases := security.Suite()
 		outs, err := security.RunCasesCtx(ctx, cases, cfg, opts, s.cfg.MaxWorkers, &s.julietTiming, nil)
@@ -469,14 +480,18 @@ func (s *Server) flightDo(w http.ResponseWriter, r *http.Request, key string, ti
 		defer func() { <-s.sem }()
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
-		// The deadline clock starts at admission, before the test hook,
-		// so a stalled computation burns its own budget.
-		ctx, cancel := context.WithTimeout(r.Context(), s.timeout(timeoutMS))
+		// The computation is detached from the creator's connection on
+		// purpose: it runs under the server lifecycle (forceCtx, so the
+		// drain deadline still force-cancels it) capped by the resolved
+		// timeout, never under r.Context(). A flight is shared — if the
+		// creating client disconnects, the coalesced waiters still need
+		// the result, and the fabric's hedged retries deliberately
+		// abandon the slower of two identical requests. Waiters race
+		// their own deadlines below; the deadline clock starts at
+		// admission, before the test hook, so a stalled computation
+		// burns its own budget.
+		ctx, cancel := context.WithTimeout(s.forceCtx, s.timeout(timeoutMS))
 		defer cancel()
-		// Link the computation to the drain deadline: when the drain
-		// window expires, forceCtx cancels every in-flight simulation.
-		stop := context.AfterFunc(s.forceCtx, cancel)
-		defer stop()
 		if s.computeStarted != nil {
 			s.computeStarted()
 		}
@@ -594,13 +609,38 @@ func failureStatus(ctx context.Context, err error) (int, []byte) {
 	}
 }
 
-func decodeBody(r *http.Request, v any) error {
+// decodeBody decodes a request body, returning the status to answer
+// with on failure: 413 (naming the limit) when the body overflowed
+// maxBody, 400 for everything else.
+func decodeBody(r *http.Request, v any) (int, error) {
 	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		return fmt.Errorf("bad request body: %w", err)
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds the %d-byte limit", maxBody)
+		}
+		return http.StatusBadRequest, fmt.Errorf("bad request body: %w", err)
 	}
-	return nil
+	return 0, nil
+}
+
+// SimFlightKey is the canonical identity of one /v1/sim computation:
+// the request tuple with every default normalized (fidelity to
+// "exact", overhead dropped on baseline cells), so equivalent requests
+// always share a flight. The sweep fabric reuses it as the body of its
+// content-addressed result-cache key.
+func SimFlightKey(workload, config string, scale int, fid sim.Fidelity, overhead bool) string {
+	return fmt.Sprintf("sim/%s/%s/%d/%s/%t", workload, config, scale, fid.OrExact(), overhead)
+}
+
+// JulietFlightKey is the canonical identity of one /v1/juliet
+// computation. Callers must pass the normalized tag width (the xtag
+// default width, not 0, for a default-width request; 0 for policies
+// without one).
+func JulietFlightKey(policy string, tagBits int) string {
+	return fmt.Sprintf("juliet/%s/%d", policy, tagBits)
 }
 
 func errorBody(msg string) []byte {

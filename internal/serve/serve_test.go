@@ -569,37 +569,6 @@ func TestHealthzAndMetricsShape(t *testing.T) {
 	}
 }
 
-// TestPercentileWindow pins the nearest-rank percentile math.
-func TestPercentileWindow(t *testing.T) {
-	var e endpointStats
-	for i := 1; i <= 100; i++ {
-		e.observe(time.Duration(i)*time.Millisecond, i%10 == 0)
-	}
-	m := e.snapshot()
-	if m.Requests != 100 || m.Errors != 10 {
-		t.Fatalf("counts: %+v", m)
-	}
-	for _, tc := range []struct {
-		p    float64
-		want float64
-	}{{m.P50Milli, 50}, {m.P90Milli, 90}, {m.P99Milli, 99}} {
-		if tc.p != tc.want {
-			t.Errorf("percentile %v, want %v (snapshot %+v)", tc.p, tc.want, m)
-		}
-	}
-	// Overflow the ring: the window must slide, not grow.
-	for i := 0; i < latRing+5; i++ {
-		e.observe(time.Millisecond, false)
-	}
-	m = e.snapshot()
-	if m.Requests != int64(100+latRing+5) {
-		t.Fatalf("requests after overflow: %d", m.Requests)
-	}
-	if m.P99Milli != 1 {
-		t.Errorf("p99 after the window slid: %v, want 1", m.P99Milli)
-	}
-}
-
 // TestTimeoutResolution pins the request/server timeout interaction.
 func TestTimeoutResolution(t *testing.T) {
 	s := New(Config{RequestTimeout: time.Second})
@@ -614,5 +583,161 @@ func TestTimeoutResolution(t *testing.T) {
 		if got := s.timeout(tc.ms); got != tc.want {
 			t.Errorf("timeout(%d) = %v, want %v", tc.ms, got, tc.want)
 		}
+	}
+}
+
+// TestCreatorDisconnectWaitersSurvive is the flight-lifecycle bugfix
+// contract: the computation is detached from the creating client's
+// connection, so when the creator disconnects mid-flight the coalesced
+// waiters still get their 200 from the single shared simulation. (The
+// fabric's hedged retries depend on this too — a canceled hedge loser
+// must not kill the winner's flight.)
+func TestCreatorDisconnectWaitersSurvive(t *testing.T) {
+	s, ts := testServer(t, Config{MaxWorkers: 4})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	s.computeStarted = func() {
+		close(started)
+		<-release
+	}
+
+	body, err := json.Marshal(SimRequest{Workload: "mcf", Config: "conservative"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The creator: a cancellable request that will disconnect while
+	// the computation is stalled in the hook.
+	cctx, cancelCreator := context.WithCancel(context.Background())
+	creatorErr := make(chan error, 1)
+	go func() {
+		req, _ := http.NewRequestWithContext(cctx, http.MethodPost, ts.URL+"/v1/sim", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		creatorErr <- err
+	}()
+	<-started
+
+	// A waiter joins the flight, then the creator disconnects.
+	waiter := make(chan struct {
+		code int
+		body []byte
+	}, 1)
+	go func() {
+		resp, b := postJSON(t, ts.URL+"/v1/sim", SimRequest{Workload: "mcf", Config: "conservative"})
+		waiter <- struct {
+			code int
+			body []byte
+		}{resp.StatusCode, b}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for getMetrics(t, ts.URL).Coalesced < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never joined the flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancelCreator()
+	if err := <-creatorErr; err == nil {
+		t.Fatal("creator request unexpectedly succeeded before release")
+	}
+	// Give the disconnect time to propagate into the server; under the
+	// old (buggy) creator-context linkage this is where the
+	// computation died.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	w := <-waiter
+	if w.code != http.StatusOK {
+		t.Fatalf("waiter after creator disconnect: status %d, body %s", w.code, w.body)
+	}
+	var sr SimResponse
+	if err := json.Unmarshal(w.body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Cell.Workload != "mcf" || sr.Cell.Cycles <= 0 {
+		t.Fatalf("waiter got a bad cell: %+v", sr.Cell)
+	}
+	if m := getMetrics(t, ts.URL); m.Harness.Sims != 1 {
+		t.Errorf("sims = %d, want 1 (the waiter must ride the creator's computation)", m.Harness.Sims)
+	}
+}
+
+// TestNormalizedFlightKeys: requests that differ only in spelled-out
+// defaults share one flight — "" vs "exact" fidelity and a baseline
+// cell with/without the (meaningless) overhead flag for /v1/sim, tag
+// width 0 vs the default 8 for an xtag /v1/juliet run.
+func TestNormalizedFlightKeys(t *testing.T) {
+	_, ts := testServer(t, Config{MaxWorkers: 4})
+
+	pairs := []struct {
+		name string
+		a, b SimRequest
+	}{
+		{"fidelity default", SimRequest{Workload: "mcf", Config: "conservative"},
+			SimRequest{Workload: "mcf", Config: "conservative", Fidelity: "exact"}},
+		{"baseline overhead", SimRequest{Workload: "mcf", Config: "baseline"},
+			SimRequest{Workload: "mcf", Config: "baseline", Overhead: true}},
+	}
+	for _, p := range pairs {
+		before := getMetrics(t, ts.URL).Harness.Sims
+		respA, bodyA := postJSON(t, ts.URL+"/v1/sim", p.a)
+		afterA := getMetrics(t, ts.URL).Harness.Sims
+		respB, bodyB := postJSON(t, ts.URL+"/v1/sim", p.b)
+		afterB := getMetrics(t, ts.URL).Harness.Sims
+		if respA.StatusCode != http.StatusOK || respB.StatusCode != http.StatusOK {
+			t.Fatalf("%s: statuses %d/%d: %s %s", p.name, respA.StatusCode, respB.StatusCode, bodyA, bodyB)
+		}
+		if afterB != afterA {
+			t.Errorf("%s: normalized twin ran %d extra sims, want a shared flight", p.name, afterB-afterA)
+		}
+		if afterA == before {
+			t.Errorf("%s: first request ran no simulation?", p.name)
+		}
+		if !bytes.Equal(bodyA, bodyB) {
+			t.Errorf("%s: normalized twins answered different bodies:\n%s\nvs\n%s", p.name, bodyA, bodyB)
+		}
+	}
+
+	// Juliet: tag_bits 0 means the default width, so it must share the
+	// explicit-default flight.
+	respA, bodyA := postJSON(t, ts.URL+"/v1/juliet", JulietRequest{Policy: "xtag"})
+	simsAfterFirst := getMetrics(t, ts.URL).Harness.Sims
+	respB, bodyB := postJSON(t, ts.URL+"/v1/juliet", JulietRequest{Policy: "xtag", TagBits: 8})
+	simsAfterSecond := getMetrics(t, ts.URL).Harness.Sims
+	if respA.StatusCode != http.StatusOK || respB.StatusCode != http.StatusOK {
+		t.Fatalf("juliet: statuses %d/%d: %s %s", respA.StatusCode, respB.StatusCode, bodyA, bodyB)
+	}
+	if simsAfterSecond != simsAfterFirst {
+		t.Errorf("juliet xtag/0 vs xtag/8 did not share a flight: %d extra sims", simsAfterSecond-simsAfterFirst)
+	}
+	if !bytes.Equal(bodyA, bodyB) {
+		t.Errorf("juliet normalized twins answered different bodies")
+	}
+}
+
+// TestOversizedBody: a body past the read limit answers 413 naming
+// the limit, not a generic 400.
+func TestOversizedBody(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	// Well-formed JSON whose one string value overflows the limit, so
+	// the decoder is still mid-token when the reader cuts it off (raw
+	// garbage would fail as a 400 syntax error before reaching the cap).
+	big := []byte(`{"workload":"` + strings.Repeat("a", maxBody+1) + `"}`)
+	resp, err := http.Post(ts.URL+"/v1/sim", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	out.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body answered %d: %s", resp.StatusCode, out.String())
+	}
+	if !strings.Contains(out.String(), "1048576") {
+		t.Errorf("413 body does not name the limit: %s", out.String())
 	}
 }

@@ -1,0 +1,47 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPercentileWindow pins the nearest-rank percentile math and the
+// bounded-window behavior of LatencyWindow.
+func TestPercentileWindow(t *testing.T) {
+	var e LatencyWindow
+	for i := 1; i <= 100; i++ {
+		e.Observe(time.Duration(i)*time.Millisecond, i%10 == 0)
+	}
+	m := e.Snapshot()
+	if m.Requests != 100 || m.Errors != 10 {
+		t.Fatalf("counts: %+v", m)
+	}
+	for _, tc := range []struct {
+		p    float64
+		want float64
+	}{{m.P50Milli, 50}, {m.P90Milli, 90}, {m.P99Milli, 99}} {
+		if tc.p != tc.want {
+			t.Errorf("percentile %v, want %v (snapshot %+v)", tc.p, tc.want, m)
+		}
+	}
+	// Overflow the ring: the window must slide, not grow.
+	for i := 0; i < latencyRing+5; i++ {
+		e.Observe(time.Millisecond, false)
+	}
+	m = e.Snapshot()
+	if m.Requests != int64(100+latencyRing+5) {
+		t.Fatalf("requests after overflow: %d", m.Requests)
+	}
+	if m.P99Milli != 1 {
+		t.Errorf("p99 after the window slid: %v, want 1", m.P99Milli)
+	}
+}
+
+// TestLatencyWindowEmpty: an empty window reports zero percentiles
+// rather than indexing into garbage.
+func TestLatencyWindowEmpty(t *testing.T) {
+	var e LatencyWindow
+	if m := e.Snapshot(); m != (LatencySnapshot{}) {
+		t.Fatalf("empty snapshot: %+v", m)
+	}
+}
