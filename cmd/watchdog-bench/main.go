@@ -29,6 +29,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -98,6 +101,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		sampleWU  = fs.Uint64("sample-warmup", 0, "sampled fidelity: warmup instructions per period (0 = paper default)")
 		sampleWin = fs.Uint64("sample", 0, "sampled fidelity: measured instructions per period (0 = paper default)")
 		workers   = fs.String("workers", "", "comma-separated watchdog-serve workers (host:port,...): shard cell simulations across them instead of simulating locally")
+
+		metricsAddr = fs.String("metrics-addr", "", "with -workers: serve the coordinator's Prometheus /metrics on this address for the duration of the sweep")
+		logJSON     = fs.Bool("log", false, "emit structured JSON logs (fabric events: hedges, ejections, cell fetches) to stderr")
+		trend       = fs.String("trend", "", "append this run's wall time to a watchdog-trajectory trend file")
+		trendLabel  = fs.String("trend-label", "local", "label stamped on trajectory points appended via -trend")
+		trendGate   = fs.Float64("trend-threshold", 0, "with -trend: exit non-zero if this run's tracked metrics regressed more than this percent against the previous point (0 = append only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -159,9 +168,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	r.Jobs = *jobs
 	r.Fidelity = fid
 	r.Sampling = sampling
+	if *metricsAddr != "" && len(workerAddrs) == 0 {
+		return fail(fmt.Errorf("-metrics-addr only applies with -workers (it serves the coordinator's fabric metrics)"))
+	}
 	var fab *fabric.Coordinator
 	if len(workerAddrs) > 0 {
-		fab, err = fabric.New(workerAddrs, fabric.Options{Scale: *scale})
+		fabOpts := fabric.Options{Scale: *scale}
+		if *logJSON {
+			fabOpts.Logger = slog.New(slog.NewJSONHandler(stderr, nil))
+		}
+		fab, err = fabric.New(workerAddrs, fabOpts)
 		if err != nil {
 			return fail(err)
 		}
@@ -171,6 +187,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		// the fabric, so the rendered figures are byte-identical to a
 		// local run.
 		r.Remote = fab
+		if *metricsAddr != "" {
+			// A scrape endpoint for the sweep's duration: GET /metrics
+			// answers the Prometheus exposition of the live fabric
+			// counters (per-worker gauges included).
+			ln, err := net.Listen("tcp", *metricsAddr)
+			if err != nil {
+				return fail(fmt.Errorf("-metrics-addr: %w", err))
+			}
+			mux := http.NewServeMux()
+			mux.Handle("GET /metrics", fab.PromHandler())
+			msrv := &http.Server{Handler: mux}
+			go msrv.Serve(ln)
+			defer msrv.Close()
+			fmt.Fprintf(stderr, "watchdog-bench: fabric metrics on http://%s/metrics\n", ln.Addr())
+		}
 	}
 	// The signal context rides the runner: every sweep below cancels
 	// cooperatively on SIGINT/SIGTERM, mid-simulation.
@@ -396,30 +427,59 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	r.Timing.SetWall(time.Since(start))
+	rec := &report.BenchReport{
+		Exp:         *exp,
+		Scale:       *scale,
+		Jobs:        *jobs,
+		Fidelity:    string(fid.OrExact()),
+		Workloads:   names,
+		WallNanos:   int64(r.Timing.Wall()),
+		BusyNanos:   int64(r.Timing.BusyTime()),
+		Sims:        r.Timing.Sims(),
+		Profiles:    r.Timing.Profiles(),
+		CacheHits:   r.Timing.Hits(),
+		Experiments: expTimes,
+		Partial:     partial,
+	}
+	if fab != nil {
+		fs := fab.Stats()
+		rec.Fabric = &fs
+	}
 	if *benchOut != "" {
-		rec := &report.BenchReport{
-			Exp:         *exp,
-			Scale:       *scale,
-			Jobs:        *jobs,
-			Fidelity:    string(fid.OrExact()),
-			Workloads:   names,
-			WallNanos:   int64(r.Timing.Wall()),
-			BusyNanos:   int64(r.Timing.BusyTime()),
-			Sims:        r.Timing.Sims(),
-			Profiles:    r.Timing.Profiles(),
-			CacheHits:   r.Timing.Hits(),
-			Experiments: expTimes,
-			Partial:     partial,
-		}
-		if fab != nil {
-			fs := fab.Stats()
-			rec.Fabric = &fs
-		}
 		if err := report.WriteBenchFile(*benchOut, rec); err != nil {
 			return fail(err)
 		}
 		fmt.Fprintf(stderr, "watchdog-bench: wrote timing record %s (%s wall)\n",
 			*benchOut, r.Timing.Wall().Round(time.Millisecond))
+	}
+	if *trend != "" {
+		if partial {
+			fmt.Fprintln(stderr, "watchdog-bench: skipping -trend append: this run is partial")
+		} else {
+			pt := report.BenchPoint(*trendLabel, rec)
+			pt.UnixNanos = time.Now().UnixNano()
+			tr, err := report.AppendTrajectory(*trend, pt)
+			if err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(stderr, "watchdog-bench: appended %s to %s (%d points)\n", pt.Key, *trend, len(tr.Points))
+			if *trendGate > 0 {
+				// Gate only on the key this run appended: older pairs in a
+				// shared trend file are someone else's history.
+				regressed := false
+				for _, reg := range tr.Regressed(*trendGate) {
+					if reg.Key != pt.Key {
+						continue
+					}
+					regressed = true
+					fmt.Fprintf(stderr, "watchdog-bench: trend regression: %s %s %.4g -> %.4g (%+.1f%%)\n",
+						reg.Key, reg.Metric, reg.Prev, reg.Curr, reg.DeltaPct)
+				}
+				if regressed {
+					return 1
+				}
+			}
+		}
 	}
 	if *memProf != "" {
 		if err := writeMemProfile(*memProf); err != nil {

@@ -4,12 +4,15 @@ import (
 	"bytes"
 	"context"
 	"io"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"watchdog/internal/report"
 	"watchdog/internal/serve"
@@ -515,4 +518,158 @@ func TestWorkersEndToEnd(t *testing.T) {
 	if lrec.Fabric != nil {
 		t.Error("local run's timing record carries fabric counters")
 	}
+}
+
+// TestTrendAppendAndGate: -trend appends one bench point per run;
+// -trend-threshold gates the newest point against the previous one
+// and only against this run's own key.
+func TestTrendAppendAndGate(t *testing.T) {
+	dir := t.TempDir()
+	trend := filepath.Join(dir, "trend.json")
+	base := []string{"-exp", "fig7", "-workloads", "mcf", "-trend", trend}
+
+	// First run: nothing to compare against, must pass even with a gate.
+	var stderr bytes.Buffer
+	if code := run(context.Background(), append(append([]string{}, base...), "-trend-threshold", "5"), io.Discard, &stderr); code != 0 {
+		t.Fatalf("first tracked run exited %d: %s", code, stderr.String())
+	}
+	tr, err := report.ReadTrajectoryFile(trend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Points) != 1 || tr.Points[0].Key != "bench/fig7/scale1" || tr.Points[0].WallNanos <= 0 {
+		t.Fatalf("trend after run 1: %+v", tr.Points)
+	}
+	if tr.Points[0].UnixNanos == 0 {
+		t.Error("appended point is not timestamped")
+	}
+
+	// Seed an impossibly fast "previous" run so the next real run must
+	// read as a regression.
+	if _, err := report.AppendTrajectory(trend, report.TrajectoryPoint{
+		Key: "bench/fig7/scale1", Label: "seeded", WallNanos: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	stderr.Reset()
+	code := run(context.Background(), append(append([]string{}, base...), "-trend-threshold", "10"), io.Discard, &stderr)
+	if code == 0 {
+		t.Fatalf("regressed run exited 0: %s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "trend regression") {
+		t.Fatalf("stderr does not report the regression: %s", stderr.String())
+	}
+	// The point was still appended before gating — the trajectory keeps
+	// the honest history.
+	tr, err = report.ReadTrajectoryFile(trend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Points) != 3 {
+		t.Fatalf("trend after gated run: %d points, want 3", len(tr.Points))
+	}
+
+	// Without a threshold the same file only appends.
+	stderr.Reset()
+	if code := run(context.Background(), base, io.Discard, &stderr); code != 0 {
+		t.Fatalf("append-only run exited %d: %s", code, stderr.String())
+	}
+}
+
+// TestTrendSkipsPartialRuns: an interrupted run must not pollute the
+// trajectory with a truncated wall time.
+func TestTrendSkipsPartialRuns(t *testing.T) {
+	trend := filepath.Join(t.TempDir(), "trend.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var stderr bytes.Buffer
+	if code := run(ctx, []string{"-exp", "fig7", "-workloads", "mcf", "-trend", trend}, io.Discard, &stderr); code == 0 {
+		t.Fatal("interrupted run exited 0")
+	}
+	if !strings.Contains(stderr.String(), "skipping -trend") {
+		t.Errorf("stderr does not explain the skipped append: %s", stderr.String())
+	}
+	if _, err := os.Stat(trend); !os.IsNotExist(err) {
+		t.Errorf("partial run wrote a trend file (stat err %v)", err)
+	}
+}
+
+// TestMetricsAddrFlag: -metrics-addr requires -workers, and with them
+// it serves the live fabric counters in Prometheus text format for
+// the sweep's duration.
+func TestMetricsAddrFlag(t *testing.T) {
+	var stderr bytes.Buffer
+	if code := run(context.Background(), []string{"-exp", "fig7", "-workloads", "mcf",
+		"-metrics-addr", "127.0.0.1:0"}, io.Discard, &stderr); code == 0 {
+		t.Fatal("-metrics-addr without -workers must exit non-zero")
+	}
+	if !strings.Contains(stderr.String(), "-workers") {
+		t.Fatalf("stderr %q does not name the missing -workers", stderr.String())
+	}
+
+	// A worker slowed enough that the scrape happens mid-sweep.
+	h := serve.New(serve.Config{MaxWorkers: 4}).Handler()
+	w := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		time.Sleep(30 * time.Millisecond)
+		h.ServeHTTP(rw, r)
+	}))
+	defer w.Close()
+
+	out := &lockedBuf{}
+	done := make(chan int, 1)
+	go func() {
+		done <- run(context.Background(), []string{"-exp", "fig7", "-workloads", "lbm,mcf",
+			"-workers", w.URL, "-metrics-addr", "127.0.0.1:0"}, io.Discard, out)
+	}()
+	re := regexp.MustCompile(`fabric metrics on (http://\S+/metrics)`)
+	var url string
+	deadline := time.Now().Add(10 * time.Second)
+	for url == "" {
+		if m := re.FindStringSubmatch(out.String()); m != nil {
+			url = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics endpoint never announced; stderr: %s", out.String())
+		}
+		select {
+		case code := <-done:
+			t.Fatalf("run exited %d before announcing metrics; stderr: %s", code, out.String())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("scrape failed: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("scrape content type %q", ct)
+	}
+	if !strings.Contains(string(body), "watchdog_fabric_cells_sent_total") ||
+		!strings.Contains(string(body), "watchdog_fabric_worker_alive") {
+		t.Errorf("scrape body missing fabric families:\n%s", body)
+	}
+	if code := <-done; code != 0 {
+		t.Fatalf("distributed run exited %d; stderr: %s", code, out.String())
+	}
+}
+
+// lockedBuf is a goroutine-safe buffer for concurrent run() output.
+type lockedBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuf) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuf) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
 }

@@ -16,11 +16,14 @@
 //	curl -s -d '{"workload":"mcf","config":"isa","overhead":true}' localhost:8080/v1/sim
 //	curl -s -d '{"policy":"watchdog"}' localhost:8080/v1/juliet
 //
-// The built-in load generator doubles as a coalescing demo: point it
-// at a running server and it fires identical concurrent requests,
-// then reports how many simulations the server actually ran (one).
+// The built-in load generator doubles as a coalescing demo and as the
+// saturation harness: point it at a running server and it fires
+// deterministic mixed traffic, then reports the latency curve and how
+// many simulations the server actually ran.
 //
 //	watchdog-serve -load 32 -c 8 -addr localhost:8080
+//	watchdog-serve -load 0 -steps 1,2,4,8 -mix sim=90,juliet=10 \
+//	    -addr localhost:8080 -load-out load.json -trend trend.json
 //
 // A fleet of these servers is also the worker pool of the distributed
 // sweep fabric: `watchdog-bench -workers host:port,...` shards a
@@ -29,22 +32,22 @@
 package main
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
-	"sort"
 	"strings"
-	"sync"
 	"syscall"
 	"time"
 
+	"watchdog/internal/loadgen"
+	"watchdog/internal/report"
 	"watchdog/internal/serve"
 )
 
@@ -67,12 +70,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		timeout  = fs.Duration("timeout", 120*time.Second, "per-request computation cap (requests may ask for less via timeout_ms)")
 		drain    = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown window before in-flight simulations are force-canceled")
 
-		load     = fs.Int("load", 0, "client mode: fire this many identical requests at -addr and report latency + server coalescing stats")
-		conc     = fs.Int("c", 8, "client mode: concurrent requests")
+		logJSON = fs.Bool("log", false, "emit structured JSON request logs on stderr (server mode)")
+
+		load     = fs.Int("load", 0, "client mode: fire this many requests per step at -addr and report the curve + server coalescing stats")
+		conc     = fs.Int("c", 8, "client mode: concurrent requests (single-step mode; ignored when -steps is set)")
+		steps    = fs.String("steps", "", "client mode: stepped-concurrency sweep, e.g. 1,2,4,8 (turns -load into the saturation harness)")
+		mix      = fs.String("mix", "", "client mode: traffic mix, e.g. sim=90,juliet=10 (default sim=100)")
 		workload = fs.String("workload", "mcf", "client mode: workload to request")
 		config   = fs.String("config", "conservative", "client mode: configuration to request")
 		scale    = fs.Int("scale", 1, "client mode: workload scale")
+		fidelity = fs.String("fidelity", "", "client mode: sim fidelity to request (exact|sampled|memo)")
 		overhead = fs.Bool("overhead", false, "client mode: request the baseline too and report the slowdown ratio")
+		policy   = fs.String("policy", "watchdog", "client mode: juliet check policy to request")
+		tagBits  = fs.Int("tag-bits", 0, "client mode: juliet tag width to request (0 = server default)")
+		seed     = fs.Int64("seed", 1, "client mode: seed for the deterministic traffic sequence")
+		loadOut  = fs.String("load-out", "", "client mode: write the watchdog-load saturation record to this file")
+		trend    = fs.String("trend", "", "client mode: append this sweep's points to a watchdog-trajectory trend file")
+		trendLbl = fs.String("trend-label", "local", "client mode: label stamped on appended trend points")
+		trendGat = fs.Float64("trend-threshold", 0, "client mode: with -trend, exit 1 if this sweep regressed more than this percent vs the previous run (0 = append only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -82,9 +97,39 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	if *load > 0 {
-		req := serve.SimRequest{Workload: *workload, Config: *config, Scale: *scale, Overhead: *overhead}
-		return runLoad(ctx, *addr, *load, *conc, req, stdout, stderr)
+	if *load > 0 || *steps != "" {
+		stepList, err := loadgen.ParseSteps(*steps)
+		if err != nil {
+			return fail(err)
+		}
+		mixVal, err := loadgen.ParseMix(*mix)
+		if err != nil {
+			return fail(err)
+		}
+		if stepList == nil {
+			stepList = []int{*conc} // classic single-step mode: -load requests over -c workers
+		}
+		spec := loadgen.Spec{
+			Target:   *addr,
+			Steps:    stepList,
+			PerStep:  *load,
+			Mix:      mixVal,
+			Seed:     *seed,
+			Workload: *workload,
+			Config:   *config,
+			Scale:    *scale,
+			Fidelity: *fidelity,
+			Overhead: *overhead,
+			Policy:   *policy,
+			TagBits:  *tagBits,
+			TimeoutMS: func() int64 {
+				if *timeout > 0 && *timeout < 120*time.Second {
+					return timeout.Milliseconds()
+				}
+				return 0
+			}(),
+		}
+		return runLoad(ctx, spec, *loadOut, *trend, *trendLbl, *trendGat, stdout, stderr)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -92,12 +137,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 	fmt.Fprintf(stderr, "watchdog-serve: listening on http://%s\n", ln.Addr())
-	s := serve.New(serve.Config{
+	cfg := serve.Config{
 		MaxWorkers:     *workers,
 		MaxScale:       *maxScale,
 		RequestTimeout: *timeout,
 		DrainTimeout:   *drain,
-	})
+	}
+	if *logJSON {
+		cfg.Logger = slog.New(slog.NewJSONHandler(stderr, nil))
+	}
+	s := serve.New(cfg)
 	if err := s.Serve(ctx, ln); err != nil {
 		return fail(err)
 	}
@@ -105,25 +154,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// runLoad is the load generator: n identical POST /v1/sim requests
-// over c concurrent workers, bracketed by /metrics snapshots so the
-// printed report shows the server-side effect (how many simulations
-// actually ran, how many requests coalesced or bounced).
-func runLoad(ctx context.Context, addr string, n, c int, req serve.SimRequest, stdout, stderr io.Writer) int {
+// runLoad is the load generator / saturation harness: it sweeps the
+// spec's concurrency steps with loadgen, bracketed by /metrics
+// snapshots so the printed report shows the server-side effect (how
+// many simulations actually ran, how many requests coalesced or
+// bounced), then optionally persists the watchdog-load record and
+// appends/gates the performance trajectory.
+func runLoad(ctx context.Context, spec loadgen.Spec, loadOut, trend, trendLabel string, trendGate float64, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "watchdog-serve:", err)
 		return 1
 	}
-	base := addr
+	base := spec.Target
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
-	}
-	if c < 1 {
-		c = 1
-	}
-	body, err := json.Marshal(req)
-	if err != nil {
-		return fail(err)
 	}
 	client := &http.Client{}
 	before, err := fetchMetrics(ctx, client, base)
@@ -131,84 +175,35 @@ func runLoad(ctx context.Context, addr string, n, c int, req serve.SimRequest, s
 		return fail(fmt.Errorf("fetching %s/metrics: %w", base, err))
 	}
 
-	codes := make([]int, n)
-	lats := make([]time.Duration, n)
-	errs := make([]error, n)
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < c; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				start := time.Now()
-				hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
-					base+"/v1/sim", bytes.NewReader(body))
-				if err != nil {
-					errs[i] = err
-					continue
-				}
-				hreq.Header.Set("Content-Type", "application/json")
-				resp, err := client.Do(hreq)
-				if err != nil {
-					errs[i] = err
-					continue
-				}
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				codes[i], lats[i] = resp.StatusCode, time.Since(start)
-			}
-		}()
+	lr, err := loadgen.Run(ctx, spec)
+	if err != nil {
+		return fail(err)
 	}
-	start := time.Now()
-feed:
-	for i := 0; i < n; i++ {
-		select {
-		case idx <- i:
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(idx)
-	wg.Wait()
-	wall := time.Since(start)
 
 	after, err := fetchMetrics(ctx, client, base)
 	if err != nil {
 		return fail(fmt.Errorf("fetching %s/metrics: %w", base, err))
 	}
 
-	counts := map[int]int{}
-	var ok []time.Duration
-	for i := 0; i < n; i++ {
-		if errs[i] != nil {
-			counts[-1]++
-			continue
-		}
-		counts[codes[i]]++
-		if codes[i] == http.StatusOK {
-			ok = append(ok, lats[i])
-		}
+	var offered, okCount, rejected, failed, wallNanos int64
+	for _, s := range lr.Steps {
+		offered += s.Offered
+		okCount += s.OK
+		rejected += s.RejectedBusy
+		failed += s.Errors
+		wallNanos += s.WallNanos
 	}
-	fmt.Fprintf(stdout, "load: %d requests (%d concurrent) against %s in %s\n", n, c, base, wall.Round(time.Millisecond))
-	statuses := make([]int, 0, len(counts))
-	for code := range counts {
-		statuses = append(statuses, code)
+	wall := time.Duration(wallNanos)
+	if len(lr.Steps) == 1 {
+		fmt.Fprintf(stdout, "load: %d requests (%d concurrent) against %s in %s\n",
+			offered, lr.Steps[0].Concurrency, base, wall.Round(time.Millisecond))
+	} else {
+		fmt.Fprintf(stdout, "load: %d requests over %d steps against %s in %s\n",
+			offered, len(lr.Steps), base, wall.Round(time.Millisecond))
 	}
-	sort.Ints(statuses)
-	for _, code := range statuses {
-		label := fmt.Sprintf("HTTP %d", code)
-		if code == -1 {
-			label = "transport error"
-		}
-		fmt.Fprintf(stdout, "  %-16s %d\n", label, counts[code])
-	}
-	if len(ok) > 0 {
-		sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
-		fmt.Fprintf(stdout, "latency: p50 %s  p99 %s  max %s\n",
-			ok[len(ok)/2].Round(time.Microsecond),
-			ok[len(ok)*99/100].Round(time.Microsecond),
-			ok[len(ok)-1].Round(time.Microsecond))
+	for _, s := range lr.Steps {
+		fmt.Fprintf(stdout, "  c%-4d %5d ok  %4d rejected  %4d errors  p50 %.3gms  p99 %.3gms  %.5g rps\n",
+			s.Concurrency, s.OK, s.RejectedBusy, s.Errors, s.P50Milli, s.P99Milli, s.ThroughputRPS)
 	}
 	fmt.Fprintf(stdout, "server: +%d sims, +%d coalesced, +%d cache hits, +%d busy-rejected\n",
 		after.Harness.Sims-before.Harness.Sims,
@@ -216,26 +211,47 @@ feed:
 		after.Harness.CacheHits-before.Harness.CacheHits,
 		after.RejectedBusy-before.RejectedBusy)
 
-	if counts[-1] > 0 {
-		return fail(fmt.Errorf("%d requests failed (first: %v)", counts[-1], firstErr(errs)))
-	}
-	for _, code := range statuses {
-		// 429 is an expected answer under deliberate overload; anything
-		// else non-2xx is a real failure.
-		if code != http.StatusOK && code != http.StatusTooManyRequests {
-			return fail(fmt.Errorf("server answered HTTP %d", code))
+	if loadOut != "" {
+		if err := report.WriteLoadFile(loadOut, lr); err != nil {
+			return fail(err)
 		}
+		fmt.Fprintf(stderr, "watchdog-serve: wrote saturation record %s\n", loadOut)
+	}
+	if trend != "" {
+		pts := report.LoadPoints(trendLabel, lr)
+		now := time.Now().UnixNano()
+		appended := make(map[string]bool, len(pts))
+		for i := range pts {
+			pts[i].UnixNanos = now
+			appended[pts[i].Key] = true
+		}
+		tr, err := report.AppendTrajectory(trend, pts...)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stderr, "watchdog-serve: appended %d points to %s (%d total)\n", len(pts), trend, len(tr.Points))
+		if trendGate > 0 {
+			// Gate only on the keys this sweep appended: older pairs in
+			// a shared trend file are someone else's history.
+			regressed := false
+			for _, reg := range tr.Regressed(trendGate) {
+				if !appended[reg.Key] {
+					continue
+				}
+				regressed = true
+				fmt.Fprintf(stderr, "watchdog-serve: trend regression: %s %s %.4g -> %.4g (%+.1f%%)\n",
+					reg.Key, reg.Metric, reg.Prev, reg.Curr, reg.DeltaPct)
+			}
+			if regressed {
+				return 1
+			}
+		}
+	}
+
+	if failed > 0 {
+		return fail(fmt.Errorf("%d of %d requests failed (non-200 non-429 or transport error)", failed, offered))
 	}
 	return 0
-}
-
-func firstErr(errs []error) error {
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 func fetchMetrics(ctx context.Context, client *http.Client, base string) (*serve.Metrics, error) {

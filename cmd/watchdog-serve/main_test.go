@@ -4,13 +4,17 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
+	"net/http/httptest"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"watchdog/internal/report"
 	"watchdog/internal/serve"
 )
 
@@ -165,4 +169,149 @@ func TestRunFlagAndAddrErrors(t *testing.T) {
 	if !strings.Contains(stderr.String(), "metrics") {
 		t.Errorf("dead-target error does not name the metrics probe: %s", stderr.String())
 	}
+}
+
+// TestSteppedSweep: -steps turns -load into the saturation harness —
+// a mixed sweep produces a parseable watchdog-load record, appends to
+// the trajectory, and a seeded-regression trend file trips the gate.
+func TestSteppedSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, done, _ := startServer(t, ctx, "-workers", "4")
+
+	dir := t.TempDir()
+	loadOut := filepath.Join(dir, "load.json")
+	trend := filepath.Join(dir, "trend.json")
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{
+		"-load", "4", "-steps", "1,2", "-mix", "sim=50,juliet=50",
+		"-workload", "lbm", "-config", "baseline", "-seed", "3",
+		"-addr", base, "-load-out", loadOut, "-trend", trend, "-trend-label", "ci",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("sweep exited %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "8 requests over 2 steps") {
+		t.Errorf("sweep header wrong:\n%s", stdout.String())
+	}
+
+	lr, err := report.ReadLoadFile(loadOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lr.Steps) != 2 || lr.Mix.SimPct != 50 || lr.Mix.JulietPct != 50 {
+		t.Fatalf("load record: %+v", lr)
+	}
+	for i, s := range lr.Steps {
+		if s.Offered != 4 || s.Errors != 0 {
+			t.Errorf("step %d: %+v", i, s)
+		}
+	}
+
+	tr, err := report.ReadTrajectoryFile(trend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Points) != 2 || tr.Points[0].Key != "load/sim50-juliet50/c1" || tr.Points[0].Label != "ci" {
+		t.Fatalf("trajectory points: %+v", tr.Points)
+	}
+
+	// Seed an impossibly good previous point: the next sweep regresses
+	// against it and the gate fires.
+	if _, err := report.AppendTrajectory(trend, report.TrajectoryPoint{
+		Key: "load/sim50-juliet50/c1", Label: "seeded", ThroughputRPS: 1e12,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	stderr.Reset()
+	code = run(context.Background(), []string{
+		"-load", "4", "-steps", "1,2", "-mix", "sim=50,juliet=50",
+		"-workload", "lbm", "-config", "baseline", "-seed", "3",
+		"-addr", base, "-trend", trend, "-trend-threshold", "10",
+	}, io.Discard, &stderr)
+	if code == 0 {
+		t.Fatalf("regressed sweep exited 0; stderr: %s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "trend regression") {
+		t.Errorf("stderr does not report the regression: %s", stderr.String())
+	}
+
+	cancel()
+	<-done
+}
+
+// TestLoadFlagWiring: -fidelity, -policy and -tag-bits survive the
+// trip from flag to request body (the client-mode knob-drop bugfix).
+func TestLoadFlagWiring(t *testing.T) {
+	var (
+		mu     sync.Mutex
+		bodies = map[string][]string{}
+	)
+	stub := http.NewServeMux()
+	stub.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{}`))
+	})
+	capture := func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		mu.Lock()
+		bodies[r.URL.Path] = append(bodies[r.URL.Path], string(b))
+		mu.Unlock()
+		w.Write([]byte(`{}`))
+	}
+	stub.HandleFunc("/v1/sim", capture)
+	stub.HandleFunc("/v1/juliet", capture)
+	srv := httptest.NewServer(stub)
+	t.Cleanup(srv.Close)
+
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{
+		"-load", "16", "-c", "2", "-mix", "sim=50,juliet=50",
+		"-fidelity", "sampled", "-policy", "xtag", "-tag-bits", "4",
+		"-addr", srv.URL,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr.String())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(bodies["/v1/sim"]) == 0 || len(bodies["/v1/juliet"]) == 0 {
+		t.Fatalf("mix drew no sims or no juliets: %v", bodies)
+	}
+	if got := bodies["/v1/sim"][0]; !strings.Contains(got, `"fidelity":"sampled"`) {
+		t.Errorf("sim body lost -fidelity: %s", got)
+	}
+	if got := bodies["/v1/juliet"][0]; !strings.Contains(got, `"policy":"xtag"`) || !strings.Contains(got, `"tag_bits":4`) {
+		t.Errorf("juliet body lost -policy/-tag-bits: %s", got)
+	}
+}
+
+// TestServerLogFlag: -log makes the server emit structured JSON
+// request records on stderr.
+func TestServerLogFlag(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, done, stderr := startServer(t, ctx, "-log")
+
+	resp, err := http.Post(base+"/v1/sim", "application/json",
+		strings.NewReader(`{"workload":"lbm","config":"baseline"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if strings.Contains(stderr.String(), `"msg":"request"`) &&
+			strings.Contains(stderr.String(), `"request_id"`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no structured request log on stderr: %s", stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cancel()
+	<-done
 }

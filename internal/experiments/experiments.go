@@ -344,6 +344,10 @@ func (r *Runner) RunFidelityCtx(ctx context.Context, w workload.Workload, name C
 			if err != nil {
 				return nil, nil, fmt.Errorf("%s under %s (remote): %w", w.Name, name, err)
 			}
+			// A remote fetch still counts as a Sim (the cachedResult
+			// wrapper records that); the extra counter attributes it to
+			// the fabric for -stats and the metrics exporters.
+			r.Timing.AddRemoteCell()
 			return resultFromCell(&cell), &cell, nil
 		}
 		res, err := r.runUncached(ctx, w, name, fid)

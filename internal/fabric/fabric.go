@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"sort"
@@ -78,6 +79,10 @@ type Options struct {
 	// with no overall timeout — cell requests are bounded by their
 	// context, probes by ProbeEvery).
 	Client *http.Client
+	// Logger receives the coordinator's structured event log: worker
+	// ejected/readmitted, hedge fired/won/lost, cache hit — each tagged
+	// with the cell's correlation id where one applies. Nil discards.
+	Logger *slog.Logger
 }
 
 // worker is one registry slot.
@@ -94,6 +99,7 @@ type Coordinator struct {
 	workers []*worker
 	opts    Options
 	client  *http.Client
+	log     *slog.Logger
 
 	mu    sync.Mutex
 	cache map[string]report.Cell
@@ -163,6 +169,10 @@ func New(addrs []string, opts Options) (*Coordinator, error) {
 	if c.client == nil {
 		c.client = &http.Client{}
 	}
+	c.log = opts.Logger
+	if c.log == nil {
+		c.log = slog.New(slog.NewJSONHandler(io.Discard, nil))
+	}
 	seen := make(map[string]bool, len(addrs))
 	for _, a := range addrs {
 		n, err := NormalizeAddr(a)
@@ -208,6 +218,7 @@ func (c *Coordinator) Stats() report.FabricStats {
 			Alive:    w.alive.Load(),
 			Requests: s.Requests,
 			Errors:   s.Errors,
+			Window:   s.Window,
 			P50Milli: s.P50Milli,
 			P99Milli: s.P99Milli,
 		})
@@ -224,11 +235,18 @@ func (c *Coordinator) RemoteCell(ctx context.Context, workload string, config ex
 	// bump can never replay stale-layout cells.
 	key := fmt.Sprintf("v%d/%s", report.Version,
 		serve.SimFlightKey(workload, string(config), c.opts.Scale, fid, overhead))
+	// One correlation id per cell fetch, reused across every attempt
+	// (hedges and retries included), so the same id ties together the
+	// coordinator's event log, each worker's request log, and the
+	// workers' flight-recorder dumps.
+	reqID := serve.NewRequestID()
 	c.mu.Lock()
 	cell, ok := c.cache[key]
 	c.mu.Unlock()
 	if ok {
 		c.cacheHits.Add(1)
+		c.log.LogAttrs(ctx, slog.LevelDebug, "cache hit",
+			slog.String("cell", key), slog.String("request_id", reqID))
 		return cell, nil
 	}
 	body, err := json.Marshal(&serve.SimRequest{
@@ -242,7 +260,7 @@ func (c *Coordinator) RemoteCell(ctx context.Context, workload string, config ex
 	if err != nil {
 		return report.Cell{}, err
 	}
-	cell, err = c.fetch(ctx, key, body)
+	cell, err = c.fetch(ctx, key, reqID, body)
 	if err != nil {
 		return report.Cell{}, err
 	}
@@ -256,6 +274,7 @@ func (c *Coordinator) RemoteCell(ctx context.Context, workload string, config ex
 type attemptOut struct {
 	cell      report.Cell
 	err       error
+	from      *worker       // who answered (nil for pre-send failures)
 	permanent bool          // a definitive worker answer: retrying cannot help
 	backoff   time.Duration // >0 for 429/503: the worker asked us to wait
 }
@@ -272,7 +291,7 @@ const maxBusyRetries = 256
 // first success wins and cancels the other request. Transport
 // failures consume a round; busy answers (429/503) only consume the
 // backoff the worker asked for.
-func (c *Coordinator) fetch(ctx context.Context, key string, body []byte) (report.Cell, error) {
+func (c *Coordinator) fetch(ctx context.Context, key, reqID string, body []byte) (report.Cell, error) {
 	var lastErr error
 	rounds, busy := 0, 0
 	for n := 0; ; n++ {
@@ -285,8 +304,13 @@ func (c *Coordinator) fetch(ctx context.Context, key string, body []byte) (repor
 		if n > 0 {
 			c.retried.Add(1)
 		}
-		cell, out, err := c.round(ctx, primary, hedge, body)
+		cell, out, err := c.round(ctx, primary, hedge, reqID, body)
 		if err == nil {
+			c.log.LogAttrs(ctx, slog.LevelInfo, "cell fetched",
+				slog.String("cell", key),
+				slog.String("request_id", reqID),
+				slog.String("worker", out.from.addr),
+				slog.Int("round", n+1))
 			return cell, nil
 		}
 		if ctx.Err() != nil {
@@ -318,16 +342,17 @@ func (c *Coordinator) fetch(ctx context.Context, key string, body []byte) (repor
 // round issues one primary request and, if it outlives the hedge
 // delay, races a second worker against it. The returned attemptOut
 // describes the decisive failure when err != nil.
-func (c *Coordinator) round(ctx context.Context, primary, hedge *worker, body []byte) (report.Cell, attemptOut, error) {
+func (c *Coordinator) round(ctx context.Context, primary, hedge *worker, reqID string, body []byte) (report.Cell, attemptOut, error) {
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	results := make(chan attemptOut, 2)
-	go c.attempt(actx, primary, body, results)
+	go c.attempt(actx, primary, reqID, body, results)
 	outstanding := 1
 
 	timer := time.NewTimer(c.hedgeDelay(primary))
 	defer timer.Stop()
 	hedgeArmed := hedge != nil
+	hedgeFired := false
 
 	var decisive attemptOut
 	var lastErr error
@@ -336,13 +361,29 @@ func (c *Coordinator) round(ctx context.Context, primary, hedge *worker, body []
 		case <-timer.C:
 			if hedgeArmed {
 				hedgeArmed = false
+				hedgeFired = true
 				c.hedged.Add(1)
-				go c.attempt(actx, hedge, body, results)
+				c.log.LogAttrs(ctx, slog.LevelInfo, "hedge fired",
+					slog.String("request_id", reqID),
+					slog.String("primary", primary.addr),
+					slog.String("hedge", hedge.addr))
+				go c.attempt(actx, hedge, reqID, body, results)
 				outstanding++
 			}
 		case out := <-results:
 			outstanding--
 			if out.err == nil {
+				if hedgeFired {
+					// The race is decided: say who won (the loser's
+					// request is canceled by the deferred cancel).
+					verdict := "hedge lost"
+					if out.from == hedge {
+						verdict = "hedge won"
+					}
+					c.log.LogAttrs(ctx, slog.LevelInfo, verdict,
+						slog.String("request_id", reqID),
+						slog.String("winner", out.from.addr))
+				}
 				return out.cell, out, nil
 			}
 			lastErr = out.err
@@ -359,7 +400,7 @@ func (c *Coordinator) round(ctx context.Context, primary, hedge *worker, body []
 			// timer with nothing in flight.
 			if outstanding == 0 && hedgeArmed {
 				hedgeArmed = false
-				go c.attempt(actx, hedge, body, results)
+				go c.attempt(actx, hedge, reqID, body, results)
 				outstanding++
 			}
 		case <-ctx.Done():
@@ -376,36 +417,37 @@ func (c *Coordinator) round(ctx context.Context, primary, hedge *worker, body []
 // outcome. A transport failure under a live parent context ejects the
 // worker; a canceled context (the other racer won, or the caller gave
 // up) is reported without touching worker health.
-func (c *Coordinator) attempt(ctx context.Context, w *worker, body []byte, results chan<- attemptOut) {
+func (c *Coordinator) attempt(ctx context.Context, w *worker, reqID string, body []byte, results chan<- attemptOut) {
 	c.cellsSent.Add(1)
 	start := time.Now()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.addr+"/v1/sim", bytes.NewReader(body))
 	if err != nil {
-		results <- attemptOut{err: err, permanent: true}
+		results <- attemptOut{err: err, from: w, permanent: true}
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(serve.RequestIDHeader, reqID)
 	resp, err := c.client.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
-			results <- attemptOut{err: ctx.Err()}
+			results <- attemptOut{err: ctx.Err(), from: w}
 			return
 		}
 		w.lat.Observe(time.Since(start), true)
 		c.eject(w)
-		results <- attemptOut{err: fmt.Errorf("%s: %w", w.addr, err)}
+		results <- attemptOut{err: fmt.Errorf("%s: %w", w.addr, err), from: w}
 		return
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
 	if err != nil {
 		if ctx.Err() != nil {
-			results <- attemptOut{err: ctx.Err()}
+			results <- attemptOut{err: ctx.Err(), from: w}
 			return
 		}
 		w.lat.Observe(time.Since(start), true)
 		c.eject(w)
-		results <- attemptOut{err: fmt.Errorf("%s: reading response: %w", w.addr, err)}
+		results <- attemptOut{err: fmt.Errorf("%s: reading response: %w", w.addr, err), from: w}
 		return
 	}
 	w.lat.Observe(time.Since(start), resp.StatusCode != http.StatusOK)
@@ -414,23 +456,24 @@ func (c *Coordinator) attempt(ctx context.Context, w *worker, body []byte, resul
 	case http.StatusOK:
 		var sr serve.SimResponse
 		if err := json.Unmarshal(data, &sr); err != nil {
-			results <- attemptOut{err: fmt.Errorf("%s: bad cell response: %w", w.addr, err), permanent: true}
+			results <- attemptOut{err: fmt.Errorf("%s: bad cell response: %w", w.addr, err), from: w, permanent: true}
 			return
 		}
 		if sr.Version > report.Version {
 			results <- attemptOut{err: fmt.Errorf("%s: worker speaks schema version %d, this build understands %d",
-				w.addr, sr.Version, report.Version), permanent: true}
+				w.addr, sr.Version, report.Version), from: w, permanent: true}
 			return
 		}
 		// A request answered is a worker alive, however it was routed.
-		w.alive.Store(true)
-		results <- attemptOut{cell: sr.Cell}
+		c.readmit(w)
+		results <- attemptOut{cell: sr.Cell, from: w}
 	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 		// Busy or draining: the worker is up but shedding load. Back
 		// off for the hinted interval (bounded — a sweep should route
 		// around a drain, not sleep through it).
 		results <- attemptOut{
 			err:     fmt.Errorf("%s: %s", w.addr, workerError(resp.StatusCode, data)),
+			from:    w,
 			backoff: retryAfter(resp, data),
 		}
 	default:
@@ -439,16 +482,29 @@ func (c *Coordinator) attempt(ctx context.Context, w *worker, body []byte, resul
 		// produce a different result.
 		results <- attemptOut{
 			err:       fmt.Errorf("%s: %s", w.addr, workerError(resp.StatusCode, data)),
+			from:      w,
 			permanent: true,
 		}
 	}
 }
 
-// eject transitions a worker to dead, counting only live→dead edges
-// (a worker can be ejected and readmitted repeatedly over one sweep).
+// eject transitions a worker to dead, counting (and logging) only
+// live→dead edges (a worker can be ejected and readmitted repeatedly
+// over one sweep).
 func (c *Coordinator) eject(w *worker) {
 	if w.alive.CompareAndSwap(true, false) {
 		c.ejections.Add(1)
+		c.log.LogAttrs(context.Background(), slog.LevelWarn, "worker ejected",
+			slog.String("worker", w.addr))
+	}
+}
+
+// readmit transitions a worker back to live, logging only dead→live
+// edges.
+func (c *Coordinator) readmit(w *worker) {
+	if w.alive.CompareAndSwap(false, true) {
+		c.log.LogAttrs(context.Background(), slog.LevelInfo, "worker readmitted",
+			slog.String("worker", w.addr))
 	}
 }
 
@@ -542,7 +598,7 @@ func (c *Coordinator) probe(ctx context.Context, w *worker) {
 	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 	resp.Body.Close()
 	if resp.StatusCode == http.StatusOK {
-		w.alive.Store(true)
+		c.readmit(w)
 	} else {
 		c.eject(w)
 	}

@@ -286,8 +286,11 @@ type FabricWorker struct {
 	// Requests/Errors and the latency percentiles cover the cell
 	// requests this worker actually received (a bounded recent window
 	// for the percentiles).
-	Requests int64   `json:"requests"`
-	Errors   int64   `json:"errors"`
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	// Window is how many recent requests the percentiles describe
+	// (the latency ring is bounded; see stats.LatencySnapshot).
+	Window   int     `json:"window"`
 	P50Milli float64 `json:"p50_ms"`
 	P99Milli float64 `json:"p99_ms"`
 }

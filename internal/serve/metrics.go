@@ -12,6 +12,17 @@ import (
 type endpointStats = stats.LatencyWindow
 
 // EndpointMetrics is one endpoint's slice of the /metrics document.
-// Percentiles cover the most recent requests (a bounded window) and
-// are zero until the endpoint has served at least one.
+// Percentiles cover the most recent requests (a bounded window — the
+// `window` field says how many observations they describe; see
+// stats.LatencySnapshot for the ring semantics) and are zero until
+// the endpoint has served at least one.
 type EndpointMetrics = stats.LatencySnapshot
+
+// endpointTrack is one endpoint's full accounting: the percentile
+// window for the JSON document plus a fixed-bucket histogram for the
+// Prometheus exposition (bucket counts merge across processes, which
+// window percentiles cannot).
+type endpointTrack struct {
+	win  endpointStats
+	hist *stats.Histogram
+}

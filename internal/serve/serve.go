@@ -34,6 +34,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
@@ -75,6 +77,15 @@ type Config struct {
 	// requests still running when it expires are force-canceled.
 	// Default: 30s.
 	DrainTimeout time.Duration
+	// Logger receives the structured request log: one record per
+	// /v1/* request (method, path, flight key, status, latency,
+	// request id, coalesced). Nil discards — the service never logs
+	// unless given a destination.
+	Logger *slog.Logger
+	// FlightLogN sizes the request flight-recorder ring behind
+	// GET /debug/flights (most recent requests with their correlation
+	// ids). Default: 256.
+	FlightLogN int
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +100,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 30 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewJSONHandler(io.Discard, nil))
+	}
+	if c.FlightLogN <= 0 {
+		c.FlightLogN = 256
 	}
 	return c
 }
@@ -162,6 +179,10 @@ type Metrics struct {
 	RejectedBusy     int64 `json:"rejected_busy"`
 	RejectedDraining int64 `json:"rejected_draining"`
 	Coalesced        int64 `json:"coalesced"`
+	// TimedOut counts 504 answers (a request's deadline expired
+	// mid-computation). Added after PR 5; absent (zero) in older
+	// documents.
+	TimedOut int64 `json:"timed_out,omitempty"`
 
 	Endpoints map[string]EndpointMetrics `json:"endpoints"`
 	Harness   HarnessMetrics             `json:"harness"`
@@ -203,6 +224,7 @@ type flight struct {
 type Server struct {
 	cfg   Config
 	start time.Time
+	log   *slog.Logger
 
 	sem      chan struct{}
 	draining atomic.Bool
@@ -211,6 +233,11 @@ type Server struct {
 	rejectedBusy     atomic.Int64
 	rejectedDraining atomic.Int64
 	coalesced        atomic.Int64
+	timedOut         atomic.Int64
+
+	// flights (the request flight recorder) retains the most recent
+	// requests with their correlation ids for GET /debug/flights.
+	flightLog *flightLog
 
 	// forceCtx is canceled when the drain window expires; every
 	// computation context is linked to it so shutdown can abort
@@ -222,8 +249,8 @@ type Server struct {
 	runners map[runnerKey]*experiments.Runner
 	flights map[string]*flight
 
-	simMet    endpointStats
-	julietMet endpointStats
+	simMet    endpointTrack
+	julietMet endpointTrack
 
 	// julietTiming records security-suite case timings (the runners
 	// record their own).
@@ -239,12 +266,16 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		start:   time.Now(),
-		sem:     make(chan struct{}, cfg.MaxWorkers),
-		runners: make(map[runnerKey]*experiments.Runner),
-		flights: make(map[string]*flight),
+		cfg:       cfg,
+		start:     time.Now(),
+		log:       cfg.Logger,
+		sem:       make(chan struct{}, cfg.MaxWorkers),
+		runners:   make(map[runnerKey]*experiments.Runner),
+		flights:   make(map[string]*flight),
+		flightLog: newFlightLog(cfg.FlightLogN),
 	}
+	s.simMet.hist = stats.NewHistogram()
+	s.julietMet.hist = stats.NewHistogram()
 	s.forceCtx, s.forceStop = context.WithCancel(context.Background())
 	return s
 }
@@ -254,6 +285,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/flights", s.handleFlights)
 	mux.HandleFunc("POST /v1/sim", s.timed(&s.simMet, s.handleSim))
 	mux.HandleFunc("POST /v1/juliet", s.timed(&s.julietMet, s.handleJuliet))
 	return mux
@@ -290,14 +322,81 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	return nil
 }
 
-// timed wraps a handler with per-endpoint latency/error accounting.
-// Handlers return the status they wrote.
-func (s *Server) timed(met *endpointStats, fn func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
+// reqInfo is the per-request correlation state: the resolved request
+// id, plus the flight identity filled in by flightDo once the request
+// reaches one. It rides the request context so the timed wrapper can
+// log and flight-record the full story after the handler returns.
+type reqInfo struct {
+	id        string
+	key       string
+	coalesced bool
+}
+
+// reqInfoKey is the context key for *reqInfo.
+type reqInfoKey struct{}
+
+// requestInfo extracts the correlation state planted by timed (nil
+// for handlers outside the wrapper).
+func requestInfo(r *http.Request) *reqInfo {
+	info, _ := r.Context().Value(reqInfoKey{}).(*reqInfo)
+	return info
+}
+
+// timed wraps a handler with per-endpoint latency/error accounting,
+// request-id resolution and echo, the structured request log, and the
+// request flight recorder. Handlers return the status they wrote.
+func (s *Server) timed(met *endpointTrack, fn func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		info := &reqInfo{id: resolveRequestID(r.Header.Get(RequestIDHeader))}
+		// The echo header must be set before the handler writes the
+		// status line; the id never changes afterwards.
+		w.Header().Set(RequestIDHeader, info.id)
+		r = r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, info))
+
 		status := fn(w, r)
-		met.Observe(time.Since(start), status >= 400)
+
+		elapsed := time.Since(start)
+		met.win.Observe(elapsed, status >= 400)
+		met.hist.Observe(elapsed)
+		if status == http.StatusGatewayTimeout {
+			s.timedOut.Add(1)
+		}
+		latencyMilli := float64(elapsed) / float64(time.Millisecond)
+		s.flightLog.add(FlightRecord{
+			RequestID:    info.id,
+			Method:       r.Method,
+			Path:         r.URL.Path,
+			FlightKey:    info.key,
+			Status:       status,
+			Coalesced:    info.coalesced,
+			LatencyMilli: latencyMilli,
+			UnixNanos:    time.Now().UnixNano(),
+		})
+		level := slog.LevelInfo
+		if status >= 500 {
+			level = slog.LevelWarn
+		}
+		s.log.LogAttrs(r.Context(), level, "request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("request_id", info.id),
+			slog.String("flight", info.key),
+			slog.Bool("coalesced", info.coalesced),
+			slog.Int("status", status),
+			slog.Float64("latency_ms", latencyMilli),
+		)
 	}
+}
+
+// handleFlights serves GET /debug/flights: the request flight
+// recorder, oldest first.
+func (s *Server) handleFlights(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, &FlightDump{
+		Schema:  Schema,
+		Version: Version,
+		Flights: s.flightLog.records(),
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -313,7 +412,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleMetrics serves GET /metrics with content negotiation: an
+// Accept header asking for text/plain (or OpenMetrics) gets the
+// Prometheus text exposition; everything else — including curl's
+// default */* — gets the JSON document, byte-compatible with the
+// pre-Prometheus schema.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsProm(r.Header.Get("Accept")) {
+		s.writeProm(w)
+		return
+	}
 	m := Metrics{
 		Schema:      Schema,
 		Version:     Version,
@@ -324,10 +432,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		RejectedBusy:     s.rejectedBusy.Load(),
 		RejectedDraining: s.rejectedDraining.Load(),
 		Coalesced:        s.coalesced.Load(),
+		TimedOut:         s.timedOut.Load(),
 
 		Endpoints: map[string]EndpointMetrics{
-			"sim":    s.simMet.Snapshot(),
-			"juliet": s.julietMet.Snapshot(),
+			"sim":    s.simMet.win.Snapshot(),
+			"juliet": s.julietMet.win.Snapshot(),
 		},
 	}
 	h := &m.Harness
@@ -475,6 +584,10 @@ func (s *Server) flightDo(w http.ResponseWriter, r *http.Request, key string, ti
 	f, creator, st := s.claimFlight(w, key)
 	if f == nil {
 		return st // rejected: semaphore full
+	}
+	if info := requestInfo(r); info != nil {
+		info.key = key
+		info.coalesced = !creator
 	}
 	if creator {
 		defer func() { <-s.sem }()

@@ -42,13 +42,23 @@ func (e *LatencyWindow) Observe(d time.Duration, failed bool) {
 }
 
 // LatencySnapshot is one window's counters and percentiles.
-// Percentiles cover the most recent requests (a bounded window) and
-// are zero until at least one request has been observed.
+//
+// Bounded-ring semantics: Requests and Errors count every observation
+// ever made, but the percentiles describe only the most recent
+// `window` observations (at most the ring size, 512) — older samples
+// have been overwritten. A consumer must read the percentiles against
+// Window, not Requests: zero percentiles with Window == 0 mean "no
+// data yet", while zero (or near-zero) percentiles with Window > 0
+// mean the recent requests really were that fast (sub-millisecond
+// latencies round toward 0.0 in the millisecond-denominated fields).
 type LatencySnapshot struct {
 	Requests int64 `json:"requests"`
 	// Errors counts observations flagged as failed (for an HTTP
 	// endpoint: requests answered with a 4xx/5xx status).
-	Errors   int64   `json:"errors"`
+	Errors int64 `json:"errors"`
+	// Window is how many observations the percentile fields actually
+	// cover (0 until the first request; saturates at the ring size).
+	Window   int     `json:"window"`
 	P50Milli float64 `json:"p50_ms"`
 	P90Milli float64 `json:"p90_ms"`
 	P99Milli float64 `json:"p99_ms"`
@@ -57,7 +67,7 @@ type LatencySnapshot struct {
 // Snapshot reads the counters and computes the window percentiles.
 func (e *LatencyWindow) Snapshot() LatencySnapshot {
 	e.mu.Lock()
-	m := LatencySnapshot{Requests: e.count, Errors: e.errs}
+	m := LatencySnapshot{Requests: e.count, Errors: e.errs, Window: e.window}
 	window := make([]int64, e.window)
 	copy(window, e.lat[:e.window])
 	e.mu.Unlock()

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
@@ -38,10 +39,97 @@ func TestPercentileWindow(t *testing.T) {
 }
 
 // TestLatencyWindowEmpty: an empty window reports zero percentiles
-// rather than indexing into garbage.
+// rather than indexing into garbage, and Window == 0 is the signal
+// that distinguishes "no data" from "fast".
 func TestLatencyWindowEmpty(t *testing.T) {
 	var e LatencyWindow
 	if m := e.Snapshot(); m != (LatencySnapshot{}) {
 		t.Fatalf("empty snapshot: %+v", m)
+	}
+	// A single sub-millisecond request: percentiles legitimately round
+	// to ~0 ms, but Window proves data was observed.
+	e.Observe(10*time.Microsecond, false)
+	m := e.Snapshot()
+	if m.Window != 1 || m.Requests != 1 {
+		t.Fatalf("window after one observation: %+v", m)
+	}
+	if m.P99Milli >= 1 {
+		t.Errorf("sub-millisecond request reported p99 %v ms", m.P99Milli)
+	}
+}
+
+// TestLatencyWindowWraparound: past the ring size the percentiles
+// must describe exactly the most recent latencyRing observations —
+// the overwritten prefix must not leak in, and Window must saturate.
+func TestLatencyWindowWraparound(t *testing.T) {
+	var e LatencyWindow
+	const total = latencyRing + 488 // 1000 observations, ~2x wrap of the tail
+	for i := 1; i <= total; i++ {
+		e.Observe(time.Duration(i)*time.Millisecond, false)
+	}
+	m := e.Snapshot()
+	if m.Requests != total {
+		t.Fatalf("requests = %d, want %d", m.Requests, total)
+	}
+	if m.Window != latencyRing {
+		t.Fatalf("window = %d, want saturation at %d", m.Window, latencyRing)
+	}
+	// The live window is [total-latencyRing+1 .. total] ms; nearest-rank
+	// percentile p over n sorted samples picks index ceil(p*n/100)-1.
+	first := float64(total - latencyRing + 1)
+	rank := func(p int) float64 {
+		idx := (p*latencyRing + 99) / 100
+		return first + float64(idx-1)
+	}
+	for _, tc := range []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"p50", m.P50Milli, rank(50)},
+		{"p90", m.P90Milli, rank(90)},
+		{"p99", m.P99Milli, rank(99)},
+	} {
+		if tc.got != tc.want {
+			t.Errorf("%s = %v, want %v (window must cover only the last %d observations)",
+				tc.name, tc.got, tc.want, latencyRing)
+		}
+	}
+	if m.P50Milli < first {
+		t.Errorf("p50 %v predates the live window start %v: overwritten samples leaked", m.P50Milli, first)
+	}
+}
+
+// TestLatencyWindowConcurrent hammers Observe and Snapshot together
+// under the race detector and checks the counters come out exact.
+func TestLatencyWindowConcurrent(t *testing.T) {
+	var e LatencyWindow
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				e.Observe(time.Duration(i+1)*time.Millisecond, i%5 == 0)
+				if i%17 == 0 {
+					s := e.Snapshot()
+					if s.Window > latencyRing {
+						t.Errorf("window %d exceeds the ring", s.Window)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	m := e.Snapshot()
+	if m.Requests != workers*per {
+		t.Errorf("requests = %d, want %d", m.Requests, workers*per)
+	}
+	if m.Errors != workers*per/5 {
+		t.Errorf("errors = %d, want %d", m.Errors, workers*per/5)
+	}
+	if m.Window != latencyRing {
+		t.Errorf("window = %d, want %d", m.Window, latencyRing)
 	}
 }

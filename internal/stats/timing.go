@@ -18,6 +18,7 @@ type Timing struct {
 	sims      atomic.Uint64
 	hits      atomic.Uint64
 	profiles  atomic.Uint64
+	remotes   atomic.Uint64
 	simNanos  atomic.Int64
 	profNanos atomic.Int64
 	wallNanos atomic.Int64
@@ -38,6 +39,13 @@ func (t *Timing) AddProfile(d time.Duration) {
 // AddHit records one cache hit (a request served without simulating).
 func (t *Timing) AddHit() { t.hits.Add(1) }
 
+// AddRemoteCell records one cell fetched from a remote worker instead
+// of being simulated in-process (the distributed sweep fabric). Such a
+// fetch also counts as a Sim — the runner's unit of work — so
+// RemoteCells() <= Sims() always; the separate counter lets operators
+// see how much of a sweep actually ran off-box.
+func (t *Timing) AddRemoteCell() { t.remotes.Add(1) }
+
 // SetWall records the elapsed wall-clock time of the whole harness run.
 func (t *Timing) SetWall(d time.Duration) { t.wallNanos.Store(int64(d)) }
 
@@ -49,6 +57,9 @@ func (t *Timing) Hits() uint64 { return t.hits.Load() }
 
 // Profiles returns the number of profiling passes executed.
 func (t *Timing) Profiles() uint64 { return t.profiles.Load() }
+
+// RemoteCells returns the number of cells fetched remotely.
+func (t *Timing) RemoteCells() uint64 { return t.remotes.Load() }
 
 // BusyTime returns the simulator time summed across workers
 // (simulations plus profiling passes).
@@ -69,6 +80,9 @@ func (t *Timing) String() string {
 	busy := t.BusyTime()
 	fmt.Fprintf(&b, "harness: %d sims + %d profiles (%d cache hits), %s busy",
 		t.Sims(), t.Profiles(), t.Hits(), busy.Round(time.Millisecond))
+	if r := t.RemoteCells(); r > 0 {
+		fmt.Fprintf(&b, ", %d remote cells", r)
+	}
 	if w := t.Wall(); w > 0 {
 		fmt.Fprintf(&b, ", %s wall", w.Round(time.Millisecond))
 		if busy > 0 {
