@@ -101,6 +101,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		sampleWU  = fs.Uint64("sample-warmup", 0, "sampled fidelity: warmup instructions per period (0 = paper default)")
 		sampleWin = fs.Uint64("sample", 0, "sampled fidelity: measured instructions per period (0 = paper default)")
 		workers   = fs.String("workers", "", "comma-separated watchdog-serve workers (host:port,...): shard cell simulations across them instead of simulating locally")
+		apiKey    = fs.String("api-key", "", "with -workers: API key sent to each worker (Authorization: Bearer) for authed gateway fleets")
 
 		metricsAddr = fs.String("metrics-addr", "", "with -workers: serve the coordinator's Prometheus /metrics on this address for the duration of the sweep")
 		logJSON     = fs.Bool("log", false, "emit structured JSON logs (fabric events: hedges, ejections, cell fetches) to stderr")
@@ -171,9 +172,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *metricsAddr != "" && len(workerAddrs) == 0 {
 		return fail(fmt.Errorf("-metrics-addr only applies with -workers (it serves the coordinator's fabric metrics)"))
 	}
+	if *apiKey != "" && len(workerAddrs) == 0 {
+		return fail(fmt.Errorf("-api-key only applies with -workers (it authenticates cell requests to the fleet)"))
+	}
 	var fab *fabric.Coordinator
 	if len(workerAddrs) > 0 {
-		fabOpts := fabric.Options{Scale: *scale}
+		fabOpts := fabric.Options{Scale: *scale, APIKey: *apiKey}
 		if *logJSON {
 			fabOpts.Logger = slog.New(slog.NewJSONHandler(stderr, nil))
 		}

@@ -70,6 +70,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		timeout  = fs.Duration("timeout", 120*time.Second, "per-request computation cap (requests may ask for less via timeout_ms)")
 		drain    = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown window before in-flight simulations are force-canceled")
 
+		keys       = fs.String("keys", "", "API-key file (`<key> <tenant>` lines); empty serves unauthenticated as the anonymous tenant")
+		rate       = fs.Float64("rate", 0, "per-tenant sustained request rate in req/s (0 = unlimited)")
+		quota      = fs.Int64("quota", 0, "per-tenant daily request quota (0 = unlimited)")
+		storeDir   = fs.String("store-dir", "", "persist completed results here and replay them across restarts (empty = memory only)")
+		storeMaxMB = fs.Int("store-max-mb", 256, "disk budget for -store-dir in MiB; least recently used entries are evicted past it")
+
 		logJSON = fs.Bool("log", false, "emit structured JSON request logs on stderr (server mode)")
 
 		load     = fs.Int("load", 0, "client mode: fire this many requests per step at -addr and report the curve + server coalescing stats")
@@ -84,6 +90,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		policy   = fs.String("policy", "watchdog", "client mode: juliet check policy to request")
 		tagBits  = fs.Int("tag-bits", 0, "client mode: juliet tag width to request (0 = server default)")
 		seed     = fs.Int64("seed", 1, "client mode: seed for the deterministic traffic sequence")
+		apiKey   = fs.String("api-key", "", "client mode: API key sent with every request (Authorization: Bearer)")
 		loadOut  = fs.String("load-out", "", "client mode: write the watchdog-load saturation record to this file")
 		trend    = fs.String("trend", "", "client mode: append this sweep's points to a watchdog-trajectory trend file")
 		trendLbl = fs.String("trend-label", "local", "client mode: label stamped on appended trend points")
@@ -122,6 +129,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			Overhead: *overhead,
 			Policy:   *policy,
 			TagBits:  *tagBits,
+			APIKey:   *apiKey,
 			TimeoutMS: func() int64 {
 				if *timeout > 0 && *timeout < 120*time.Second {
 					return timeout.Milliseconds()
@@ -132,20 +140,38 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return runLoad(ctx, spec, *loadOut, *trend, *trendLbl, *trendGat, stdout, stderr)
 	}
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		return fail(err)
-	}
-	fmt.Fprintf(stderr, "watchdog-serve: listening on http://%s\n", ln.Addr())
 	cfg := serve.Config{
 		MaxWorkers:     *workers,
 		MaxScale:       *maxScale,
 		RequestTimeout: *timeout,
 		DrainTimeout:   *drain,
+		Rate:           *rate,
+		Quota:          *quota,
+	}
+	if *keys != "" {
+		km, err := serve.LoadKeys(*keys)
+		if err != nil {
+			return fail(err)
+		}
+		cfg.Keys = km
+		fmt.Fprintf(stderr, "watchdog-serve: auth enabled (%d keys)\n", len(km))
+	}
+	if *storeDir != "" {
+		st, err := serve.OpenStore(*storeDir, *storeMaxMB)
+		if err != nil {
+			return fail(err)
+		}
+		cfg.Store = st
+		fmt.Fprintf(stderr, "watchdog-serve: result store at %s (budget %d MiB)\n", st.Dir(), *storeMaxMB)
 	}
 	if *logJSON {
 		cfg.Logger = slog.New(slog.NewJSONHandler(stderr, nil))
 	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(stderr, "watchdog-serve: listening on http://%s\n", ln.Addr())
 	s := serve.New(cfg)
 	if err := s.Serve(ctx, ln); err != nil {
 		return fail(err)

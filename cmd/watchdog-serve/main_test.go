@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -314,4 +315,72 @@ func TestServerLogFlag(t *testing.T) {
 
 	cancel()
 	<-done
+}
+
+// TestLoadAPIKeyHeader: client mode stamps -api-key on every request
+// as a Bearer token.
+func TestLoadAPIKeyHeader(t *testing.T) {
+	var (
+		mu   sync.Mutex
+		auth []string
+	)
+	stub := http.NewServeMux()
+	stub.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{}`))
+	})
+	stub.HandleFunc("/v1/sim", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		auth = append(auth, r.Header.Get("Authorization"))
+		mu.Unlock()
+		w.Write([]byte(`{}`))
+	})
+	srv := httptest.NewServer(stub)
+	t.Cleanup(srv.Close)
+
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{
+		"-load", "4", "-c", "1", "-api-key", "sk-test", "-addr", srv.URL,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr.String())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(auth) == 0 {
+		t.Fatal("no sim requests reached the stub")
+	}
+	for i, a := range auth {
+		if a != "Bearer sk-test" {
+			t.Errorf("request %d Authorization = %q, want \"Bearer sk-test\"", i, a)
+		}
+	}
+}
+
+// TestServeKeysAndStoreFlags: a bad keys file or store directory fails
+// before the server binds its listener.
+func TestServeKeysAndStoreFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{
+		"-keys", filepath.Join(t.TempDir(), "missing.txt"), "-addr", "127.0.0.1:0",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("missing keys file: exit %d, want 1 (stderr %s)", code, stderr.String())
+	}
+	if strings.Contains(stderr.String(), "listening on") {
+		t.Error("server bound its listener before key-file validation failed")
+	}
+
+	// A store path that collides with a regular file must also refuse.
+	dir := t.TempDir()
+	blocked := filepath.Join(dir, "store")
+	if err := os.WriteFile(blocked, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stderr.Reset()
+	code = run(context.Background(), []string{
+		"-store-dir", blocked, "-addr", "127.0.0.1:0",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("store-dir over a file: exit %d, want 1 (stderr %s)", code, stderr.String())
+	}
 }

@@ -75,6 +75,10 @@ type Options struct {
 	// CellTimeoutMS is stamped on each request's timeout_ms field
 	// (0 = the worker's default timeout).
 	CellTimeoutMS int64
+	// APIKey, when set, rides every cell request as `Authorization:
+	// Bearer` so sweeps work against an authed gateway fleet. A fleet
+	// answering 401 fails the sweep fast (permanent, not retried).
+	APIKey string
 	// Client overrides the HTTP client (default: a dedicated client
 	// with no overall timeout — cell requests are bounded by their
 	// context, probes by ProbeEvery).
@@ -427,6 +431,9 @@ func (c *Coordinator) attempt(ctx context.Context, w *worker, reqID string, body
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(serve.RequestIDHeader, reqID)
+	if c.opts.APIKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.opts.APIKey)
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {

@@ -350,3 +350,28 @@ func TestStatsShape(t *testing.T) {
 		}
 	}
 }
+
+// TestAPIKeyPassThrough: against an authed gateway worker, a keyless
+// coordinator fails fast (401 is permanent, not retried) and a keyed
+// one sweeps normally.
+func TestAPIKeyPassThrough(t *testing.T) {
+	authed := httptest.NewServer(serve.New(serve.Config{
+		MaxWorkers: 4,
+		Keys:       map[string]string{"sk-fleet": "fleet"},
+	}).Handler())
+	t.Cleanup(authed.Close)
+
+	keyless := newFabric(t, Options{}, authed.URL)
+	if _, err := keyless.RemoteCell(context.Background(), "lbm", experiments.CfgBaseline, sim.FidelityExact, false); err == nil {
+		t.Fatal("keyless coordinator fetched a cell from an authed worker")
+	}
+
+	keyed := newFabric(t, Options{APIKey: "sk-fleet"}, authed.URL)
+	cell, err := keyed.RemoteCell(context.Background(), "lbm", experiments.CfgBaseline, sim.FidelityExact, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Workload != "lbm" {
+		t.Errorf("cell workload %q, want lbm", cell.Workload)
+	}
+}

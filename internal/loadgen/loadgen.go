@@ -63,6 +63,10 @@ type Spec struct {
 	// TimeoutMS is stamped on every request (0 = server default).
 	TimeoutMS int64
 
+	// APIKey, when set, rides every request as `Authorization: Bearer`
+	// so saturation runs work against an authed gateway.
+	APIKey string
+
 	// Client overrides the HTTP client.
 	Client *http.Client
 }
@@ -170,7 +174,7 @@ func Run(ctx context.Context, spec Spec) (*report.LoadReport, error) {
 		if err != nil {
 			return nil, err
 		}
-		step, err := runStep(ctx, spec.Client, spec.Target, conc, seq)
+		step, err := runStep(ctx, spec.Client, spec.Target, spec.APIKey, conc, seq)
 		if err != nil {
 			return nil, err
 		}
@@ -180,7 +184,7 @@ func Run(ctx context.Context, spec Spec) (*report.LoadReport, error) {
 }
 
 // runStep fires one step's precomputed sequence over conc workers.
-func runStep(ctx context.Context, client *http.Client, base string, conc int, seq []genReq) (report.LoadStep, error) {
+func runStep(ctx context.Context, client *http.Client, base, apiKey string, conc int, seq []genReq) (report.LoadStep, error) {
 	step := report.LoadStep{Concurrency: conc, Offered: int64(len(seq))}
 	var (
 		mu   sync.Mutex
@@ -216,6 +220,9 @@ func runStep(ctx context.Context, client *http.Client, base string, conc int, se
 					continue
 				}
 				req.Header.Set("Content-Type", "application/json")
+				if apiKey != "" {
+					req.Header.Set("Authorization", "Bearer "+apiKey)
+				}
 				resp, err := client.Do(req)
 				if err != nil {
 					record(-1, 0)

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+)
+
+// API-key authentication. The gateway maps API keys to tenant names:
+// every /v1/* request resolves to a tenant, and the tenant is the unit
+// of rate limiting, quota accounting, and per-tenant metrics. Auth is
+// opt-in — a server built without a key set admits every request as
+// the anonymous tenant, so single-user deployments (and every
+// pre-gateway client and test) keep working unchanged.
+
+// AnonymousTenant is the tenant every request maps to when the server
+// has no key set configured.
+const AnonymousTenant = "anon"
+
+// APIKeyHeader is the simple alternative to Authorization: Bearer.
+const APIKeyHeader = "X-API-Key"
+
+// LoadKeys reads an API-key file: one `<key> <tenant>` pair per line,
+// whitespace-separated, with blank lines and #-comments ignored. Keys
+// must be unique; several keys may map to one tenant (key rotation).
+func LoadKeys(path string) (map[string]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	keys, err := ParseKeys(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return keys, nil
+}
+
+// ParseKeys parses the key-file format from r (see LoadKeys).
+func ParseKeys(r io.Reader) (map[string]string, error) {
+	keys := make(map[string]string)
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("line %d: want `<key> <tenant>`, got %q", line, text)
+		}
+		key, tenant := fields[0], fields[1]
+		if prev, dup := keys[key]; dup {
+			return nil, fmt.Errorf("line %d: key already mapped to tenant %q", line, prev)
+		}
+		keys[key] = tenant
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("no key mappings (want `<key> <tenant>` lines)")
+	}
+	return keys, nil
+}
+
+// requestAPIKey extracts the presented API key: `Authorization:
+// Bearer <key>` wins, X-API-Key is the fallback, empty means none.
+func requestAPIKey(r *http.Request) string {
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		if scheme, key, ok := strings.Cut(auth, " "); ok && strings.EqualFold(scheme, "Bearer") {
+			return strings.TrimSpace(key)
+		}
+	}
+	return r.Header.Get(APIKeyHeader)
+}
+
+// tenantFor resolves a request to its tenant. With auth disabled (no
+// key set) every request is the anonymous tenant; with auth enabled a
+// missing or unknown key is a refusal.
+func (s *Server) tenantFor(r *http.Request) (string, bool) {
+	if len(s.cfg.Keys) == 0 {
+		return AnonymousTenant, true
+	}
+	key := requestAPIKey(r)
+	if key == "" {
+		return "", false
+	}
+	tenant, ok := s.cfg.Keys[key]
+	return tenant, ok
+}

@@ -25,4 +25,9 @@ type EndpointMetrics = stats.LatencySnapshot
 type endpointTrack struct {
 	win  endpointStats
 	hist *stats.Histogram
+	// compute observes only actual computations (flight creators, wall
+	// time of the compute callback) — never replays or coalesced waits,
+	// whose sub-millisecond latencies would drag the percentiles toward
+	// zero. Its p50 drives the backpressure 429's Retry-After hint.
+	compute endpointStats
 }

@@ -20,10 +20,11 @@ func wantsProm(accept string) bool {
 }
 
 // writeProm renders the server state as a Prometheus text-exposition
-// document. The same state always renders byte-identically: endpoints
-// are walked in a fixed order and PromWriter emits families in
-// first-use order.
-func (s *Server) writeProm(w http.ResponseWriter) {
+// document, returning the status written. The same state always
+// renders byte-identically: endpoints are walked in a fixed order,
+// tenants in sorted order, and PromWriter emits families in first-use
+// order.
+func (s *Server) writeProm(w http.ResponseWriter) int {
 	var p stats.PromWriter
 
 	p.Gauge("watchdog_serve_uptime_seconds",
@@ -44,6 +45,12 @@ func (s *Server) writeProm(w http.ResponseWriter) {
 	p.Counter("watchdog_serve_rejected_total",
 		"Requests refused before reaching a flight, by reason.",
 		[]stats.Label{{Name: "reason", Value: "draining"}}, float64(s.rejectedDraining.Load()))
+	p.Counter("watchdog_serve_rejected_total",
+		"Requests refused before reaching a flight, by reason.",
+		[]stats.Label{{Name: "reason", Value: "unauthorized"}}, float64(s.rejectedUnauthorized.Load()))
+	p.Counter("watchdog_serve_rejected_total",
+		"Requests refused before reaching a flight, by reason.",
+		[]stats.Label{{Name: "reason", Value: "limited"}}, float64(s.rejectedLimited.Load()))
 	p.Counter("watchdog_serve_timeouts_total",
 		"Requests answered 504 (deadline expired mid-computation).",
 		nil, float64(s.timedOut.Load()))
@@ -89,6 +96,50 @@ func (s *Server) writeProm(w http.ResponseWriter) {
 			labels, ep.met.hist.Snapshot())
 	}
 
+	// Tenant rows render in sorted-name order (none on an idle server,
+	// so back-to-back idle scrapes stay byte-identical).
+	tenants := s.limiter.snapshot()
+	for _, name := range tenantNames(tenants) {
+		tm := tenants[name]
+		labels := []stats.Label{{Name: "tenant", Value: name}}
+		p.Counter("watchdog_serve_tenant_requests_total",
+			"Admission attempts on /v1/* endpoints, by tenant (refusals included).",
+			labels, float64(tm.Requests))
+		p.Counter("watchdog_serve_tenant_limited_total",
+			"Token-bucket refusals (429), by tenant.",
+			labels, float64(tm.Limited))
+		p.Counter("watchdog_serve_tenant_quota_denied_total",
+			"Daily-quota refusals (429), by tenant.",
+			labels, float64(tm.QuotaDenied))
+	}
+
+	// Result store: the in-memory LRU and the optional disk layer.
+	sm := s.storeMetrics()
+	p.Gauge("watchdog_serve_result_cache_entries",
+		"Completed flight bodies retained in the in-memory LRU.",
+		nil, float64(sm.CacheEntries))
+	p.Counter("watchdog_serve_result_cache_hits_total",
+		"Replays answered from the in-memory LRU.",
+		nil, float64(sm.CacheHits))
+	p.Counter("watchdog_serve_result_cache_evictions_total",
+		"LRU entries dropped past the configured bound.",
+		nil, float64(sm.CacheEvictions))
+	p.Counter("watchdog_serve_store_hits_total",
+		"Replays answered from the disk store (checksum-verified).",
+		nil, float64(sm.DiskHits))
+	p.Counter("watchdog_serve_store_writes_total",
+		"Completed bodies persisted to the disk store.",
+		nil, float64(sm.DiskWrites))
+	p.Gauge("watchdog_serve_store_bytes",
+		"Bytes of entries in the disk store.",
+		nil, float64(sm.DiskBytes))
+	p.Counter("watchdog_serve_store_evictions_total",
+		"Disk entries evicted by the size budget.",
+		nil, float64(sm.DiskEvictions))
+	p.Counter("watchdog_serve_store_corrupt_evicted_total",
+		"Disk entries that failed verification and were evicted, not served.",
+		nil, float64(sm.CorruptEvicted))
+
 	// Harness counters: the same aggregation the JSON document reports.
 	var h HarnessMetrics
 	s.mu.Lock()
@@ -124,6 +175,7 @@ func (s *Server) writeProm(w http.ResponseWriter) {
 	w.Header().Set("Content-Type", stats.PromContentType)
 	w.WriteHeader(http.StatusOK)
 	w.Write([]byte(p.String()))
+	return http.StatusOK
 }
 
 func boolGauge(b bool) float64 {

@@ -27,6 +27,14 @@
 //     finish within DrainTimeout, then force-cancels whatever is
 //     still running — cancellation lands mid-simulation via the
 //     machine's cooperative check.
+//
+// On top of those, the gateway layers (PR 10) add tenancy: API-key
+// auth resolving every request to a tenant (the anonymous tenant when
+// auth is off), per-tenant token-bucket rate limits and daily quotas,
+// and a persistent result store — a bounded in-memory LRU of completed
+// bodies in front of an optional disk-backed content-addressed layer —
+// so retention is capped and a restarted server replays prior results
+// byte-identically without re-simulating.
 package serve
 
 import (
@@ -39,6 +47,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -86,6 +95,25 @@ type Config struct {
 	// GET /debug/flights (most recent requests with their correlation
 	// ids). Default: 256.
 	FlightLogN int
+	// Keys maps API keys to tenant names (see LoadKeys). Empty disables
+	// auth: every request is admitted as the anonymous tenant, so
+	// pre-gateway clients keep working unchanged.
+	Keys map[string]string
+	// Rate is each tenant's sustained /v1/* admission rate in
+	// requests/second (0 = unlimited); Burst is the bucket capacity
+	// (0 = twice the rate).
+	Rate  float64
+	Burst float64
+	// Quota caps each tenant's admitted /v1/* requests per UTC day
+	// (0 = unlimited).
+	Quota int64
+	// CacheEntries bounds the in-memory LRU of completed flight bodies
+	// (the fix for the old keep-every-success-forever retention).
+	// Default: 512.
+	CacheEntries int
+	// Store, when non-nil, persists completed bodies write-behind and
+	// answers cold-cache replays, including across restarts.
+	Store *Store
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +134,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FlightLogN <= 0 {
 		c.FlightLogN = 256
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 512
 	}
 	return c
 }
@@ -183,9 +214,19 @@ type Metrics struct {
 	// mid-computation). Added after PR 5; absent (zero) in older
 	// documents.
 	TimedOut int64 `json:"timed_out,omitempty"`
+	// RejectedUnauthorized / RejectedLimited count 401 and
+	// rate-or-quota 429 refusals (gateway additions; zero values are
+	// omitted so pre-gateway documents are byte-identical).
+	RejectedUnauthorized int64 `json:"rejected_unauthorized,omitempty"`
+	RejectedLimited      int64 `json:"rejected_limited,omitempty"`
 
 	Endpoints map[string]EndpointMetrics `json:"endpoints"`
-	Harness   HarnessMetrics             `json:"harness"`
+	// Tenants has one row per tenant seen since start (absent until the
+	// first /v1/* admission attempt).
+	Tenants map[string]TenantMetrics `json:"tenants,omitempty"`
+	// Store describes the result cache and disk store layers.
+	Store   StoreMetrics   `json:"store"`
+	Harness HarnessMetrics `json:"harness"`
 }
 
 // HarnessMetrics aggregates the runner timing counters across every
@@ -229,11 +270,22 @@ type Server struct {
 	sem      chan struct{}
 	draining atomic.Bool
 
-	inflight         atomic.Int64
-	rejectedBusy     atomic.Int64
-	rejectedDraining atomic.Int64
-	coalesced        atomic.Int64
-	timedOut         atomic.Int64
+	inflight             atomic.Int64
+	rejectedBusy         atomic.Int64
+	rejectedDraining     atomic.Int64
+	coalesced            atomic.Int64
+	timedOut             atomic.Int64
+	rejectedUnauthorized atomic.Int64
+	rejectedLimited      atomic.Int64
+
+	// limiter holds every tenant's token bucket and quota window;
+	// cache is the bounded LRU of completed flight bodies.
+	limiter *tenantLimiter
+	cache   *resultCache
+
+	// storeWG tracks write-behind store persists so drain (and tests,
+	// via Flush) can wait for them.
+	storeWG sync.WaitGroup
 
 	// flights (the request flight recorder) retains the most recent
 	// requests with their correlation ids for GET /debug/flights.
@@ -273,6 +325,8 @@ func New(cfg Config) *Server {
 		runners:   make(map[runnerKey]*experiments.Runner),
 		flights:   make(map[string]*flight),
 		flightLog: newFlightLog(cfg.FlightLogN),
+		limiter:   newTenantLimiter(cfg.Rate, cfg.Burst, cfg.Quota),
+		cache:     newResultCache(cfg.CacheEntries),
 	}
 	s.simMet.hist = stats.NewHistogram()
 	s.julietMet.hist = stats.NewHistogram()
@@ -280,12 +334,16 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the service's HTTP handler.
+// Handler returns the service's HTTP handler. The probe endpoints
+// ride the timed wrapper with nil metrics: they resolve and echo
+// X-Request-ID (so the fabric's probe loop and Prometheus scrapes are
+// correlatable) without observing latency counters — a /metrics scrape
+// must not perturb the document it reports.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /debug/flights", s.handleFlights)
+	mux.HandleFunc("GET /healthz", s.timed(nil, s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.timed(nil, s.handleMetrics))
+	mux.HandleFunc("GET /debug/flights", s.timed(nil, s.handleFlights))
 	mux.HandleFunc("POST /v1/sim", s.timed(&s.simMet, s.handleSim))
 	mux.HandleFunc("POST /v1/juliet", s.timed(&s.julietMet, s.handleJuliet))
 	return mux
@@ -319,8 +377,15 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		srv.Close()
 	}
 	<-errc // reap the Serve goroutine (http.ErrServerClosed)
+	// Let pending write-behind persists land before reporting the drain
+	// complete — a restart must find everything the old process served.
+	s.storeWG.Wait()
 	return nil
 }
+
+// Flush blocks until every pending write-behind store persist has
+// completed (tests, and checkpoints before a planned restart).
+func (s *Server) Flush() { s.storeWG.Wait() }
 
 // reqInfo is the per-request correlation state: the resolved request
 // id, plus the flight identity filled in by flightDo once the request
@@ -329,6 +394,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 type reqInfo struct {
 	id        string
 	key       string
+	tenant    string
 	coalesced bool
 }
 
@@ -342,9 +408,12 @@ func requestInfo(r *http.Request) *reqInfo {
 	return info
 }
 
-// timed wraps a handler with per-endpoint latency/error accounting,
-// request-id resolution and echo, the structured request log, and the
-// request flight recorder. Handlers return the status they wrote.
+// timed wraps a handler with request-id resolution and echo, the
+// structured request log, the request flight recorder, and — when met
+// is non-nil — per-endpoint latency/error accounting. Probe endpoints
+// pass nil: they get correlation without metering, so an idle /metrics
+// scrape never perturbs the document it reports. Handlers return the
+// status they wrote.
 func (s *Server) timed(met *endpointTrack, fn func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -357,10 +426,12 @@ func (s *Server) timed(met *endpointTrack, fn func(http.ResponseWriter, *http.Re
 		status := fn(w, r)
 
 		elapsed := time.Since(start)
-		met.win.Observe(elapsed, status >= 400)
-		met.hist.Observe(elapsed)
-		if status == http.StatusGatewayTimeout {
-			s.timedOut.Add(1)
+		if met != nil {
+			met.win.Observe(elapsed, status >= 400)
+			met.hist.Observe(elapsed)
+			if status == http.StatusGatewayTimeout {
+				s.timedOut.Add(1)
+			}
 		}
 		latencyMilli := float64(elapsed) / float64(time.Millisecond)
 		s.flightLog.add(FlightRecord{
@@ -368,20 +439,27 @@ func (s *Server) timed(met *endpointTrack, fn func(http.ResponseWriter, *http.Re
 			Method:       r.Method,
 			Path:         r.URL.Path,
 			FlightKey:    info.key,
+			Tenant:       info.tenant,
 			Status:       status,
 			Coalesced:    info.coalesced,
 			LatencyMilli: latencyMilli,
 			UnixNanos:    time.Now().UnixNano(),
 		})
 		level := slog.LevelInfo
-		if status >= 500 {
+		switch {
+		case status >= 500:
 			level = slog.LevelWarn
+		case met == nil:
+			// Probes are high-frequency and boring; keep them out of the
+			// default log volume.
+			level = slog.LevelDebug
 		}
 		s.log.LogAttrs(r.Context(), level, "request",
 			slog.String("method", r.Method),
 			slog.String("path", r.URL.Path),
 			slog.String("request_id", info.id),
 			slog.String("flight", info.key),
+			slog.String("tenant", info.tenant),
 			slog.Bool("coalesced", info.coalesced),
 			slog.Int("status", status),
 			slog.Float64("latency_ms", latencyMilli),
@@ -391,22 +469,22 @@ func (s *Server) timed(met *endpointTrack, fn func(http.ResponseWriter, *http.Re
 
 // handleFlights serves GET /debug/flights: the request flight
 // recorder, oldest first.
-func (s *Server) handleFlights(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, &FlightDump{
+func (s *Server) handleFlights(w http.ResponseWriter, r *http.Request) int {
+	return writeJSON(w, http.StatusOK, &FlightDump{
 		Schema:  Schema,
 		Version: Version,
 		Flights: s.flightLog.records(),
 	})
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) int {
 	status := http.StatusOK
 	state := "ok"
 	if s.draining.Load() {
 		status = http.StatusServiceUnavailable
 		state = "draining"
 	}
-	writeJSON(w, status, map[string]any{
+	return writeJSON(w, status, map[string]any{
 		"status":       state,
 		"uptime_nanos": time.Since(s.start).Nanoseconds(),
 	})
@@ -417,10 +495,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // Prometheus text exposition; everything else — including curl's
 // default */* — gets the JSON document, byte-compatible with the
 // pre-Prometheus schema.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
 	if wantsProm(r.Header.Get("Accept")) {
-		s.writeProm(w)
-		return
+		return s.writeProm(w)
 	}
 	m := Metrics{
 		Schema:      Schema,
@@ -428,16 +505,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		UptimeNanos: time.Since(s.start).Nanoseconds(),
 		Draining:    s.draining.Load(),
 
-		Inflight:         s.inflight.Load(),
-		RejectedBusy:     s.rejectedBusy.Load(),
-		RejectedDraining: s.rejectedDraining.Load(),
-		Coalesced:        s.coalesced.Load(),
-		TimedOut:         s.timedOut.Load(),
+		Inflight:             s.inflight.Load(),
+		RejectedBusy:         s.rejectedBusy.Load(),
+		RejectedDraining:     s.rejectedDraining.Load(),
+		Coalesced:            s.coalesced.Load(),
+		TimedOut:             s.timedOut.Load(),
+		RejectedUnauthorized: s.rejectedUnauthorized.Load(),
+		RejectedLimited:      s.rejectedLimited.Load(),
 
 		Endpoints: map[string]EndpointMetrics{
 			"sim":    s.simMet.win.Snapshot(),
 			"juliet": s.julietMet.win.Snapshot(),
 		},
+		Tenants: s.limiter.snapshot(),
+		Store:   s.storeMetrics(),
 	}
 	h := &m.Harness
 	s.mu.Lock()
@@ -453,18 +534,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if total := h.CacheHits + h.Sims; total > 0 {
 		h.CacheHitRatio = float64(h.CacheHits) / float64(total)
 	}
-	writeJSON(w, http.StatusOK, &m)
+	return writeJSON(w, http.StatusOK, &m)
 }
 
 // handleSim serves POST /v1/sim: validate, coalesce, compute one
 // report cell.
 func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) int {
-	if st, ok := s.admit(w); !ok {
+	if st, ok := s.gate(w, r); !ok {
 		return st
 	}
 	var req SimRequest
 	if st, err := decodeBody(r, &req); err != nil {
 		return writeError(w, st, err.Error())
+	}
+	if req.TimeoutMS < 0 {
+		return writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("timeout_ms must be >= 0, got %d", req.TimeoutMS))
 	}
 	wl, ok := workload.ByName(req.Workload)
 	if !ok {
@@ -495,7 +580,7 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) int {
 	}
 
 	key := SimFlightKey(req.Workload, req.Config, req.Scale, fid, req.Overhead)
-	return s.flightDo(w, r, key, req.TimeoutMS, func(ctx context.Context) (int, []byte) {
+	return s.flightDo(w, r, &s.simMet, key, req.TimeoutMS, func(ctx context.Context) (int, []byte) {
 		rn, err := s.runner(req.Scale, fid)
 		if err != nil {
 			return http.StatusInternalServerError, errorBody(err.Error())
@@ -519,12 +604,16 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) int {
 // internally but occupies a single admission slot — it is the
 // heavyweight endpoint.
 func (s *Server) handleJuliet(w http.ResponseWriter, r *http.Request) int {
-	if st, ok := s.admit(w); !ok {
+	if st, ok := s.gate(w, r); !ok {
 		return st
 	}
 	var req JulietRequest
 	if st, err := decodeBody(r, &req); err != nil {
 		return writeError(w, st, err.Error())
+	}
+	if req.TimeoutMS < 0 {
+		return writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("timeout_ms must be >= 0, got %d", req.TimeoutMS))
 	}
 	if req.Policy == "" {
 		req.Policy = "watchdog"
@@ -551,7 +640,7 @@ func (s *Server) handleJuliet(w http.ResponseWriter, r *http.Request) int {
 	}
 
 	key := JulietFlightKey(req.Policy, req.TagBits)
-	return s.flightDo(w, r, key, req.TimeoutMS, func(ctx context.Context) (int, []byte) {
+	return s.flightDo(w, r, &s.julietMet, key, req.TimeoutMS, func(ctx context.Context) (int, []byte) {
 		cases := security.Suite()
 		outs, err := security.RunCasesCtx(ctx, cases, cfg, opts, s.cfg.MaxWorkers, &s.julietTiming, nil)
 		if err != nil {
@@ -566,27 +655,79 @@ func (s *Server) handleJuliet(w http.ResponseWriter, r *http.Request) int {
 	})
 }
 
-// admit applies the drain gate. During drain every request — even one
-// a completed flight could answer — is refused, so the listener
-// empties deterministically.
-func (s *Server) admit(w http.ResponseWriter) (int, bool) {
+// gate applies the admission gates in order — drain, auth, per-tenant
+// rate and quota — and resolves the request's tenant. During drain
+// every request — even one a completed flight could answer — is
+// refused, so the listener empties deterministically. An
+// unauthenticated request is refused before it can touch (or reveal
+// anything about) the limiter.
+func (s *Server) gate(w http.ResponseWriter, r *http.Request) (int, bool) {
 	if s.draining.Load() {
 		s.rejectedDraining.Add(1)
 		return writeError(w, http.StatusServiceUnavailable, "server is draining"), false
 	}
+	tenant, ok := s.tenantFor(r)
+	if !ok {
+		s.rejectedUnauthorized.Add(1)
+		w.Header().Set("WWW-Authenticate", `Bearer realm="watchdog-serve"`)
+		return writeError(w, http.StatusUnauthorized, "missing or unknown API key"), false
+	}
+	if info := requestInfo(r); info != nil {
+		info.tenant = tenant
+	}
+	if v := s.limiter.allow(tenant); !v.ok {
+		s.rejectedLimited.Add(1)
+		retry := retrySeconds(v.retryAfter)
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		msg := "rate limit exceeded"
+		if v.reason == "quota" {
+			msg = "daily quota exhausted"
+		}
+		return writeJSON(w, http.StatusTooManyRequests,
+			&ErrorResponse{Error: msg, RetryAfterSec: retry}), false
+	}
 	return 0, true
 }
 
-// flightDo coalesces the request onto the flight for key, creating it
-// (and computing, under the worker semaphore) if absent, then replays
-// the flight's response. compute returns the status and body to store.
-func (s *Server) flightDo(w http.ResponseWriter, r *http.Request, key string, timeoutMS int64, compute func(context.Context) (int, []byte)) int {
-	f, creator, st := s.claimFlight(w, key)
+// flightDo answers the request for key. Completed computations replay
+// from the result cache (memory LRU first, then the disk store);
+// otherwise the request coalesces onto the in-flight computation for
+// key, creating it (and computing, under the worker semaphore) if
+// absent. The flights map holds only in-flight computations — the fix
+// for the old keep-every-success-forever retention — so memory stays
+// bounded at the LRU size under any flood of distinct cells. compute
+// returns the status and body to replay.
+func (s *Server) flightDo(w http.ResponseWriter, r *http.Request, met *endpointTrack, key string, timeoutMS int64, compute func(context.Context) (int, []byte)) int {
+	info := requestInfo(r)
+	if info != nil {
+		info.key = key
+	}
+	// Replays count as coalesced: the request rode a completed
+	// computation instead of starting one, exactly as before when
+	// completed flights lingered in the map.
+	if body, ok := s.cache.get(key); ok {
+		s.coalesced.Add(1)
+		if info != nil {
+			info.coalesced = true
+		}
+		return writeRaw(w, http.StatusOK, body)
+	}
+	if st := s.cfg.Store; st != nil {
+		if body, ok := st.Read(key); ok {
+			s.cache.put(key, body)
+			s.coalesced.Add(1)
+			if info != nil {
+				info.coalesced = true
+			}
+			return writeRaw(w, http.StatusOK, body)
+		}
+	}
+
+	f, creator, st := s.claimFlight(w, met, key)
 	if f == nil {
 		return st // rejected: semaphore full
 	}
-	if info := requestInfo(r); info != nil {
-		info.key = key
+	if info != nil {
 		info.coalesced = !creator
 	}
 	if creator {
@@ -609,16 +750,34 @@ func (s *Server) flightDo(w http.ResponseWriter, r *http.Request, key string, ti
 			s.computeStarted()
 		}
 
+		computeStart := time.Now()
 		f.status, f.body = compute(ctx)
-		if f.status != http.StatusOK {
-			// Don't cache failures (cancellations, deadline expiries,
-			// simulator errors): evict so a retry recomputes.
-			s.mu.Lock()
-			if s.flights[key] == f {
-				delete(s.flights, key)
-			}
-			s.mu.Unlock()
+		if met != nil {
+			// The compute window feeds the backpressure Retry-After
+			// hint; replays and coalesced waits would drag the p50
+			// toward zero, so only real computations observe.
+			met.compute.Observe(time.Since(computeStart), f.status >= 400)
 		}
+		if f.status == http.StatusOK {
+			s.cache.put(key, f.body)
+			if store := s.cfg.Store; store != nil {
+				body := f.body
+				s.storeWG.Add(1)
+				go func() {
+					defer s.storeWG.Done()
+					store.Write(key, body)
+				}()
+			}
+		}
+		// Evict from the in-flight map either way: waiters already hold
+		// f, new arrivals replay from the cache (successes) or recompute
+		// (failures — cancellations, deadline expiries, simulator
+		// errors must never be cached).
+		s.mu.Lock()
+		if s.flights[key] == f {
+			delete(s.flights, key)
+		}
+		s.mu.Unlock()
 		close(f.done)
 		return writeRaw(w, f.status, f.body)
 	}
@@ -646,7 +805,7 @@ func (s *Server) flightDo(w http.ResponseWriter, r *http.Request, key string, ti
 // its creator. Creation passes through the worker semaphore: when it
 // is saturated the request is rejected with 429 + Retry-After instead
 // of queuing. Joining an existing flight never needs a slot.
-func (s *Server) claimFlight(w http.ResponseWriter, key string) (*flight, bool, int) {
+func (s *Server) claimFlight(w http.ResponseWriter, met *endpointTrack, key string) (*flight, bool, int) {
 	s.mu.Lock()
 	f, ok := s.flights[key]
 	s.mu.Unlock()
@@ -657,9 +816,10 @@ func (s *Server) claimFlight(w http.ResponseWriter, key string) (*flight, bool, 
 	case s.sem <- struct{}{}:
 	default:
 		s.rejectedBusy.Add(1)
-		w.Header().Set("Retry-After", "1")
+		retry := busyRetrySeconds(met)
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		return nil, false, writeJSON(w, http.StatusTooManyRequests,
-			&ErrorResponse{Error: "all workers busy", RetryAfterSec: 1})
+			&ErrorResponse{Error: "all workers busy", RetryAfterSec: retry})
 	}
 	s.mu.Lock()
 	if f, ok = s.flights[key]; ok {
@@ -697,7 +857,30 @@ func (s *Server) runner(scale int, fid sim.Fidelity) (*experiments.Runner, error
 	return r, nil
 }
 
+// busyRetrySeconds derives the backpressure Retry-After hint from the
+// endpoint's recent computation latencies: the p50 of the compute
+// window, rounded up to whole seconds and clamped to [1s, 60s]. A
+// saturated client then backs off roughly one computation's worth of
+// time instead of the old hardcoded second; an endpoint that has not
+// computed yet (empty window) falls back to 1.
+func busyRetrySeconds(met *endpointTrack) int {
+	if met == nil {
+		return 1
+	}
+	snap := met.compute.Snapshot()
+	if snap.Window == 0 {
+		return 1
+	}
+	secs := retrySeconds(time.Duration(snap.P50Milli * float64(time.Millisecond)))
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
 // timeout resolves a request's timeout_ms against the server cap.
+// Negative values are rejected at decode time (400 naming timeout_ms)
+// before any caller reaches here.
 func (s *Server) timeout(ms int64) time.Duration {
 	d := s.cfg.RequestTimeout
 	if ms > 0 {

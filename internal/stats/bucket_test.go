@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTokenBucketRefill drives the bucket on a fake clock: burst
+// admits, exhaustion refuses with the exact refill time, and waiting
+// that long admits again.
+func TestTokenBucketRefill(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := NewTokenBucket(2, 4) // 2 tokens/s, burst 4
+	b.SetClock(func() time.Time { return now })
+
+	for i := 0; i < 4; i++ {
+		if ok, _ := b.Take(); !ok {
+			t.Fatalf("take %d refused inside burst", i)
+		}
+	}
+	ok, retry := b.Take()
+	if ok {
+		t.Fatal("empty bucket admitted")
+	}
+	if want := 500 * time.Millisecond; retry != want {
+		t.Errorf("retryAfter %v, want %v (1 token at 2/s)", retry, want)
+	}
+
+	now = now.Add(retry)
+	if ok, _ := b.Take(); !ok {
+		t.Error("refused after waiting exactly the quoted refill time")
+	}
+
+	// Refill caps at burst: a long idle spell does not bank extra.
+	now = now.Add(time.Hour)
+	admitted := 0
+	for ; admitted < 10; admitted++ {
+		if ok, _ := b.Take(); !ok {
+			break
+		}
+	}
+	if admitted != 4 {
+		t.Errorf("admitted %d after long idle, want burst cap 4", admitted)
+	}
+}
+
+// TestTokenBucketBurstFloor: a sub-token burst is floored at one token
+// so the bucket can admit at all.
+func TestTokenBucketBurstFloor(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := NewTokenBucket(0.5, 0)
+	b.SetClock(func() time.Time { return now })
+	if ok, _ := b.Take(); !ok {
+		t.Fatal("fresh bucket with floored burst refused")
+	}
+	if ok, retry := b.Take(); ok || retry != 2*time.Second {
+		t.Errorf("second take = %v/%v, want refusal with 2s refill", ok, retry)
+	}
+}
